@@ -1,0 +1,190 @@
+// Package repro_test holds the benchmark harness: one benchmark per paper
+// table/figure (regenerating it at a reduced, fixed scale so timings are
+// comparable across runs) plus micro-benchmarks on the hot paths.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/idspace"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// benchOptions is the fixed scale every per-figure benchmark runs at.
+func benchOptions() exp.Options {
+	return exp.Options{Seed: 42, N: 120, Items: 400, Lookups: 200, Quick: true}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	o := benchOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure -----------------------------------
+
+func BenchmarkFig3aJoinLatency(b *testing.B)     { runExperiment(b, "Fig3a") }
+func BenchmarkFig3bLookupLatency(b *testing.B)   { runExperiment(b, "Fig3b") }
+func BenchmarkFig4DataDistribution(b *testing.B) { runExperiment(b, "Fig4") }
+func BenchmarkFig5aFailureRatio(b *testing.B)    { runExperiment(b, "Fig5a") }
+func BenchmarkFig5bCrashFailure(b *testing.B)    { runExperiment(b, "Fig5b") }
+func BenchmarkFig6aHeterogeneity(b *testing.B)   { runExperiment(b, "Fig6a") }
+func BenchmarkFig6bTopologyAware(b *testing.B)   { runExperiment(b, "Fig6b") }
+func BenchmarkTable2Connum(b *testing.B)         { runExperiment(b, "Table2") }
+
+// --- Ablation benchmarks (design decisions from DESIGN.md) -------------------
+
+func BenchmarkAblationSNetTopology(b *testing.B) { runExperiment(b, "AblationTree") }
+func BenchmarkAblationBypassLinks(b *testing.B)  { runExperiment(b, "AblationBypass") }
+func BenchmarkBaselines(b *testing.B)            { runExperiment(b, "Baselines") }
+
+// --- Micro-benchmarks on the hot paths ---------------------------------------
+
+func BenchmarkEventEngine(b *testing.B) {
+	eng := sim.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(sim.Time(i%1000+1), func() {})
+		if i%64 == 63 {
+			eng.RunSteps(64)
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkHashKey(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = idspace.HashKey("item-000123")
+	}
+}
+
+func BenchmarkBetween(b *testing.B) {
+	a, x, c := idspace.ID(10), idspace.ID(500), idspace.ID(100)
+	for i := 0; i < b.N; i++ {
+		_ = idspace.Between(a, x, c)
+	}
+}
+
+func BenchmarkTopologyGenerate(b *testing.B) {
+	cfg := topology.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.GenerateTransitStub(cfg, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDijkstraShortestPath(b *testing.B) {
+	g, err := topology.GenerateTransitStub(topology.DefaultConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stubs := g.StubNodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Uncached source each iteration defeats memoization on the
+		// first pass; later passes measure the cached path.
+		if _, err := g.Latency(stubs[i%len(stubs)], stubs[(i*31+7)%len(stubs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSystem builds a reusable hybrid system for operation benchmarks.
+func benchSystem(b *testing.B, ps float64) (*core.System, []*core.Peer) {
+	b.Helper()
+	tc := topology.Config{
+		TransitDomains: 2, TransitNodesPerDomain: 2,
+		StubDomainsPerTransit: 2, StubNodesPerDomain: 12,
+		ExtraTransitEdges: 2, ExtraStubEdges: 2,
+		TransitScale: 10, BaseLatency: 500, LatencyPerUnit: 20000,
+	}
+	topo, err := topology.GenerateTransitStub(tc, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := sim.New(7)
+	net := simnet.New(eng, topo, simnet.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.Ps = ps
+	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	peers, _, err := sys.BuildPopulation(core.PopulationOpts{N: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	return sys, peers
+}
+
+func BenchmarkHybridJoin(b *testing.B) {
+	sys, _ := benchSystem(b, 0.7)
+	stubs := sys.Topo.StubNodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sys.JoinSync(core.JoinOpts{Host: stubs[i%len(stubs)], Capacity: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridStore(b *testing.B) {
+	sys, peers := benchSystem(b, 0.7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.StoreSync(peers[i%len(peers)], fmt.Sprintf("bench-%08d", i), "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHybridLookup(b *testing.B) {
+	sys, peers := benchSystem(b, 0.7)
+	const keys = 256
+	for i := 0; i < keys; i++ {
+		if _, err := sys.StoreSync(peers[i%len(peers)], fmt.Sprintf("lk-%04d", i), "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.LookupSync(peers[(i*13)%len(peers)], fmt.Sprintf("lk-%04d", i%keys)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyticJoinLatency(b *testing.B) {
+	p := analytic.Params{N: 1000, Ps: 0.7, Delta: 3, TTL: 4}
+	for i := 0; i < b.N; i++ {
+		_ = analytic.JoinLatency(p)
+	}
+}

@@ -1,0 +1,201 @@
+// Command hybridsim runs one hybrid peer-to-peer simulation with every knob
+// exposed and prints a protocol- and performance-level report. It is the
+// free-form companion to paperexp: where paperexp regenerates the paper's
+// exact tables, hybridsim answers "what happens if ...".
+//
+// Example:
+//
+//	hybridsim -n 1000 -ps 0.7 -delta 3 -ttl 4 -items 5000 -lookups 2000
+//	hybridsim -ps 0.5 -tracker
+//	hybridsim -ps 0.7 -hetero -topoaware -landmarks 12 -bypass
+//	hybridsim -ps 0.8 -crash 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1000, "number of peers")
+		ps        = flag.Float64("ps", 0.7, "proportion of s-peers (0..1)")
+		delta     = flag.Int("delta", 3, "s-network degree constraint")
+		ttl       = flag.Int("ttl", 4, "flood TTL")
+		items     = flag.Int("items", 5000, "data items to insert")
+		lookups   = flag.Int("lookups", 2000, "lookups to measure")
+		seed      = flag.Int64("seed", 1, "random seed")
+		placement = flag.String("placement", "spread", "data placement: tpeer | spread")
+		hetero    = flag.Bool("hetero", false, "enable link heterogeneity support")
+		topoaware = flag.Bool("topoaware", false, "enable landmark binning")
+		landmarks = flag.Int("landmarks", 8, "number of landmarks (with -topoaware)")
+		bypass    = flag.Bool("bypass", false, "enable bypass links")
+		tracker   = flag.Bool("tracker", false, "BitTorrent-style tracker s-networks")
+		interests = flag.Int("interests", 0, "interest categories (>0 enables interest-based s-networks)")
+		crash     = flag.Float64("crash", 0, "fraction of peers to crash before the lookup phase")
+		zipf      = flag.Bool("zipf", false, "Zipf-skewed lookup popularity instead of uniform")
+		walk      = flag.Bool("walk", false, "random-walk s-network search instead of flooding")
+		caching   = flag.Bool("caching", false, "enable the future-work hot-data caching scheme")
+		linear    = flag.Bool("linear", false, "successor-only ring routing (the paper's simulated behavior)")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Ps = *ps
+	cfg.Delta = *delta
+	cfg.TTL = *ttl
+	cfg.Heterogeneity = *hetero
+	cfg.TopologyAware = *topoaware
+	cfg.Landmarks = *landmarks
+	cfg.Bypass = *bypass
+	cfg.TrackerMode = *tracker
+	cfg.InterestCategories = *interests
+	cfg.RandomWalk = *walk
+	cfg.Caching = *caching
+	cfg.SuccessorRouting = *linear
+	cfg.LookupTimeout = 5 * sim.Second
+	if *linear {
+		cfg.LookupTimeout = 180 * sim.Second
+	}
+	if *topoaware {
+		cfg.Assignment = core.AssignCluster
+	}
+	if *interests > 0 {
+		cfg.Assignment = core.AssignInterest
+	}
+	switch *placement {
+	case "tpeer":
+		cfg.Placement = core.PlaceAtTPeer
+	case "spread":
+		cfg.Placement = core.PlaceSpread
+	default:
+		fmt.Fprintf(os.Stderr, "hybridsim: unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
+
+	topo, err := topology.GenerateTransitStub(topology.DefaultConfig(), *seed)
+	fatal(err)
+	eng := sim.New(*seed)
+	net := simnet.New(eng, topo, simnet.DefaultConfig())
+	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	fatal(err)
+
+	fmt.Printf("building %d peers (ps=%.2f δ=%d ttl=%d placement=%s)...\n", *n, *ps, *delta, *ttl, cfg.Placement)
+	var caps []float64
+	if *hetero {
+		caps = workload.CapacityClasses(*n)
+	}
+	var ints []int
+	if *interests > 0 {
+		ints = make([]int, *n)
+		for i := range ints {
+			ints[i] = i % *interests
+		}
+	}
+	peers, joins, err := sys.BuildPopulation(core.PopulationOpts{N: *n, Capacities: caps, Interests: ints})
+	fatal(err)
+	sys.Settle(10 * sim.Second)
+	fatal(sys.CheckRing())
+	fatal(sys.CheckTrees())
+
+	var joinHops metrics.Summary
+	for _, js := range joins {
+		joinHops.Add(float64(js.Hops))
+	}
+	fmt.Printf("built: %d t-peers, %d s-peers; join hops %s\n",
+		len(sys.TPeers()), len(sys.SPeers()), &joinHops)
+
+	// Insert data.
+	var keys []string
+	if *interests > 0 {
+		keys = workload.InterestKeys(*items, *interests)
+	} else {
+		keys = workload.Keys(*items)
+	}
+	stored := 0
+	for i, key := range keys {
+		r, err := sys.StoreSync(peers[(i*31)%len(peers)], key, "value-of-"+key)
+		fatal(err)
+		if r.OK {
+			stored++
+		}
+	}
+	fmt.Printf("stored %d/%d items; total items in system: %d\n", stored, *items, sys.TotalItems())
+
+	if *crash > 0 {
+		before := sys.NumPeers()
+		rng := eng.Rand()
+		var live []*core.Peer
+		for _, p := range peers {
+			if p.Alive() {
+				live = append(live, p)
+			}
+		}
+		for _, idx := range rng.Perm(len(live))[:int(*crash*float64(len(live)))] {
+			live[idx].Crash()
+		}
+		sys.Settle(3 * cfg.HelloTimeout)
+		fmt.Printf("crashed %d of %d peers; %d survive; promotions=%d rejoins=%d\n",
+			before-sys.NumPeers(), before, sys.NumPeers(),
+			sys.Stats().Promotions, sys.Stats().Rejoins)
+	}
+
+	// Lookups.
+	var pick workload.Picker = &workload.UniformPicker{N: len(keys), Rng: eng.Rand()}
+	if *zipf {
+		zp, err := workload.NewZipfPicker(eng.Rand(), 1.2, 1, len(keys))
+		fatal(err)
+		pick = zp
+	}
+	var hops, lat, contacts metrics.Summary
+	fails := 0
+	for i := 0; i < *lookups; i++ {
+		origin := peers[(i*53)%len(peers)]
+		if !origin.Alive() {
+			origin = sys.Peers()[i%sys.NumPeers()]
+		}
+		r, err := sys.LookupSync(origin, keys[pick.Pick()])
+		fatal(err)
+		if r.OK {
+			hops.Add(float64(r.Hops))
+			lat.Add(float64(r.Latency) / float64(sim.Millisecond))
+		} else {
+			fails++
+		}
+		contacts.Add(float64(r.Contacts))
+	}
+	fmt.Printf("\nlookups: %d issued, %d failed (%.2f%%)\n", *lookups, fails, 100*float64(fails)/float64(*lookups))
+	fmt.Printf("  hops     %s\n", &hops)
+	fmt.Printf("  latency  %s ms\n", &lat)
+	fmt.Printf("  contacts %s (total connum %d)\n", &contacts, int64(contacts.Mean()*float64(contacts.N())))
+
+	st := sys.Stats()
+	if *caching {
+		cached := 0
+		for _, p := range sys.Peers() {
+			cached += p.NumCached()
+		}
+		fmt.Printf("caching: %d surrogate copies, %d pushes, %d cache hits\n",
+			cached, st.CachePushes, st.CacheHits)
+	}
+	ns := net.Stats()
+	fmt.Printf("\nprotocol counters: %+v\n", st)
+	fmt.Printf("network: sent=%d delivered=%d dropped=%d bytes=%d\n",
+		ns.MessagesSent, ns.MessagesDelivered, ns.MessagesDropped, ns.BytesSent)
+	fmt.Printf("simulated time: %v; events: %d\n", eng.Now(), eng.Dispatched())
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		os.Exit(1)
+	}
+}

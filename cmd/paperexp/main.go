@@ -1,0 +1,88 @@
+// Command paperexp regenerates the tables and figures of the paper's
+// evaluation section. Each experiment prints the same rows or curve series
+// the paper reports.
+//
+// Usage:
+//
+//	paperexp -list
+//	paperexp -run Fig5a
+//	paperexp -run all -quick
+//	paperexp -run Table2 -n 1000 -lookups 10000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "scaled-down sweep (fast, coarse)")
+		n       = flag.Int("n", 0, "system size (default 1000, or 200 with -quick)")
+		items   = flag.Int("items", 0, "data items injected")
+		lookups = flag.Int("lookups", 0, "lookups measured")
+		seed    = flag.Int64("seed", 42, "random seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range exp.Registry() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+		}
+		if *run == "" {
+			fmt.Println("\nrun one with -run <id>, or -run all")
+		}
+		return
+	}
+
+	opts := exp.DefaultOptions()
+	if *quick {
+		opts = exp.QuickOptions()
+	}
+	opts.Seed = *seed
+	if *n > 0 {
+		opts.N = *n
+	}
+	if *items > 0 {
+		opts.Items = *items
+	}
+	if *lookups > 0 {
+		opts.Lookups = *lookups
+	}
+
+	var selected []exp.Experiment
+	if *run == "all" {
+		selected = exp.Registry()
+	} else {
+		e, ok := exp.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperexp: unknown experiment %q (use -list)\n", *run)
+			os.Exit(2)
+		}
+		selected = []exp.Experiment{e}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("### %s — %s (N=%d items=%d lookups=%d seed=%d)\n\n", e.ID, e.Title, opts.N, opts.Items, opts.Lookups, opts.Seed)
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Print(res.String())
+		}
+		fmt.Printf("(%s in %.1fs wall)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,92 @@
+// Command topogen generates a random transit-stub physical topology (the
+// GT-ITM stand-in every simulation runs on) and prints its statistics:
+// node/edge counts, degree distribution, latency quantiles and diameter.
+//
+// Example:
+//
+//	topogen -seed 7
+//	topogen -transit 4 -tnodes 4 -stubs 3 -snodes 20 -dot > topo.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "random seed")
+		transit = flag.Int("transit", 4, "transit domains")
+		tnodes  = flag.Int("tnodes", 4, "nodes per transit domain")
+		stubs   = flag.Int("stubs", 3, "stub domains per transit node")
+		snodes  = flag.Int("snodes", 20, "nodes per stub domain")
+		dot     = flag.Bool("dot", false, "emit Graphviz DOT to stdout instead of stats")
+	)
+	flag.Parse()
+
+	cfg := topology.DefaultConfig()
+	cfg.TransitDomains = *transit
+	cfg.TransitNodesPerDomain = *tnodes
+	cfg.StubDomainsPerTransit = *stubs
+	cfg.StubNodesPerDomain = *snodes
+
+	g, err := topology.GenerateTransitStub(cfg, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+
+	if *dot {
+		emitDOT(g)
+		return
+	}
+
+	fmt.Printf("transit-stub topology (seed %d)\n", *seed)
+	fmt.Printf("  nodes: %d (%d transit, %d stub)\n", g.NumNodes(), len(g.TransitNodes()), len(g.StubNodes()))
+	fmt.Printf("  edges: %d, connected: %v\n", g.NumEdges(), g.Connected())
+
+	hist := g.DegreeHistogram()
+	t := metrics.NewTable("degree distribution", "degree", "nodes")
+	for _, d := range topology.SortedDegrees(hist) {
+		t.AddRow(d, hist[d])
+	}
+	fmt.Println(t)
+
+	// Latency statistics over sampled pairs.
+	var s metrics.Sample
+	stubsList := g.StubNodes()
+	for i := 0; i < 200 && i < len(stubsList); i++ {
+		for j := i + 1; j < i+20 && j < len(stubsList); j++ {
+			if l, err := g.Latency(stubsList[i], stubsList[j]); err == nil {
+				s.Add(float64(l) / 1000) // ms
+			}
+		}
+	}
+	fmt.Printf("stub-to-stub latency (ms): median=%.2f p90=%.2f p99=%.2f\n",
+		s.Median(), s.Quantile(0.9), s.Quantile(0.99))
+	fmt.Printf("diameter (sampled): %.2f ms\n", float64(g.Diameter(64))/1000)
+}
+
+func emitDOT(g *topology.Graph) {
+	fmt.Println("graph topo {")
+	for i := range g.Nodes {
+		n := g.Nodes[i]
+		shape := "circle"
+		if n.Kind == topology.Transit {
+			shape = "box"
+		}
+		fmt.Printf("  n%d [shape=%s,pos=\"%.3f,%.3f!\"];\n", n.ID, shape, n.X*20, n.Y*20)
+	}
+	for i := range g.Adj {
+		for _, e := range g.Adj[i] {
+			if e.To > i {
+				fmt.Printf("  n%d -- n%d;\n", i, e.To)
+			}
+		}
+	}
+	fmt.Println("}")
+}

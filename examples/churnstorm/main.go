@@ -1,0 +1,116 @@
+// Churnstorm: the failure-handling machinery under stress. Peers leave
+// gracefully (t-peers substitute an s-peer in place, §3.2.1), crash abruptly
+// (HELLO/ack watchdogs detect it, orphaned subtrees rejoin, the server
+// arbitrates t-peer replacement), and new peers keep joining throughout.
+//
+//	go run ./examples/churnstorm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	topo, err := topology.GenerateTransitStub(topology.DefaultConfig(), 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sim.New(99)
+	net := simnet.New(eng, topo, simnet.DefaultConfig())
+
+	cfg := core.DefaultConfig()
+	cfg.Ps = 0.7
+	cfg.LookupTimeout = 5 * sim.Second
+	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	peers, _, err := sys.BuildPopulation(core.PopulationOpts{N: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Settle(10 * sim.Second)
+	fmt.Printf("built 500 peers: %d t-peers / %d s-peers\n", len(sys.TPeers()), len(sys.SPeers()))
+
+	// Seed data so lookups have something to find.
+	keys := workload.Keys(2000)
+	for i, key := range keys {
+		if _, err := sys.StoreSync(peers[(i*31)%len(peers)], key, "v"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The storm: five rounds of graceful leaves, abrupt crashes and fresh
+	// joins, with the ring and tree invariants checked after each round.
+	rng := eng.Rand()
+	stubs := topo.StubNodes()
+	for round := 1; round <= 5; round++ {
+		live := sys.Peers()
+		// 5% graceful leaves.
+		for i := 0; i < len(live)/20; i++ {
+			live[rng.Intn(len(live))].Leave()
+		}
+		// 5% abrupt crashes.
+		live = sys.Peers()
+		for i := 0; i < len(live)/20; i++ {
+			live[rng.Intn(len(live))].Crash()
+		}
+		// Failure detection + recovery window.
+		sys.Settle(3 * cfg.HelloTimeout)
+
+		// 40 fresh joins.
+		for i := 0; i < 40; i++ {
+			if _, _, err := sys.JoinSync(core.JoinOpts{
+				Host:     stubs[rng.Intn(len(stubs))],
+				Capacity: 1,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		sys.Settle(2 * cfg.HelloEvery)
+
+		ringErr := sys.CheckRing()
+		treeErr := sys.CheckTrees()
+		st := sys.Stats()
+		fmt.Printf("round %d: peers=%d ring=%v trees=%v promotions=%d rejoins=%d watchdog-expiries=%d\n",
+			round, sys.NumPeers(), errStr(ringErr), errStr(treeErr),
+			st.Promotions, st.Rejoins, st.WatchdogExpiries)
+		if ringErr != nil || treeErr != nil {
+			log.Fatal("invariant violated during churn")
+		}
+	}
+
+	// After the storm: how much data survived? (Crashed peers lose their
+	// load; graceful leavers hand it over.)
+	ok, fail := 0, 0
+	all := sys.Peers()
+	for i := 0; i < 1000; i++ {
+		r, err := sys.LookupSync(all[(i*17)%len(all)], keys[(i*7)%len(keys)])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.OK {
+			ok++
+		} else {
+			fail++
+		}
+	}
+	fmt.Printf("\nafter the storm: %d/%d lookups succeed (%.1f%% failure — lost with crashed peers)\n",
+		ok, ok+fail, 100*float64(fail)/float64(ok+fail))
+	fmt.Printf("items still reachable in the system: %d of %d\n", sys.TotalItems(), len(keys))
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}

@@ -1,0 +1,94 @@
+// Tracker: BitTorrent-style s-networks (§5.5). Each t-peer acts as its
+// s-network's tracker: peers announce stored items to it, lookups go to the
+// tracker and are resolved with a direct fetch — no flooding. The example
+// runs the same workload in flooding mode and tracker mode and compares
+// contacted-peer counts and latency.
+//
+//	go run ./examples/tracker
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("same workload, two s-network styles (p_s = 0.8, 400 peers):")
+	flood := runMode(false)
+	track := runMode(true)
+
+	t := metrics.NewTable("Gnutella-style flooding vs BitTorrent-style tracker s-networks",
+		"mode", "success", "mean hops", "mean ms", "contacts/lookup")
+	t.AddRow("flooding (TTL 4)", flood.success, flood.hops, flood.ms, flood.contacts)
+	t.AddRow("tracker", track.success, track.hops, track.ms, track.contacts)
+	fmt.Println(t)
+
+	fmt.Println("the tracker answers point-to-point, so lookups touch a constant number")
+	fmt.Println("of peers; flooding touches every peer within the TTL radius.")
+}
+
+type outcome struct {
+	success  float64
+	hops     float64
+	ms       float64
+	contacts float64
+}
+
+func runMode(tracker bool) outcome {
+	topo, err := topology.GenerateTransitStub(topology.DefaultConfig(), 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := sim.New(5)
+	net := simnet.New(eng, topo, simnet.DefaultConfig())
+
+	cfg := core.DefaultConfig()
+	cfg.Ps = 0.8
+	cfg.TrackerMode = tracker
+	cfg.LookupTimeout = 5 * sim.Second
+	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	peers, _, err := sys.BuildPopulation(core.PopulationOpts{N: 400})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+
+	keys := workload.Keys(1500)
+	for i, key := range keys {
+		if _, err := sys.StoreSync(peers[(i*29)%len(peers)], key, "v"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var hops, lat, contacts metrics.Summary
+	ok := 0
+	const lookups = 800
+	for i := 0; i < lookups; i++ {
+		r, err := sys.LookupSync(peers[(i*37)%len(peers)], keys[(i*11)%len(keys)])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.OK {
+			ok++
+			hops.Add(float64(r.Hops))
+			lat.Add(float64(r.Latency) / float64(sim.Millisecond))
+		}
+		contacts.Add(float64(r.Contacts))
+	}
+	return outcome{
+		success:  float64(ok) / lookups,
+		hops:     hops.Mean(),
+		ms:       lat.Mean(),
+		contacts: contacts.Mean(),
+	}
+}

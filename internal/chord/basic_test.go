@@ -1,0 +1,72 @@
+package chord
+
+import (
+	"testing"
+
+	"repro/internal/idspace"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+func TestChordBasic(t *testing.T) {
+	topo, err := topology.GenerateTransitStub(topology.DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(3)
+	net := simnet.New(eng, topo, simnet.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.LookupTimeout = 10 * sim.Second
+	cnet := NewNetwork(net, cfg)
+	stubs := topo.StubNodes()
+	var nodes []*Node
+	boot := simnet.None
+	for i := 0; i < 100; i++ {
+		n := cnet.CreateNode(idspace.ID(eng.Rand().Uint64()), stubs[eng.Rand().Intn(len(stubs))], 1, boot)
+		if boot == simnet.None {
+			boot = n.Addr
+		}
+		eng.RunUntil(eng.Now() + 600*sim.Millisecond)
+		nodes = append(nodes, n)
+	}
+	eng.RunUntil(eng.Now() + 30*sim.Second)
+	// check ring consistency
+	bad := 0
+	for _, n := range nodes {
+		s := cnet.Node(n.Successor())
+		if s == nil || s.Predecessor() != n.Addr {
+			bad++
+		}
+	}
+	t.Logf("bad succ/pred pairs: %d/100, events=%d now=%v", bad, eng.Dispatched(), eng.Now())
+	okStore, okLookup := 0, 0
+	for i := 0; i < 200; i++ {
+		var done bool
+		var r Result
+		nodes[(i*7)%100].Store(keyf(i), "v", func(res Result) { done = true; r = res })
+		for !done && eng.Step() {
+		}
+		if r.OK {
+			okStore++
+		}
+	}
+	for i := 0; i < 200; i++ {
+		var done bool
+		var r Result
+		nodes[(i*13)%100].Lookup(keyf(i), func(res Result) { done = true; r = res })
+		for !done && eng.Step() {
+		}
+		if r.OK {
+			okLookup++
+		}
+	}
+	t.Logf("stores ok=%d/200 lookups ok=%d/200 events=%d now=%v", okStore, okLookup, eng.Dispatched(), eng.Now())
+	if okLookup < 190 {
+		t.Errorf("too many lookup failures")
+	}
+}
+
+func keyf(i int) string {
+	return "key-" + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + string(rune('0'+(i/260)%10))
+}

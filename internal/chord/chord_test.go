@@ -1,0 +1,275 @@
+package chord
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/idspace"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// ring builds a stabilized Chord ring of n nodes and returns its pieces.
+func ring(t *testing.T, n int, seed int64) (*sim.Engine, *Network, []*Node) {
+	t.Helper()
+	tc := topology.Config{
+		TransitDomains: 2, TransitNodesPerDomain: 2,
+		StubDomainsPerTransit: 2, StubNodesPerDomain: 12,
+		ExtraTransitEdges: 2, ExtraStubEdges: 2,
+		TransitScale: 10, BaseLatency: 500, LatencyPerUnit: 20000,
+	}
+	topo, err := topology.GenerateTransitStub(tc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(seed)
+	net := simnet.New(eng, topo, simnet.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.LookupTimeout = 10 * sim.Second
+	cnet := NewNetwork(net, cfg)
+	stubs := topo.StubNodes()
+	var nodes []*Node
+	boot := simnet.None
+	for i := 0; i < n; i++ {
+		nd := cnet.CreateNode(idspace.ID(eng.Rand().Uint64()), stubs[eng.Rand().Intn(len(stubs))], 1, boot)
+		if boot == simnet.None {
+			boot = nd.Addr
+		}
+		eng.RunUntil(eng.Now() + 600*sim.Millisecond)
+		nodes = append(nodes, nd)
+	}
+	eng.RunUntil(eng.Now() + 30*sim.Second)
+	return eng, cnet, nodes
+}
+
+// checkRing verifies the successor cycle covers all live nodes with agreeing
+// predecessor pointers.
+func checkRing(t *testing.T, cnet *Network) {
+	t.Helper()
+	nodes := cnet.Nodes()
+	if len(nodes) == 0 {
+		return
+	}
+	visited := map[simnet.Addr]bool{}
+	cur := nodes[0]
+	for !visited[cur.Addr] {
+		visited[cur.Addr] = true
+		next := cnet.Node(cur.Successor())
+		if next == nil {
+			t.Fatalf("node %d has dead successor %d", cur.Addr, cur.Successor())
+		}
+		if next.Predecessor() != cur.Addr {
+			t.Fatalf("pred mismatch: %d.succ=%d but %d.pred=%d", cur.Addr, next.Addr, next.Addr, next.Predecessor())
+		}
+		cur = next
+	}
+	if len(visited) != len(nodes) {
+		t.Fatalf("ring cycle covers %d of %d nodes", len(visited), len(nodes))
+	}
+}
+
+func drive(t *testing.T, eng *sim.Engine, done *bool) {
+	t.Helper()
+	for steps := 0; !*done; steps++ {
+		if steps > 20_000_000 {
+			t.Fatal("operation did not complete")
+		}
+		if !eng.Step() {
+			t.Fatal("engine dry")
+		}
+	}
+}
+
+func TestRingFormsAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		_, cnet, nodes := ring(t, 60, seed)
+		if len(cnet.Nodes()) != 60 || len(nodes) != 60 {
+			t.Fatalf("seed %d: node count wrong", seed)
+		}
+		checkRing(t, cnet)
+	}
+}
+
+func TestStoreAndLookup(t *testing.T) {
+	eng, _, nodes := ring(t, 50, 7)
+	for i := 0; i < 150; i++ {
+		key := fmt.Sprintf("k-%04d", i)
+		done := false
+		var r Result
+		nodes[i%50].Store(key, "v-"+key, func(res Result) { done = true; r = res })
+		drive(t, eng, &done)
+		if !r.OK {
+			t.Fatalf("store %s failed", key)
+		}
+	}
+	for i := 0; i < 150; i++ {
+		key := fmt.Sprintf("k-%04d", i)
+		done := false
+		var r Result
+		nodes[(i*7+3)%50].Lookup(key, func(res Result) { done = true; r = res })
+		drive(t, eng, &done)
+		if !r.OK || r.Value != "v-"+key {
+			t.Fatalf("lookup %s: ok=%v value=%q", key, r.OK, r.Value)
+		}
+		if r.Hops > 20 {
+			t.Fatalf("lookup %s took %d hops in a 50-node ring", key, r.Hops)
+		}
+		if r.Latency <= 0 {
+			t.Fatalf("lookup %s has non-positive latency", key)
+		}
+	}
+}
+
+func TestDataAtResponsibleNode(t *testing.T) {
+	eng, cnet, nodes := ring(t, 40, 9)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("own-%03d", i)
+		done := false
+		nodes[i%40].Store(key, "v", func(Result) { done = true })
+		drive(t, eng, &done)
+	}
+	eng.RunUntil(eng.Now() + 10*sim.Second)
+	// Every item must sit at the node owning its id: the first node
+	// clockwise from the item's hash.
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("own-%03d", i)
+		did := idspace.HashKey(key)
+		var owner *Node
+		for _, n := range cnet.Nodes() {
+			pred := cnet.Node(n.Predecessor())
+			if pred == nil {
+				continue
+			}
+			if idspace.Between(pred.ID, did, n.ID) {
+				owner = n
+				break
+			}
+		}
+		if owner == nil {
+			t.Fatalf("no owner for %s", key)
+		}
+		if _, ok := owner.data[did]; !ok {
+			t.Errorf("item %s not at owner %d", key, owner.Addr)
+		}
+	}
+}
+
+func TestLookupMissingKeyFails(t *testing.T) {
+	eng, _, nodes := ring(t, 30, 11)
+	done := false
+	var r Result
+	nodes[0].Lookup("never-stored", func(res Result) { done = true; r = res })
+	drive(t, eng, &done)
+	if r.OK {
+		t.Fatal("lookup of missing key succeeded")
+	}
+}
+
+func TestGracefulLeave(t *testing.T) {
+	eng, cnet, nodes := ring(t, 40, 13)
+	// Store some data so leave transfers it.
+	for i := 0; i < 80; i++ {
+		done := false
+		nodes[i%40].Store(fmt.Sprintf("l-%03d", i), "v", func(Result) { done = true })
+		drive(t, eng, &done)
+	}
+	before := 0
+	for _, n := range cnet.Nodes() {
+		before += n.NumItems()
+	}
+	// A third of the nodes leave gracefully.
+	for i := 0; i < 13; i++ {
+		nodes[i*3].Leave()
+		eng.RunUntil(eng.Now() + 2*sim.Second)
+	}
+	eng.RunUntil(eng.Now() + 30*sim.Second)
+	checkRing(t, cnet)
+	after := 0
+	for _, n := range cnet.Nodes() {
+		after += n.NumItems()
+	}
+	if after != before {
+		t.Fatalf("items lost on graceful leave: %d -> %d", before, after)
+	}
+	// Lookups still work.
+	ok := 0
+	for i := 0; i < 80; i++ {
+		done := false
+		var r Result
+		live := cnet.Nodes()
+		live[i%len(live)].Lookup(fmt.Sprintf("l-%03d", i), func(res Result) { done = true; r = res })
+		drive(t, eng, &done)
+		if r.OK {
+			ok++
+		}
+	}
+	if ok < 78 {
+		t.Fatalf("only %d/80 lookups after graceful leaves", ok)
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	eng, cnet, nodes := ring(t, 50, 17)
+	// Crash 10 random-ish nodes abruptly.
+	for i := 0; i < 10; i++ {
+		nodes[i*5+1].Crash()
+	}
+	// Successor lists plus stabilization must re-close the ring.
+	eng.RunUntil(eng.Now() + 60*sim.Second)
+	checkRing(t, cnet)
+	if len(cnet.Nodes()) != 40 {
+		t.Fatalf("live nodes = %d, want 40", len(cnet.Nodes()))
+	}
+}
+
+func TestJoinAfterChurn(t *testing.T) {
+	eng, cnet, nodes := ring(t, 30, 19)
+	for i := 0; i < 5; i++ {
+		nodes[i*2].Crash()
+	}
+	eng.RunUntil(eng.Now() + 60*sim.Second)
+	// New nodes can still join through survivors.
+	var live *Node
+	for _, n := range cnet.Nodes() {
+		live = n
+		break
+	}
+	for i := 0; i < 10; i++ {
+		cnet.CreateNode(idspace.ID(eng.Rand().Uint64()), cnet.Net.Host(live.Addr), 1, live.Addr)
+		eng.RunUntil(eng.Now() + 2*sim.Second)
+	}
+	eng.RunUntil(eng.Now() + 60*sim.Second)
+	checkRing(t, cnet)
+	if len(cnet.Nodes()) != 35 {
+		t.Fatalf("live nodes = %d, want 35", len(cnet.Nodes()))
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	eng, _, nodes := ring(t, 120, 23)
+	for i := 0; i < 100; i++ {
+		done := false
+		nodes[i%120].Store(fmt.Sprintf("h-%03d", i), "v", func(Result) { done = true })
+		drive(t, eng, &done)
+	}
+	totalHops, count := 0, 0
+	for i := 0; i < 100; i++ {
+		done := false
+		var r Result
+		nodes[(i*31)%120].Lookup(fmt.Sprintf("h-%03d", i), func(res Result) { done = true; r = res })
+		drive(t, eng, &done)
+		if r.OK {
+			totalHops += r.Hops
+			count++
+		}
+	}
+	if count < 95 {
+		t.Fatalf("only %d lookups succeeded", count)
+	}
+	mean := float64(totalHops) / float64(count)
+	// log2(120) ~= 6.9; allow a loose band around O(log N).
+	if mean > 14 {
+		t.Fatalf("mean hops %.1f too high for finger routing in a 120-node ring", mean)
+	}
+}

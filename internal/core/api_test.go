@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestConfigValidateErrors(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"ps<0", func(c *Config) { c.Ps = -0.1 }},
+		{"ps>1", func(c *Config) { c.Ps = 1.1 }},
+		{"delta<2", func(c *Config) { c.Delta = 1 }},
+		{"ttl<1", func(c *Config) { c.TTL = 0 }},
+		{"hello0", func(c *Config) { c.HelloEvery = 0 }},
+		{"timeout<=hello", func(c *Config) { c.HelloTimeout = c.HelloEvery }},
+		{"lookup0", func(c *Config) { c.LookupTimeout = 0 }},
+		{"msg0", func(c *Config) { c.MessageBytes = 0 }},
+		{"landmarks", func(c *Config) { c.TopologyAware = true; c.Landmarks = 0 }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	var zero Config
+	filled := zero.withDefaults()
+	d := DefaultConfig()
+	if filled.Delta != d.Delta || filled.TTL != d.TTL ||
+		filled.HelloEvery != d.HelloEvery || filled.LookupTimeout != d.LookupTimeout ||
+		filled.WalkCount != d.WalkCount || filled.CacheTTL != d.CacheTTL {
+		t.Fatalf("withDefaults left gaps: %+v", filled)
+	}
+	// Explicit values are preserved.
+	custom := Config{Delta: 5, TTL: 9}
+	out := custom.withDefaults()
+	if out.Delta != 5 || out.TTL != 9 {
+		t.Fatal("withDefaults clobbered explicit values")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if TPeer.String() != "t-peer" || SPeer.String() != "s-peer" {
+		t.Fatal("Role strings")
+	}
+	if PlaceAtTPeer.String() != "t-peer" || PlaceSpread.String() != "spread" {
+		t.Fatal("Placement strings")
+	}
+}
+
+func TestPeerAccessors(t *testing.T) {
+	sys := newTestSystem(t, 90, func(c *Config) { c.Ps = 0.6 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 30}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	tp := sys.TPeers()[0]
+	if !tp.Successor().Valid() || !tp.Predecessor().Valid() {
+		t.Fatal("t-peer ring accessors invalid")
+	}
+	if tp.TNet().Addr != tp.Addr {
+		t.Fatal("t-peer is its own s-network root")
+	}
+	if tp.ConnectPoint().Valid() {
+		t.Fatal("t-peer has a connect point")
+	}
+	sp := sys.SPeers()[0]
+	if !sp.ConnectPoint().Valid() || !sp.TNet().Valid() {
+		t.Fatal("s-peer accessors invalid")
+	}
+	if sp.NumItems() != len(sp.data) {
+		t.Fatal("NumItems mismatch")
+	}
+}
+
+func TestServerAccessors(t *testing.T) {
+	sys := newTestSystem(t, 91, func(c *Config) { c.Ps = 0.6 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 40}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	sv := sys.Server()
+	if sv.RingSize() != len(sys.TPeers()) {
+		t.Fatalf("RingSize %d != live t-peers %d", sv.RingSize(), len(sys.TPeers()))
+	}
+	if len(sv.Landmarks()) == 0 {
+		t.Fatal("no landmarks")
+	}
+	sizes := sv.SNetSizes()
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	if total != len(sys.SPeers()) {
+		t.Fatalf("registry s-peer count %d != live %d", total, len(sys.SPeers()))
+	}
+}
+
+func TestRingLocateHealsOrphanTPeer(t *testing.T) {
+	// White box: blow away a t-peer's ring pointers; the next finger tick
+	// must re-anchor it through the server's registry.
+	sys := newTestSystem(t, 92, func(c *Config) { c.Ps = 0 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 12}) // all t-peers
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	victim := peers[5]
+	victim.pred = NilRef
+	victim.succ = NilRef
+	sys.Settle(6 * sys.Cfg.FingerRefreshEvery)
+	if !victim.succ.Valid() {
+		t.Fatal("orphaned t-peer did not re-anchor")
+	}
+	// Stabilization then reconciles the whole ring.
+	sys.Settle(10 * sys.Cfg.FingerRefreshEvery)
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerIndexRemoveOnLoadTransfer(t *testing.T) {
+	// When a t-join moves items out of a tracker s-network, the tracker's
+	// stale index entries must be withdrawn.
+	sys := newTestSystem(t, 93, func(c *Config) {
+		c.Ps = 0.5
+		c.TrackerMode = true
+	})
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	for i := 0; i < 120; i++ {
+		if _, err := sys.StoreSync(peers[i%20], keyf("idx-%03d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Grow the ring: segments split, load transfers run, indexes shrink.
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 20}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(20 * sim.Second)
+	// Every lookup must still resolve (fresh announcements beat stale
+	// entries; stale fetches fall back to notFound and the data is found
+	// via its new tracker).
+	ok := 0
+	for i := 0; i < 120; i++ {
+		r, err := sys.LookupSync(sys.Peers()[i%sys.NumPeers()], keyf("idx-%03d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OK {
+			ok++
+		}
+	}
+	if ok < 110 {
+		t.Fatalf("only %d/120 tracker lookups after ring growth", ok)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	// Two systems built with identical seeds and workloads must agree on
+	// every observable statistic.
+	run := func() (SystemStats, int, int) {
+		sys := newTestSystem(t, 94, func(c *Config) { c.Ps = 0.7 })
+		peers, _, err := sys.BuildPopulation(PopulationOpts{N: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Settle(10 * sim.Second)
+		for i := 0; i < 60; i++ {
+			if _, err := sys.StoreSync(peers[i%50], keyf("det-%03d", i), "v"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hops := 0
+		for i := 0; i < 60; i++ {
+			r, err := sys.LookupSync(peers[(i*7)%50], keyf("det-%03d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			hops += r.Hops
+		}
+		return sys.Stats(), hops, int(sys.Eng.Dispatched())
+	}
+	s1, h1, d1 := run()
+	s2, h2, d2 := run()
+	if s1 != s2 || h1 != h2 || d1 != d2 {
+		t.Fatalf("non-deterministic:\n%+v hops=%d events=%d\n%+v hops=%d events=%d", s1, h1, d1, s2, h2, d2)
+	}
+}

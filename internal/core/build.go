@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// maxStepsPerOp bounds how many engine events a single synchronous join or
+// data operation may consume before the builder declares it stuck. The
+// periodic tickers keep the event queue non-empty forever, so "run to
+// quiescence" is not a usable stop condition.
+const maxStepsPerOp = 20_000_000
+
+// PopulationOpts configures BuildPopulation.
+type PopulationOpts struct {
+	// N is how many peers to create.
+	N int
+	// Capacities optionally assigns per-peer link capacities (index i for
+	// the i-th created peer); missing entries default to 1.
+	Capacities []float64
+	// Hosts optionally pins peers to physical hosts; missing entries are
+	// drawn uniformly from the topology's stub nodes.
+	Hosts []int
+	// Interests optionally assigns per-peer interest categories.
+	Interests []int
+	// ForceRole pins every peer's role instead of letting the server
+	// decide (used to build the ring before populating s-networks).
+	ForceRole *Role
+}
+
+// BuildPopulation joins N peers one at a time, driving the engine until each
+// join completes, and returns the peers with their join statistics. Joining
+// sequentially keeps runs deterministic; concurrent joins are exercised
+// separately by the tests.
+func (s *System) BuildPopulation(o PopulationOpts) ([]*Peer, []JoinStats, error) {
+	stubs := s.Topo.StubNodes()
+	if len(stubs) == 0 {
+		return nil, nil, fmt.Errorf("core: topology has no stub nodes to host peers")
+	}
+	peers := make([]*Peer, 0, o.N)
+	stats := make([]JoinStats, 0, o.N)
+	for i := 0; i < o.N; i++ {
+		opts := JoinOpts{Capacity: 1, ForceRole: o.ForceRole}
+		if i < len(o.Capacities) {
+			opts.Capacity = o.Capacities[i]
+		}
+		if i < len(o.Hosts) {
+			opts.Host = o.Hosts[i]
+		} else {
+			opts.Host = stubs[s.Eng.Rand().Intn(len(stubs))]
+		}
+		if i < len(o.Interests) {
+			opts.Interest = o.Interests[i]
+		}
+		p, js, err := s.JoinSync(opts)
+		if err != nil {
+			return peers, stats, fmt.Errorf("core: peer %d of %d: %w", i, o.N, err)
+		}
+		peers = append(peers, p)
+		stats = append(stats, js)
+	}
+	return peers, stats, nil
+}
+
+// JoinSync joins one peer and drives the engine until the join completes.
+func (s *System) JoinSync(opts JoinOpts) (*Peer, JoinStats, error) {
+	var (
+		done  bool
+		stats JoinStats
+	)
+	p := s.Join(opts, func(_ *Peer, js JoinStats) {
+		done = true
+		stats = js
+	})
+	for steps := 0; !done; steps++ {
+		if steps > maxStepsPerOp {
+			return p, stats, fmt.Errorf("join of peer %d did not complete in %d events", p.Addr, maxStepsPerOp)
+		}
+		if !s.Eng.Step() {
+			return p, stats, fmt.Errorf("join of peer %d stalled: event queue empty", p.Addr)
+		}
+	}
+	return p, stats, nil
+}
+
+// StoreSync stores a key and drives the engine until the operation resolves.
+func (s *System) StoreSync(p *Peer, key, value string) (OpResult, error) {
+	return s.runOp(func(done func(OpResult)) { p.Store(key, value, done) })
+}
+
+// LookupSync looks up a key and drives the engine until the operation
+// resolves (success, definitive miss, or timeout).
+func (s *System) LookupSync(p *Peer, key string) (OpResult, error) {
+	return s.runOp(func(done func(OpResult)) { p.Lookup(key, done) })
+}
+
+// runOp drives the engine until the issued operation completes. Every
+// operation carries a timeout, so completion is guaranteed while the engine
+// has events.
+func (s *System) runOp(issue func(done func(OpResult))) (OpResult, error) {
+	var (
+		finished bool
+		result   OpResult
+	)
+	issue(func(r OpResult) {
+		finished = true
+		result = r
+	})
+	for steps := 0; !finished; steps++ {
+		if steps > maxStepsPerOp {
+			return result, fmt.Errorf("core: operation did not complete in %d events", maxStepsPerOp)
+		}
+		if !s.Eng.Step() {
+			return result, fmt.Errorf("core: operation stalled: event queue empty")
+		}
+	}
+	return result, nil
+}
+
+// SearchSync runs a prefix search and drives the engine until its window
+// closes (or it fills maxResults).
+func (s *System) SearchSync(p *Peer, prefix string, maxResults int, window sim.Time) (SearchResult, error) {
+	var (
+		finished bool
+		result   SearchResult
+	)
+	p.SearchPrefix(prefix, maxResults, window, func(r SearchResult) {
+		finished = true
+		result = r
+	})
+	for steps := 0; !finished; steps++ {
+		if steps > maxStepsPerOp {
+			return result, fmt.Errorf("core: search did not complete in %d events", maxStepsPerOp)
+		}
+		if !s.Eng.Step() {
+			return result, fmt.Errorf("core: search stalled: event queue empty")
+		}
+	}
+	return result, nil
+}
+
+// Settle advances simulated time by d, letting periodic maintenance (HELLO
+// rounds, finger refresh, watchdogs) run.
+func (s *System) Settle(d sim.Time) {
+	s.Eng.RunUntil(s.Eng.Now() + d)
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/idspace"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// bypassLink is a soft cross-s-network shortcut (§5.4). Links expire when
+// idle; using one refreshes its timer.
+type bypassLink struct {
+	peer  Ref
+	segLo idspace.ID
+	timer *sim.Timer
+}
+
+// addBypass installs a bypass link to a peer of another s-network, obeying
+// rule 1: the combined degree (tree plus bypass) must stay under δ. The
+// remote side is told so the link is bidirectional.
+func (p *Peer) addBypass(peer Ref, segLo idspace.ID) {
+	p.installBypass(peer, segLo, true)
+}
+
+// installBypass performs the local bookkeeping; announce propagates the
+// reverse half once.
+func (p *Peer) installBypass(peer Ref, segLo idspace.ID, announce bool) {
+	if peer.Addr == p.Addr {
+		return
+	}
+	if p.bypass == nil {
+		p.bypass = make(map[simnet.Addr]*bypassLink)
+	}
+	if l, ok := p.bypass[peer.Addr]; ok {
+		l.peer = peer
+		l.segLo = segLo
+		l.timer.Reset()
+		return
+	}
+	if p.Degree()+len(p.bypass) >= p.sys.Cfg.Delta {
+		return // rule 1: no bypass link on a peer at the degree threshold
+	}
+	addr := peer.Addr
+	l := &bypassLink{peer: peer, segLo: segLo}
+	l.timer = sim.NewTimer(p.sys.Eng, p.sys.Cfg.BypassTTL, func() {
+		delete(p.bypass, addr)
+	})
+	l.timer.Start()
+	p.bypass[peer.Addr] = l
+	if announce {
+		p.send(peer.Addr, bypassAdd{Peer: p.Ref(), SegLo: p.segLo})
+	}
+}
+
+// handleBypassAdd installs the reverse half of a link created by a remote
+// peer.
+func (p *Peer) handleBypassAdd(m bypassAdd) {
+	p.installBypass(m.Peer, m.SegLo, false)
+}
+
+// bypassFor returns a live bypass link whose s-network segment covers the
+// given id, refreshing its expiry ("transmitting a packet through the
+// bypass link will refresh the attached timer"). Links are scanned in
+// address order for determinism.
+func (p *Peer) bypassFor(sid idspace.ID) *bypassLink {
+	if len(p.bypass) == 0 {
+		return nil
+	}
+	var best *bypassLink
+	for _, l := range p.bypass {
+		if !idspace.Between(l.segLo, sid, l.peer.ID) {
+			continue
+		}
+		if best == nil || l.peer.Addr < best.peer.Addr {
+			best = l
+		}
+	}
+	if best != nil {
+		best.timer.Reset()
+	}
+	return best
+}
+
+// NumBypass returns the number of live bypass links.
+func (p *Peer) NumBypass() int { return len(p.bypass) }

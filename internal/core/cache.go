@@ -1,0 +1,137 @@
+package core
+
+// The caching scheme the paper's conclusion sketches as future work: "in the
+// case that some extremely popular data are requested by a large amount of
+// peers, the peer hosting the data may be overwhelmed ... The idea is to
+// distribute the load among as many peers as possible so that no peer is
+// overwhelmed."
+//
+// The three open questions the paper lists are answered as follows:
+//   - which surrogates: random tree neighbors of the overloaded holder, so
+//     a flood reaching the neighborhood hits a copy before the holder;
+//   - which data: any item served more than CacheHotThreshold times within
+//     one CacheWindow;
+//   - how long: CacheTTL of idleness, refreshed whenever the copy serves.
+
+import (
+	"repro/internal/idspace"
+	"repro/internal/sim"
+)
+
+// cacheEntry is one surrogate copy with its idle-expiry timer.
+type cacheEntry struct {
+	item  Item
+	timer *sim.Timer
+}
+
+// serveStat tracks per-item serve counts inside the current hot window.
+type serveStat struct {
+	count       int
+	windowStart sim.Time
+}
+
+// cacheAdd pushes a surrogate copy to a neighbor.
+type cacheAdd struct {
+	Item Item
+}
+
+// lookupCached consults the surrogate cache, refreshing the hit's expiry.
+func (p *Peer) lookupCached(did idspace.ID) (Item, bool) {
+	if !p.sys.Cfg.Caching || p.cache == nil {
+		return Item{}, false
+	}
+	e, ok := p.cache[did]
+	if !ok {
+		return Item{}, false
+	}
+	e.timer.Reset()
+	p.sys.stats.CacheHits++
+	return e.item, true
+}
+
+// findLocal checks the database and then the cache.
+func (p *Peer) findLocal(did idspace.ID) (Item, bool) {
+	if it, ok := p.data[did]; ok {
+		return it, true
+	}
+	return p.lookupCached(did)
+}
+
+// recordServe counts a successful answer for an item and, once the item
+// turns hot within the window, pushes surrogate copies out.
+func (p *Peer) recordServe(it Item) {
+	if !p.sys.Cfg.Caching {
+		return
+	}
+	if p.serves == nil {
+		p.serves = make(map[idspace.ID]*serveStat)
+	}
+	now := p.sys.Eng.Now()
+	st, ok := p.serves[it.DID]
+	if !ok || now-st.windowStart > p.sys.Cfg.CacheWindow {
+		st = &serveStat{windowStart: now}
+		p.serves[it.DID] = st
+	}
+	st.count++
+	if st.count == p.sys.Cfg.CacheHotThreshold {
+		st.count = 0
+		st.windowStart = now
+		p.pushSurrogates(it)
+	}
+}
+
+// pushSurrogates copies a hot item to random tree neighbors.
+func (p *Peer) pushSurrogates(it Item) {
+	nbs := p.neighbors()
+	if len(nbs) == 0 {
+		return
+	}
+	rng := p.sys.Eng.Rand()
+	fanout := p.sys.Cfg.CacheFanout
+	if fanout > len(nbs) {
+		fanout = len(nbs)
+	}
+	for _, idx := range rng.Perm(len(nbs))[:fanout] {
+		p.sendData(nbs[idx].Addr, 1, cacheAdd{Item: it})
+		p.sys.stats.CachePushes++
+	}
+}
+
+// handleCacheAdd installs a surrogate copy. Peers that already hold the item
+// in their database ignore the push.
+func (p *Peer) handleCacheAdd(m cacheAdd) {
+	if _, owned := p.data[m.Item.DID]; owned {
+		return
+	}
+	if p.cache == nil {
+		p.cache = make(map[idspace.ID]*cacheEntry)
+	}
+	if e, ok := p.cache[m.Item.DID]; ok {
+		e.item = m.Item
+		e.timer.Reset()
+		return
+	}
+	did := m.Item.DID
+	e := &cacheEntry{item: m.Item}
+	e.timer = sim.NewTimer(p.sys.Eng, p.sys.Cfg.CacheTTL, func() {
+		delete(p.cache, did)
+	})
+	e.timer.Start()
+	p.cache[did] = e
+}
+
+// NumCached returns the number of surrogate copies this peer holds.
+func (p *Peer) NumCached() int { return len(p.cache) }
+
+// ServeCount reports how many times this peer answered lookups (database or
+// cache) since creation; the caching experiment uses it to measure load
+// concentration.
+func (p *Peer) ServeCount() uint64 { return p.served }
+
+// answer sends the item to a lookup origin and does the serve bookkeeping
+// shared by every hit path (flood, routed lookup, walk, fetch).
+func (p *Peer) answer(origin Ref, qid uint64, it Item, hops int) {
+	p.served++
+	p.send(origin.Addr, foundMsg{QID: qid, Item: it, Holder: p.Ref(), HolderSegLo: p.segLo, Hops: hops})
+	p.recordServe(it)
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func sprintfT(f string, a ...any) string { return fmt.Sprintf(f, a...) }
+
+// TestSustainedChurnKeepsInvariants drives two minutes of live Poisson churn
+// (joins, graceful leaves and crashes at ~1 event/s against 150 peers) and
+// verifies the ring and tree invariants still hold after recovery. This is
+// the regression test for the stabilization and repair machinery.
+func TestSustainedChurnKeepsInvariants(t *testing.T) {
+	sys := newTestSystem(t, 931, func(c *Config) {
+		c.Ps = 0.7
+		c.HelloEvery = 5 * sim.Second
+		c.HelloTimeout = 12 * sim.Second
+		c.FingerRefreshEvery = 5 * sim.Second
+		c.LookupTimeout = 5 * sim.Second
+		c.JoinTimeout = 40 * sim.Second
+	})
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 150}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(10 * sim.Second)
+	schedule := workload.PoissonSchedule(sys.Eng.Rand(), workload.ChurnConfig{
+		Duration: 120 * sim.Second, JoinRate: 0.5, LeaveRate: 0.25, CrashRate: 0.25,
+	})
+	stubs := sys.Topo.StubNodes()
+	base := sys.Eng.Now()
+	for _, ev := range schedule {
+		ev := ev
+		sys.Eng.At(base+ev.At, func() {
+			switch ev.Kind {
+			case workload.Join:
+				sys.Join(JoinOpts{Host: stubs[sys.Eng.Rand().Intn(len(stubs))], Capacity: 1}, nil)
+			default:
+				live := sys.Peers()
+				if len(live) <= 3 {
+					return
+				}
+				p := live[ev.Peer%len(live)]
+				if ev.Kind == workload.Leave {
+					p.Leave()
+				} else {
+					p.Crash()
+				}
+			}
+		})
+	}
+	sys.Settle(120*sim.Second + 6*sys.Cfg.HelloTimeout)
+	var lines []string
+	SetTraceHook(func(f string, a ...any) { lines = append(lines, sprintfT(f, a...)) })
+	defer SetTraceHook(nil)
+	sys.Settle(4 * sys.Cfg.HelloTimeout)
+	if err := sys.CheckRing(); err != nil {
+		_ = lines
+		all := sys.TPeers()
+		t.Logf("== %d t-peers in id order:", len(all))
+		for _, p := range all {
+			t.Logf("  addr=%-4d id=%s pred=%-4d succ=%-4d", p.Addr, p.ID, p.pred.Addr, p.succ.Addr)
+		}
+		tps := sys.TPeers()
+		byAddr := map[int]*Peer{}
+		for _, p := range tps {
+			byAddr[int(p.Addr)] = p
+		}
+		visited := map[int]bool{}
+		cur := tps[0]
+		for !visited[int(cur.Addr)] {
+			visited[int(cur.Addr)] = true
+			nxt := byAddr[int(cur.succ.Addr)]
+			if nxt == nil {
+				t.Logf("cycle hits dead succ %d from %d", cur.succ.Addr, cur.Addr)
+				break
+			}
+			cur = nxt
+		}
+		for _, p := range tps {
+			if !visited[int(p.Addr)] {
+				t.Logf("orphan addr=%d id=%s pred=%d(%s) succ=%d(%s) joining=%v leaving=%v joinDoneNil=%v",
+					p.Addr, p.ID, p.pred.Addr, p.pred.ID, p.succ.Addr, p.succ.ID, p.joining, p.leaving, p.joinDone == nil)
+				if sp := byAddr[int(p.succ.Addr)]; sp != nil {
+					t.Logf("  succ %d: pred=%d succAlive=%v", sp.Addr, sp.pred.Addr, sp.Alive())
+				} else {
+					t.Logf("  succ %d is not a live t-peer (peer=%v)", p.succ.Addr, sys.Peer(p.succ.Addr) != nil)
+				}
+			}
+		}
+		t.Fatal(err)
+	}
+	if err := sys.CheckTrees(); err != nil {
+		t.Fatal(err)
+	}
+}

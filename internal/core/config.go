@@ -1,0 +1,301 @@
+// Package core implements the paper's contribution: a hybrid peer-to-peer
+// system composed of a structured ring of t-peers (the t-network) with one
+// unstructured, degree-bounded tree of s-peers (an s-network) attached to
+// every t-peer.
+//
+// The package contains the full protocol suite from sections 3-5 of the
+// paper: t-peer join/leave with the concurrency triangles and
+// substitution-on-leave, s-peer join via random-branch walks, HELLO/ack
+// failure detection with suppress timers, data insertion under both placement
+// schemes, two-tier lookup (local flood, then t-network routing, then remote
+// flood), and the five enhancements (link heterogeneity, topology awareness,
+// interest-based s-networks, bypass links, and BitTorrent-style tracker
+// s-networks).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Role distinguishes the two peer kinds.
+type Role uint8
+
+// Peer roles.
+const (
+	// TPeer is a member of the structured core ring.
+	TPeer Role = iota
+	// SPeer is a member of an unstructured stub network.
+	SPeer
+)
+
+func (r Role) String() string {
+	if r == TPeer {
+		return "t-peer"
+	}
+	return "s-peer"
+}
+
+// Placement selects the data placement scheme from section 3.4.
+type Placement uint8
+
+const (
+	// PlaceAtTPeer is the first scheme: remotely generated data is stored
+	// at the t-peer that owns the id segment. Simple, but hot-spots the
+	// t-peers (Fig. 4a-c).
+	PlaceAtTPeer Placement = iota
+	// PlaceSpread is the improved scheme: the owning t-peer forwards the
+	// insertion to a random directly connected peer (or keeps it), and
+	// the chosen peer repeats the random step, spreading load across the
+	// s-network (Fig. 4d-f).
+	PlaceSpread
+)
+
+func (p Placement) String() string {
+	if p == PlaceAtTPeer {
+		return "t-peer"
+	}
+	return "spread"
+}
+
+// IDGen selects how the bootstrap server generates t-peer ids (§3.2.1).
+type IDGen uint8
+
+const (
+	// IDRandom draws a uniform random id.
+	IDRandom IDGen = iota
+	// IDHashAddr hashes the peer's address.
+	IDHashAddr
+	// IDLocation derives the id from the peer's physical coordinates so
+	// that physically close peers are close on the ring.
+	IDLocation
+)
+
+// Assignment selects how the server maps joining s-peers to s-networks.
+type Assignment uint8
+
+const (
+	// AssignSmallest picks the s-network with the fewest s-peers,
+	// distributing the load evenly (the default in §3.2.2).
+	AssignSmallest Assignment = iota
+	// AssignRandom picks uniformly at random.
+	AssignRandom
+	// AssignInterest matches the peer's declared interest category to the
+	// s-network serving it (§5.3).
+	AssignInterest
+	// AssignCluster uses landmark binning to co-locate physically close
+	// peers in the same s-network (§5.2).
+	AssignCluster
+)
+
+// Config carries every tunable of the hybrid system.
+type Config struct {
+	// Ps is the target proportion of s-peers (the paper's central knob).
+	Ps float64
+	// Delta is the s-network degree constraint δ.
+	Delta int
+	// TTL is the default flood radius inside an s-network.
+	TTL int
+	// Placement selects the data placement scheme.
+	Placement Placement
+	// IDGen selects t-peer id generation.
+	IDGen IDGen
+	// Assignment selects s-network assignment for joining s-peers.
+	Assignment Assignment
+
+	// Heterogeneity makes the server rank peers by link capacity and
+	// assign the fastest as t-peers (§5.1), and makes connect points
+	// check link usage before accepting a child.
+	Heterogeneity bool
+	// MaxLinkUsage is the link-usage threshold (degree / capacity) above
+	// which a connect point passes a join request on (§5.1).
+	MaxLinkUsage float64
+
+	// TopologyAware enables landmark binning (§5.2); Landmarks is the
+	// number of landmark peers.
+	TopologyAware bool
+	Landmarks     int
+
+	// InterestCategories > 0 enables interest-based s-networks (§5.3)
+	// with that many content categories.
+	InterestCategories int
+
+	// Bypass enables bypass links (§5.4); BypassTTL is their idle expiry.
+	Bypass    bool
+	BypassTTL sim.Time
+
+	// TrackerMode turns every s-network into a BitTorrent-style tracker
+	// network (§5.5): the t-peer indexes its s-network's content and no
+	// flooding happens.
+	TrackerMode bool
+
+	// Reflood is how many times a failed local flood is retried with the
+	// TTL increased by one (§3.4 allows the peer to "increase the TTL
+	// value ... and reflood"). 0 disables refloods.
+	Reflood int
+
+	// RandomWalk replaces s-network flooding with k-walker random walks
+	// (§3.1 allows "flooding or random walks"). WalkCount walkers with
+	// WalkTTL hop budgets search the tree.
+	RandomWalk bool
+	WalkCount  int
+	WalkTTL    int
+
+	// Caching implements the paper's future-work scheme: a peer that
+	// serves the same item more than CacheHotThreshold times within
+	// CacheWindow pushes copies to CacheFanout random tree neighbors
+	// (surrogates); cached copies answer lookups and expire after
+	// CacheTTL of idleness.
+	Caching           bool
+	CacheHotThreshold int
+	CacheWindow       sim.Time
+	CacheTTL          sim.Time
+	CacheFanout       int
+
+	// SuccessorRouting forwards data operations along successor pointers
+	// only, without finger acceleration. The paper's NS2 simulation
+	// behaves this way — its Table 2 reports ~N/2 contacted peers per
+	// lookup at p_s = 0 and Fig. 6a calls the t-network step
+	// "proportional to the total number of t-peers" — so the experiments
+	// regenerating those results enable this to match the paper's shape.
+	// Join requests always use fingers, as §4.1 assumes.
+	SuccessorRouting bool
+
+	// HelloEvery is the heartbeat period; HelloTimeout the failure
+	// detection timeout; SuppressTimeout gates acknowledgment messages.
+	HelloEvery      sim.Time
+	HelloTimeout    sim.Time
+	SuppressTimeout sim.Time
+
+	// LookupTimeout bounds lookup and store operations.
+	LookupTimeout sim.Time
+	// JoinTimeout bounds a join before the peer retries through the
+	// server.
+	JoinTimeout sim.Time
+
+	// MessageBytes is the nominal control message size; DataBytes the
+	// nominal data item payload size.
+	MessageBytes int
+	DataBytes    int
+
+	// FingerRefreshEvery is the period of the t-network finger refresh.
+	FingerRefreshEvery sim.Time
+}
+
+// DefaultConfig returns the parameter set used by the paper-scale
+// experiments: δ = 3 (as in §6), TTL = 4, scheme-2 placement.
+func DefaultConfig() Config {
+	return Config{
+		Ps:                 0.5,
+		Delta:              3,
+		TTL:                4,
+		Placement:          PlaceSpread,
+		IDGen:              IDRandom,
+		Assignment:         AssignSmallest,
+		MaxLinkUsage:       3,
+		Landmarks:          8,
+		BypassTTL:          120 * sim.Second,
+		Reflood:            0,
+		HelloEvery:         2 * sim.Second,
+		HelloTimeout:       5 * sim.Second,
+		SuppressTimeout:    1 * sim.Second,
+		LookupTimeout:      30 * sim.Second,
+		JoinTimeout:        30 * sim.Second,
+		MessageBytes:       128,
+		DataBytes:          512,
+		FingerRefreshEvery: 2 * sim.Second,
+		WalkCount:          4,
+		WalkTTL:            32,
+		CacheHotThreshold:  8,
+		CacheWindow:        30 * sim.Second,
+		CacheTTL:           120 * sim.Second,
+		CacheFanout:        2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Ps < 0 || c.Ps > 1:
+		return fmt.Errorf("core: Ps %v outside [0, 1]", c.Ps)
+	case c.Delta < 2:
+		return fmt.Errorf("core: Delta %d < 2 cannot form a tree", c.Delta)
+	case c.TTL < 1:
+		return fmt.Errorf("core: TTL %d < 1", c.TTL)
+	case c.HelloEvery <= 0, c.HelloTimeout <= 0:
+		return fmt.Errorf("core: HELLO periods must be positive")
+	case c.HelloTimeout <= c.HelloEvery:
+		return fmt.Errorf("core: HelloTimeout %v must exceed HelloEvery %v", c.HelloTimeout, c.HelloEvery)
+	case c.LookupTimeout <= 0:
+		return fmt.Errorf("core: LookupTimeout must be positive")
+	case c.MessageBytes <= 0:
+		return fmt.Errorf("core: MessageBytes must be positive")
+	case c.TopologyAware && c.Landmarks < 1:
+		return fmt.Errorf("core: TopologyAware requires at least one landmark")
+	}
+	return nil
+}
+
+// withDefaults fills zero-valued fields from DefaultConfig.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Delta == 0 {
+		c.Delta = d.Delta
+	}
+	if c.TTL == 0 {
+		c.TTL = d.TTL
+	}
+	if c.MaxLinkUsage == 0 {
+		c.MaxLinkUsage = d.MaxLinkUsage
+	}
+	if c.Landmarks == 0 {
+		c.Landmarks = d.Landmarks
+	}
+	if c.BypassTTL == 0 {
+		c.BypassTTL = d.BypassTTL
+	}
+	if c.HelloEvery == 0 {
+		c.HelloEvery = d.HelloEvery
+	}
+	if c.HelloTimeout == 0 {
+		c.HelloTimeout = d.HelloTimeout
+	}
+	if c.SuppressTimeout == 0 {
+		c.SuppressTimeout = d.SuppressTimeout
+	}
+	if c.LookupTimeout == 0 {
+		c.LookupTimeout = d.LookupTimeout
+	}
+	if c.JoinTimeout == 0 {
+		c.JoinTimeout = d.JoinTimeout
+	}
+	if c.MessageBytes == 0 {
+		c.MessageBytes = d.MessageBytes
+	}
+	if c.DataBytes == 0 {
+		c.DataBytes = d.DataBytes
+	}
+	if c.FingerRefreshEvery == 0 {
+		c.FingerRefreshEvery = d.FingerRefreshEvery
+	}
+	if c.WalkCount == 0 {
+		c.WalkCount = d.WalkCount
+	}
+	if c.WalkTTL == 0 {
+		c.WalkTTL = d.WalkTTL
+	}
+	if c.CacheHotThreshold == 0 {
+		c.CacheHotThreshold = d.CacheHotThreshold
+	}
+	if c.CacheWindow == 0 {
+		c.CacheWindow = d.CacheWindow
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = d.CacheTTL
+	}
+	if c.CacheFanout == 0 {
+		c.CacheFanout = d.CacheFanout
+	}
+	return c
+}

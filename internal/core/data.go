@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/idspace"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// CategoryID maps an interest category to the ring position whose s-network
+// serves it. Interest-based deployments place and look up a key by its
+// category id instead of its own hash, so an entire content category lives
+// in one s-network (§5.3).
+func CategoryID(cat int) idspace.ID {
+	return idspace.HashBytes([]byte(fmt.Sprintf("interest-category-%d", cat)))
+}
+
+// CategoryOf extracts the category index from keys of the form
+// "cat<NN>/...", returning -1 for uncategorized keys. This is the naming
+// convention the workload generator uses for interest-based experiments.
+func CategoryOf(key string) int {
+	if len(key) < 4 || key[0] != 'c' || key[1] != 'a' || key[2] != 't' {
+		return -1
+	}
+	n := 0
+	i := 3
+	for ; i < len(key) && key[i] >= '0' && key[i] <= '9'; i++ {
+		n = n*10 + int(key[i]-'0')
+	}
+	if i == 3 || i >= len(key) || key[i] != '/' {
+		return -1
+	}
+	return n
+}
+
+// segmentID returns the id used to pick the serving s-network for a key:
+// the key hash normally, the category id in interest-based mode.
+func (p *Peer) segmentID(key string) idspace.ID {
+	if p.sys.Cfg.InterestCategories > 0 {
+		if cat := CategoryOf(key); cat >= 0 {
+			return CategoryID(cat)
+		}
+	}
+	return idspace.HashKey(key)
+}
+
+// inLocalSegment reports whether an id belongs to this peer's s-network,
+// using the segment bounds cached from join time and HELLO piggyback.
+func (p *Peer) inLocalSegment(sid idspace.ID) bool {
+	if p.Role == TPeer {
+		if !p.pred.Valid() {
+			return true // lone t-peer owns the whole space
+		}
+		return idspace.Between(p.pred.ID, sid, p.ID)
+	}
+	return idspace.Between(p.segLo, sid, p.ID)
+}
+
+// newOp registers an in-flight operation with a timeout.
+func (p *Peer) newOp(kind, key string, done func(OpResult)) (*op, uint64) {
+	qid := p.sys.newQID()
+	o := &op{
+		kind:  kind,
+		key:   key,
+		qid:   qid,
+		did:   idspace.HashKey(key),
+		sid:   p.segmentID(key),
+		start: p.sys.Eng.Now(),
+		ttl:   p.sys.Cfg.TTL,
+		done:  done,
+	}
+	p.pending[qid] = o
+	o.timer = p.sys.Eng.After(p.sys.Cfg.LookupTimeout, func() {
+		p.opTimeout(qid)
+	})
+	tracef("t=%v NEWOP peer=%d qid=%d kind=%s key=%s timerAt=%v", p.sys.Eng.Now(), p.Addr, qid, kind, key, o.timer.At())
+	return o, qid
+}
+
+// finishOp completes an operation exactly once and reports the result.
+func (p *Peer) finishOp(qid uint64, r OpResult) {
+	o, ok := p.pending[qid]
+	tracef("t=%v FINISH peer=%d qid=%d known=%v ok=%v", p.sys.Eng.Now(), p.Addr, qid, ok, r.OK)
+	if !ok {
+		return
+	}
+	delete(p.pending, qid)
+	if o.timer != nil {
+		p.sys.Eng.Cancel(o.timer)
+	}
+	r.Key = o.key
+	r.Latency = p.sys.Eng.Now() - o.start
+	r.Contacts = p.sys.takeContacts(qid)
+	if o.done != nil {
+		o.done(r)
+	}
+}
+
+// opTimeout handles an expired operation timer: refloods with a larger TTL
+// if configured (§3.4), otherwise declares failure.
+func (p *Peer) opTimeout(qid uint64) {
+	o, ok := p.pending[qid]
+	tracef("t=%v OPTIMEOUT peer=%d qid=%d known=%v", p.sys.Eng.Now(), p.Addr, qid, ok)
+	if !ok {
+		return
+	}
+	o.timer = nil
+	if o.kind == "lookup" && o.attempt < p.sys.Cfg.Reflood && p.inLocalSegment(o.sid) && !p.sys.Cfg.TrackerMode {
+		o.attempt++
+		o.ttl++
+		// "The peer may choose to increase the TTL value and the
+		// expiration duration of the timer and reflood."
+		longer := p.sys.Cfg.LookupTimeout * sim.Time(1<<uint(o.attempt))
+		o.timer = p.sys.Eng.After(longer, func() {
+			p.opTimeout(qid)
+		})
+		p.floodOut(qid, o.did, o.ttl, p.Ref())
+		return
+	}
+	p.finishOp(qid, OpResult{OK: false})
+}
+
+// Store inserts a (key, value) pair into the system (§3.4). If the key
+// belongs to the local s-network it is stored in the peer's own database;
+// otherwise it travels up the tree, along the t-network, and is placed in
+// the owning s-network per the configured placement scheme. done may be nil.
+func (p *Peer) Store(key, value string, done func(OpResult)) {
+	it := Item{Key: key, Value: value, DID: idspace.HashKey(key)}
+	o, qid := p.newOp("store", key, done)
+	if p.inLocalSegment(o.sid) {
+		p.storeLocal(it)
+		p.finishOp(qid, OpResult{OK: true, Hops: 0, Holder: p.Ref()})
+		return
+	}
+	req := storeReq{Item: it, SID: o.sid, Origin: p.Ref(), Tag: qid, Hops: 1}
+	p.forwardTowardSegment(req.SID, req, simnet.None)
+}
+
+// storeLocal inserts an item into the local database and, in tracker mode,
+// announces it to the s-network's tracker.
+func (p *Peer) storeLocal(it Item) {
+	p.data[it.DID] = it
+	if p.sys.Cfg.TrackerMode {
+		p.announceItems([]Item{it})
+	}
+}
+
+// forwardTowardSegment moves a segment-routed request one step: s-peers
+// climb to their connect point, t-peers route along the ring with fingers.
+// Returns without sending when this peer already owns the segment (callers
+// check ownership first).
+func (p *Peer) forwardTowardSegment(sid idspace.ID, msg any, from simnet.Addr) {
+	if p.Role == SPeer {
+		if p.cp.Valid() {
+			p.send(p.cp.Addr, msg)
+		}
+		return
+	}
+	next := NilRef
+	if !p.sys.Cfg.SuccessorRouting {
+		next = p.closestPreceding(sid)
+	}
+	if !next.Valid() || next.Addr == p.Addr {
+		next = p.succ
+	}
+	if !next.Valid() || next.Addr == p.Addr {
+		return // lone t-peer: nowhere to forward
+	}
+	p.sys.stats.RingForwards++
+	p.send(next.Addr, msg)
+}
+
+// handleStoreReq advances an insertion toward the owning segment and places
+// the item once it arrives.
+func (p *Peer) handleStoreReq(from simnet.Addr, m storeReq) {
+	p.maybeAck(from)
+	if !p.inLocalSegment(m.SID) || p.Role == SPeer {
+		m.Hops++
+		p.forwardTowardSegment(m.SID, m, from)
+		return
+	}
+	// We are the owning t-peer: place per the configured scheme.
+	switch p.sys.Cfg.Placement {
+	case PlaceAtTPeer:
+		p.storeLocal(m.Item)
+		p.send(m.Origin.Addr, storeAck{Tag: m.Tag, Holder: p.Ref(), HolderSegLo: p.segLo, Hops: m.Hops})
+	case PlaceSpread:
+		p.handleSpreadReq(spreadReq{Item: m.Item, Origin: m.Origin, Tag: m.Tag, Hops: m.Hops, From: from})
+	}
+}
+
+// handleSpreadReq performs one step of the scheme-2 random spreading walk:
+// the current peer picks uniformly among itself and its directly connected
+// downstream peers; picking itself ends the walk.
+func (p *Peer) handleSpreadReq(m spreadReq) {
+	candidates := p.Children()
+	// Index len(candidates) stands for "keep it here".
+	pick := p.sys.Eng.Rand().Intn(len(candidates) + 1)
+	if pick == len(candidates) {
+		p.storeLocal(m.Item)
+		p.send(m.Origin.Addr, storeAck{Tag: m.Tag, Holder: p.Ref(), HolderSegLo: p.segLo, Hops: m.Hops})
+		return
+	}
+	m.From = p.Addr
+	m.Hops++
+	p.send(candidates[pick].Addr, m)
+}
+
+// handleStoreAck closes the store operation and creates a bypass link when
+// the item landed in a different s-network (§5.4, rule 2).
+func (p *Peer) handleStoreAck(m storeAck) {
+	if p.sys.Cfg.Bypass && m.Holder.ID != p.ID {
+		p.addBypass(m.Holder, m.HolderSegLo)
+	}
+	p.finishOp(m.Tag, OpResult{OK: true, Hops: m.Hops, Holder: m.Holder})
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLeaveWhilePredIsJoining(t *testing.T) {
+	// §3.3: pre mid-triangle postpones a leave request; the leaver retries
+	// and eventually departs.
+	sys := newTestSystem(t, 98, func(c *Config) { c.Ps = 0 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	leaver := peers[4]
+	pred := sys.Peer(leaver.pred.Addr)
+	pred.joining = true // hold the mutex open by hand
+	leaver.Leave()
+	sys.Settle(2 * sim.Second)
+	if !leaver.Alive() {
+		t.Fatal("leave completed while pred was mid-triangle")
+	}
+	pred.joining = false
+	pred.drainJoinQueue()
+	// The leaver's retry loop (or force-finish timeout) must conclude.
+	sys.Settle(2 * sys.Cfg.JoinTimeout)
+	if leaver.Alive() {
+		t.Fatal("leave never completed after the triangle closed")
+	}
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrphanedSPeerRehomesThroughServer(t *testing.T) {
+	// An s-peer whose whole ancestry (cp and t-peer) disappears at once
+	// must re-home via the server rather than staying orphaned.
+	sys := newTestSystem(t, 99, func(c *Config) {
+		c.Ps = 0.75
+		c.Delta = 2
+	})
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 60}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+
+	// Find a chain t-peer -> child -> grandchild.
+	var grandchild *Peer
+	for _, sp := range sys.SPeers() {
+		parent := sys.Peer(sp.cp.Addr)
+		if parent != nil && parent.Role == SPeer {
+			grandchild = sp
+			break
+		}
+	}
+	if grandchild == nil {
+		t.Skip("no depth-2 s-peer at this seed")
+	}
+	parent := sys.Peer(grandchild.cp.Addr)
+	root := sys.Peer(grandchild.tpeer.Addr)
+	// Crash the parent and the root together: the grandchild's rejoin
+	// target is gone too.
+	parent.Crash()
+	root.Crash()
+	sys.Settle(12 * sys.Cfg.HelloTimeout)
+
+	if !grandchild.Alive() {
+		t.Fatal("grandchild should survive")
+	}
+	if grandchild.Role == SPeer && !grandchild.cp.Valid() {
+		t.Fatal("grandchild still orphaned after server re-homing window")
+	}
+	if err := sys.CheckTrees(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchUncategorizedStaysLocal(t *testing.T) {
+	sys := newTestSystem(t, 100, func(c *Config) { c.Ps = 0.8 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 40}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	origin := sys.SPeers()[0]
+	before := sys.Stats().RingForwards
+	if _, err := sys.SearchSync(origin, "plain-prefix/", 0, 3*sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Stats().RingForwards - before; got != 0 {
+		t.Fatalf("uncategorized search used %d ring forwards; must stay in the local s-network", got)
+	}
+}
+
+func TestSearchEmptyResult(t *testing.T) {
+	sys := newTestSystem(t, 101, func(c *Config) { c.Ps = 0.6 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 20}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	res, err := sys.SearchSync(sys.Peers()[0], "nothing-matches/", 0, 2*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Items) != 0 {
+		t.Fatalf("found %d phantom items", len(res.Items))
+	}
+	if res.Latency < 2*sim.Second {
+		t.Fatal("empty search returned before its collection window closed")
+	}
+}
+
+func TestWalkOnLoneTPeer(t *testing.T) {
+	// Walk mode on a peer with no tree neighbors must fail cleanly via the
+	// timeout rather than hanging or panicking.
+	sys := newTestSystem(t, 102, func(c *Config) {
+		c.Ps = 0
+		c.RandomWalk = true
+		c.LookupTimeout = 2 * sim.Second
+	})
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(2 * sim.Second)
+	r, err := sys.LookupSync(peers[0], "missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestStoreWithNilCallback(t *testing.T) {
+	sys := newTestSystem(t, 103, func(c *Config) { c.Ps = 0.5 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	peers[0].Store("fire-and-forget", "v", nil)
+	peers[1].Lookup("fire-and-forget", nil)
+	sys.Settle(10 * sim.Second) // must not panic or wedge
+	found := false
+	for _, p := range sys.Peers() {
+		if p.HasItem("fire-and-forget") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fire-and-forget store lost")
+	}
+}

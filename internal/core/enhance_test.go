@@ -1,0 +1,450 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// --- Link heterogeneity (§5.1) -------------------------------------------------
+
+func TestHeterogeneityPrefersFastTPeers(t *testing.T) {
+	sys := newTestSystem(t, 60, func(c *Config) {
+		c.Ps = 0.7
+		c.Heterogeneity = true
+	})
+	caps := workload.CapacityClasses(90)
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 90, Capacities: caps}); err != nil {
+		t.Fatal(err)
+	}
+	var tCapSum, sCapSum float64
+	tps, sps := sys.TPeers(), sys.SPeers()
+	for _, p := range tps {
+		tCapSum += p.Capacity
+	}
+	for _, p := range sps {
+		sCapSum += p.Capacity
+	}
+	tAvg := tCapSum / float64(len(tps))
+	sAvg := sCapSum / float64(len(sps))
+	if tAvg <= sAvg {
+		t.Fatalf("t-peers not faster on average: t=%.2f s=%.2f", tAvg, sAvg)
+	}
+	// With a third of peers at capacity 10 and 30% t-peers, essentially
+	// every t-peer should come from the top class.
+	fast := 0
+	for _, p := range tps {
+		if p.Capacity >= 10 {
+			fast++
+		}
+	}
+	if fast*10 < len(tps)*8 {
+		t.Fatalf("only %d/%d t-peers from the fastest class", fast, len(tps))
+	}
+}
+
+func TestLinkUsageGatesConnectPoints(t *testing.T) {
+	sys := newTestSystem(t, 61, func(c *Config) {
+		c.Ps = 0.8
+		c.Delta = 5
+		c.Heterogeneity = true
+		c.MaxLinkUsage = 2
+	})
+	caps := workload.CapacityClasses(80)
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 80, Capacities: caps}); err != nil {
+		t.Fatal(err)
+	}
+	// Peers with capacity 1 must not exceed usage 2 (degree 2) unless they
+	// were the only possible attachment (leaf exemption).
+	for _, p := range sys.SPeers() {
+		if p.Capacity == 1 && p.Degree() > 3 {
+			t.Errorf("slow peer %d carries degree %d", p.Addr, p.Degree())
+		}
+	}
+}
+
+func TestHeterogeneityLowersLatency(t *testing.T) {
+	run := func(hetero bool) float64 {
+		sys := newTestSystem(t, 62, func(c *Config) {
+			c.Ps = 0.7
+			c.Heterogeneity = hetero
+		})
+		caps := workload.CapacityClasses(80)
+		peers, _, err := sys.BuildPopulation(PopulationOpts{N: 80, Capacities: caps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Settle(6 * sys.Cfg.HelloEvery)
+		keys := make([]string, 80)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("het-%03d", i)
+			if _, err := sys.StoreSync(peers[(i*7)%80], keys[i], "v"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var total float64
+		n := 0
+		for i, key := range keys {
+			r, err := sys.LookupSync(peers[(i*13+5)%80], key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.OK {
+				total += float64(r.Latency)
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	base, het := run(false), run(true)
+	if het >= base {
+		t.Fatalf("heterogeneity support did not lower mean lookup latency: %.0f vs %.0f", het, base)
+	}
+}
+
+// --- Topology awareness (§5.2) ---------------------------------------------------
+
+func TestClusterAssignmentGroupsNearbyPeers(t *testing.T) {
+	sys := newTestSystem(t, 63, func(c *Config) {
+		c.Ps = 0.8
+		c.TopologyAware = true
+		c.Landmarks = 6
+		c.Assignment = AssignCluster
+	})
+	// Host peers in pairs on the same physical node: both halves of a pair
+	// have identical landmark coordinates and should mostly share an
+	// s-network.
+	stubs := sys.Topo.StubNodes()
+	hosts := make([]int, 60)
+	for i := range hosts {
+		hosts[i] = stubs[(i/2)*7%len(stubs)]
+	}
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 60, Hosts: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	same, pairs := 0, 0
+	for i := 0; i+1 < 60; i += 2 {
+		a, b := peers[i], peers[i+1]
+		if a.Role != SPeer || b.Role != SPeer || !a.Alive() || !b.Alive() {
+			continue
+		}
+		pairs++
+		if a.tpeer.Addr == b.tpeer.Addr {
+			same++
+		}
+	}
+	if pairs == 0 {
+		t.Skip("no s-peer pairs")
+	}
+	if same*2 < pairs {
+		t.Fatalf("only %d/%d co-located pairs share an s-network", same, pairs)
+	}
+}
+
+func TestLandmarkCoordOrdersByDistance(t *testing.T) {
+	sys := newTestSystem(t, 64, func(c *Config) {
+		c.TopologyAware = true
+		c.Landmarks = 4
+	})
+	stubs := sys.Topo.StubNodes()
+	a := sys.landmarkCoord(stubs[0])
+	b := sys.landmarkCoord(stubs[0])
+	if a != b {
+		t.Fatal("coordinate not deterministic")
+	}
+	if len(a) != 8 { // 4 landmarks x 2 chars
+		t.Fatalf("coordinate %q has wrong length", a)
+	}
+	// Same host same coord; a far host usually differs.
+	c := sys.landmarkCoord(stubs[len(stubs)-1])
+	if a == c {
+		t.Log("note: far host shares the bin (possible, not an error)")
+	}
+}
+
+// --- Interest-based s-networks (§5.3) --------------------------------------------
+
+func TestInterestLookupStaysLocal(t *testing.T) {
+	sys := newTestSystem(t, 65, func(c *Config) {
+		c.Ps = 0.8
+		c.InterestCategories = 4
+		c.Assignment = AssignInterest
+		c.TTL = 10
+	})
+	// Ring first so category segments are stable, then interest s-peers.
+	tRole, sRole := TPeer, SPeer
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 12, ForceRole: &tRole}); err != nil {
+		t.Fatal(err)
+	}
+	// Let the last t-peer's registration land before interest assignment
+	// starts consulting the ring registry.
+	sys.Settle(2 * sim.Second)
+	interests := make([]int, 48)
+	for i := range interests {
+		interests[i] = i % 4
+	}
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 48, Interests: interests, ForceRole: &sRole})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+
+	// Publishers store within their own category.
+	keys := workload.InterestKeys(60, 4)
+	for i, key := range keys {
+		cat := workload.KeyCategory(key)
+		var pub *Peer
+		for _, p := range peers {
+			if p.Interest == cat && p.Alive() {
+				pub = p
+				break
+			}
+		}
+		r, err := sys.StoreSync(pub, key, "v")
+		if err != nil || !r.OK {
+			t.Fatalf("store %d: %+v %v", i, r, err)
+		}
+		// Interest placement: the item must stay in the category's
+		// s-network.
+		holder := sys.Peer(r.Holder.Addr)
+		root := snetOf(sys, holder)
+		if owner := ownerOf(sys, CategoryID(cat)); owner != nil && root != nil && owner.Addr != root.Addr {
+			t.Errorf("key %s (cat %d) landed in s-network %d, want %d", key, cat, root.Addr, owner.Addr)
+		}
+	}
+
+	// Same-interest lookups must not touch the ring.
+	before := sys.Stats().RingForwards
+	okCount := 0
+	for i, key := range keys {
+		cat := workload.KeyCategory(key)
+		var origin *Peer
+		for j := range peers {
+			p := peers[(i+j)%len(peers)]
+			if p.Interest == cat && p.Alive() {
+				origin = p
+				break
+			}
+		}
+		r, err := sys.LookupSync(origin, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OK {
+			okCount++
+		}
+	}
+	if got := sys.Stats().RingForwards - before; got != 0 {
+		t.Fatalf("same-interest lookups used %d ring forwards, want 0", got)
+	}
+	if okCount*4 < len(keys)*3 {
+		t.Fatalf("only %d/%d same-interest lookups succeeded", okCount, len(keys))
+	}
+}
+
+// --- Bypass links (§5.4) -----------------------------------------------------------
+
+func TestBypassLinksCreatedAndUsed(t *testing.T) {
+	sys := newTestSystem(t, 66, func(c *Config) {
+		c.Ps = 0.7
+		c.Bypass = true
+		c.BypassTTL = 600 * sim.Second
+	})
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 60}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	// Rule 1 forbids bypass links at full-degree peers, so drive the
+	// workload from a leaf s-peer with spare degree.
+	var origin *Peer
+	for _, sp := range sys.SPeers() {
+		if sp.Degree() == 1 {
+			origin = sp
+			break
+		}
+	}
+	if origin == nil {
+		t.Fatal("no leaf s-peer")
+	}
+	keys := make([]string, 40)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bp-%03d", i)
+		if _, err := sys.StoreSync(origin, keys[i], "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First pass creates links (rule 2/3), repeat passes should use them.
+	for pass := 0; pass < 3; pass++ {
+		for _, key := range keys {
+			if _, err := sys.LookupSync(origin, key); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if origin.NumBypass() == 0 {
+		t.Fatal("no bypass links created despite cross-s-network traffic")
+	}
+	if sys.Stats().BypassUses == 0 {
+		t.Fatal("bypass links never used")
+	}
+}
+
+func TestBypassRespectsDegreeRule(t *testing.T) {
+	sys := newTestSystem(t, 67, func(c *Config) {
+		c.Ps = 0.7
+		c.Delta = 3
+		c.Bypass = true
+	})
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	for i := 0; i < 120; i++ {
+		key := fmt.Sprintf("deg-%03d", i)
+		if _, err := sys.StoreSync(peers[i%60], key, "v"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.LookupSync(peers[(i*7)%60], key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rule 1: tree degree + bypass links never exceed δ.
+	for _, p := range sys.Peers() {
+		if p.Degree()+p.NumBypass() > sys.Cfg.Delta {
+			t.Errorf("peer %d: degree %d + bypass %d > delta %d",
+				p.Addr, p.Degree(), p.NumBypass(), sys.Cfg.Delta)
+		}
+	}
+}
+
+func TestBypassLinksExpire(t *testing.T) {
+	sys := newTestSystem(t, 68, func(c *Config) {
+		c.Ps = 0.7
+		c.Bypass = true
+		c.BypassTTL = 20 * sim.Second
+	})
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("exp-%02d", i)
+		if _, err := sys.StoreSync(peers[1], key, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	had := peers[1].NumBypass()
+	if had == 0 {
+		t.Skip("no bypass links created at this seed")
+	}
+	// Idle well past the TTL: links must vanish.
+	sys.Settle(60 * sim.Second)
+	if got := peers[1].NumBypass(); got != 0 {
+		t.Fatalf("%d bypass links survived their idle TTL", got)
+	}
+}
+
+// --- Tracker mode (§5.5) --------------------------------------------------------------
+
+func TestTrackerLookupNoFlooding(t *testing.T) {
+	sys := newTestSystem(t, 69, func(c *Config) {
+		c.Ps = 0.8
+		c.TrackerMode = true
+	})
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	keys := make([]string, 60)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("trk-%03d", i)
+		r, err := sys.StoreSync(peers[(i*7)%60], keys[i], "v")
+		if err != nil || !r.OK {
+			t.Fatalf("store: %+v %v", r, err)
+		}
+	}
+	before := sys.Stats().FloodsSent
+	okCount := 0
+	for i, key := range keys {
+		r, err := sys.LookupSync(peers[(i*13+3)%60], key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OK {
+			okCount++
+		}
+	}
+	if got := sys.Stats().FloodsSent - before; got != 0 {
+		t.Fatalf("tracker mode flooded %d times; must be 0", got)
+	}
+	if okCount < 57 {
+		t.Fatalf("only %d/60 tracker lookups succeeded", okCount)
+	}
+	// Trackers actually hold index entries.
+	indexed := 0
+	for _, tp := range sys.TPeers() {
+		indexed += tp.IndexSize()
+	}
+	if indexed == 0 {
+		t.Fatal("no tracker index entries")
+	}
+}
+
+func TestTrackerMissFailsFast(t *testing.T) {
+	sys := newTestSystem(t, 70, func(c *Config) {
+		c.Ps = 0.6
+		c.TrackerMode = true
+	})
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	r, err := sys.LookupSync(peers[2], "tracker-miss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OK {
+		t.Fatal("miss succeeded")
+	}
+	// notFoundMsg beats the timeout by a wide margin.
+	if r.Latency >= sys.Cfg.LookupTimeout {
+		t.Fatalf("tracker miss waited for the timeout (%v)", r.Latency)
+	}
+}
+
+func TestTrackerSurvivesHolderLeave(t *testing.T) {
+	sys := newTestSystem(t, 71, func(c *Config) {
+		c.Ps = 0.8
+		c.TrackerMode = true
+	})
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	r, err := sys.StoreSync(peers[4], "leaving-holder", "v")
+	if err != nil || !r.OK {
+		t.Fatal(err)
+	}
+	holder := sys.Peer(r.Holder.Addr)
+	if holder.Role != SPeer {
+		t.Skip("holder is a t-peer at this seed")
+	}
+	holder.Leave() // load moves to a neighbor, which re-announces
+	sys.Settle(10 * sim.Second)
+	lr, err := sys.LookupSync(peers[9], "leaving-holder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lr.OK {
+		t.Fatal("item unreachable after its holder left gracefully")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// neighborTimeout fires when a monitored neighbor produced neither a HELLO
+// nor an acknowledgment within the timeout: the neighbor is presumed
+// crashed (§3.2.2) and recovery depends on who it was.
+func (p *Peer) neighborTimeout(nb simnet.Addr) {
+	if !p.alive {
+		return
+	}
+	p.sys.stats.WatchdogExpiries++
+	tracef("t=%v TIMEOUT at=%d nb=%d role=%v pred=%d succ=%d cp=%d", p.sys.Eng.Now(), p.Addr, nb, p.Role, p.pred.Addr, p.succ.Addr, p.cp.Addr)
+	p.unwatch(nb)
+
+	// A crashed child: drop it from the tree. Its own subtree re-attaches
+	// itself when the grandchildren's watchdogs fire.
+	if child, ok := p.children[nb]; ok {
+		delete(p.children, nb)
+		root := p.tpeer
+		if p.Role == TPeer {
+			root = p.Ref()
+		}
+		if root.Valid() {
+			p.send(ServerAddr, sUnregister{TPeer: root})
+		}
+		_ = child
+		return
+	}
+
+	if p.Role == SPeer && p.cp.Addr == nb {
+		if p.tpeer.Addr == nb {
+			// Our connect point was the t-peer itself: compete to
+			// replace it (§3.2.1).
+			p.send(ServerAddr, replaceReq{Crashed: p.tpeer, Self: p.Ref()})
+			return
+		}
+		// An interior tree peer crashed; rejoin through the t-peer.
+		p.rejoin()
+		return
+	}
+
+	if p.Role == TPeer {
+		// A ring neighbor went silent. Report it; the server patches an
+		// empty-s-network crash directly and otherwise lets the dead
+		// peer's s-network drive the replacement.
+		var crashed Ref
+		switch nb {
+		case p.pred.Addr:
+			crashed = p.pred
+			// Clear the dead predecessor so ring stabilization can
+			// adopt the next live candidate that notifies us. The
+			// segment bound (segLo) is kept until a real predecessor
+			// appears.
+			p.pred = NilRef
+		case p.succ.Addr:
+			crashed = p.succ
+		default:
+			return
+		}
+		p.send(ServerAddr, ringDeadReq{Crashed: crashed, Self: p.Ref()})
+		// Keep watching: if recovery stalls we report again.
+		p.watch(nb)
+	}
+}
+
+// handleRingRepair swaps whichever of this peer's ring pointers still names
+// the crashed peer for the registry's current neighbor.
+func (p *Peer) handleRingRepair(m ringRepair) {
+	if p.Role != TPeer {
+		return
+	}
+	if p.succ.Addr == m.Crashed.Addr && m.Succ.Valid() && m.Succ.Addr != m.Crashed.Addr {
+		p.succ = m.Succ
+		if m.Succ.Addr != p.Addr {
+			p.watch(m.Succ.Addr)
+		}
+	}
+	if p.pred.Addr == m.Crashed.Addr && m.Pred.Valid() && m.Pred.Addr != m.Crashed.Addr {
+		p.pred = m.Pred
+		p.segLo = m.Pred.ID
+		if m.Pred.Addr != p.Addr {
+			p.watch(m.Pred.Addr)
+		}
+	}
+	for i := range p.finger {
+		if p.finger[i].Addr == m.Crashed.Addr {
+			p.finger[i] = m.Succ
+		}
+	}
+}
+
+// handleReplaceResp concludes the server's crash arbitration: the winner is
+// promoted into the crashed t-peer's ring position, the losers rejoin the
+// s-network under the winner.
+func (p *Peer) handleReplaceResp(m replaceResp) {
+	if p.Role != SPeer {
+		return // stale: already promoted or re-homed
+	}
+	if m.Promote {
+		p.Role = TPeer
+		oldAddr := p.tpeer
+		p.ID = m.ID
+		p.tpeer = p.Ref()
+		p.cp = NilRef
+		p.pred = m.Pred
+		p.succ = m.Succ
+		p.segLo = m.Pred.ID
+		p.ensureFingers()
+		for i := range p.finger {
+			if !p.finger[i].Valid() || p.finger[i].Addr == oldAddr.Addr {
+				p.finger[i] = m.Succ
+			}
+		}
+		p.watch(m.Pred.Addr)
+		p.watch(m.Succ.Addr)
+		if p.fingerTicker == nil {
+			p.fingerTicker = sim.NewTicker(p.sys.Eng, p.sys.Cfg.FingerRefreshEvery, p.refreshFingers)
+			p.fingerTicker.Start()
+		}
+		// Swap the dead address out of every finger table on the ring.
+		if p.succ.Valid() && p.succ.Addr != p.Addr {
+			p.send(p.succ.Addr, substituteMsg{Old: oldAddr, New: p.Ref(), Origin: p.Addr})
+		}
+		if p.sys.Cfg.TrackerMode {
+			p.ensureIndex()
+			items := make([]Item, 0, len(p.data))
+			for _, it := range p.data {
+				items = append(items, it)
+			}
+			p.announceItems(items)
+		}
+		return
+	}
+	// Lost the race: rejoin under the replacement.
+	if !m.NewT.Valid() {
+		p.rejoinViaServer()
+		return
+	}
+	p.cp = NilRef
+	p.tpeer = m.NewT
+	p.ID = m.NewT.ID
+	p.sys.stats.Rejoins++
+	p.send(m.NewT.Addr, sJoinReq{Joiner: Ref{Addr: p.Addr}, Rejoin: true, Epoch: p.joinEpoch, Hops: 1})
+	// Guard against the replacement crashing too.
+	addr := p.Addr
+	p.sys.Eng.After(p.sys.Cfg.HelloTimeout, func() {
+		pp := p.sys.peers[addr]
+		if pp == nil || !pp.alive || pp.cp.Valid() || pp.Role != SPeer {
+			return
+		}
+		pp.rejoinViaServer()
+	})
+}

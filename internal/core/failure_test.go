@@ -1,0 +1,342 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/idspace"
+	"repro/internal/sim"
+)
+
+func TestNoFalseCrashDetection(t *testing.T) {
+	// A healthy system settling for a long time must not see watchdogs
+	// expire: HELLOs keep every failure detector armed.
+	sys := newTestSystem(t, 20, func(c *Config) { c.Ps = 0.6 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 60}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(120 * sim.Second)
+	if n := sys.Stats().WatchdogExpiries; n != 0 {
+		t.Fatalf("%d watchdog expiries in a crash-free run", n)
+	}
+	if sys.Stats().HellosSent == 0 {
+		t.Fatal("no heartbeats sent")
+	}
+}
+
+func TestSPeerCrashSubtreeRejoins(t *testing.T) {
+	sys := newTestSystem(t, 21, func(c *Config) {
+		c.Ps = 0.85
+		c.Delta = 2
+	})
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 80}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+
+	var victim *Peer
+	for _, sp := range sys.SPeers() {
+		if len(sp.children) > 0 {
+			victim = sp
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no interior s-peer")
+	}
+	children := victim.Children()
+	victim.Crash()
+	// Detection takes a HELLO timeout; recovery a rejoin walk.
+	sys.Settle(4 * sys.Cfg.HelloTimeout)
+
+	for _, c := range children {
+		cp := sys.Peer(c.Addr)
+		if cp == nil || !cp.Alive() {
+			t.Fatalf("child %d dead after parent crash", c.Addr)
+		}
+		if !cp.cp.Valid() || cp.cp.Addr == victim.Addr {
+			t.Fatalf("child %d not re-attached (cp=%v)", c.Addr, cp.cp)
+		}
+	}
+	if err := sys.CheckTrees(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().WatchdogExpiries == 0 {
+		t.Fatal("crash went undetected")
+	}
+}
+
+func TestTPeerCrashPromotesSPeer(t *testing.T) {
+	sys := newTestSystem(t, 22, func(c *Config) { c.Ps = 0.7 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 60}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+
+	var victim *Peer
+	for _, tp := range sys.TPeers() {
+		if len(tp.children) > 0 {
+			victim = tp
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no t-peer with children")
+	}
+	id := victim.ID
+	nT := len(sys.TPeers())
+	victim.Crash()
+	sys.Settle(5 * sys.Cfg.HelloTimeout)
+
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	// The position survives: one of the s-peers was promoted with the
+	// crashed peer's id.
+	var substitute *Peer
+	for _, tp := range sys.TPeers() {
+		if tp.ID == id {
+			substitute = tp
+		}
+	}
+	if substitute == nil {
+		t.Fatal("crashed ring position not taken over")
+	}
+	if got := len(sys.TPeers()); got != nT {
+		t.Fatalf("t-peers = %d, want %d (replacement keeps the count)", got, nT)
+	}
+	if sys.Stats().Promotions == 0 {
+		t.Fatal("no promotion recorded")
+	}
+	if err := sys.CheckTrees(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPeerCrashEmptySNetworkPatchesRing(t *testing.T) {
+	sys := newTestSystem(t, 23, func(c *Config) { c.Ps = 0 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	victim := peers[9]
+	nT := len(sys.TPeers())
+	victim.Crash()
+	sys.Settle(6 * sys.Cfg.HelloTimeout)
+
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.TPeers()); got != nT-1 {
+		t.Fatalf("t-peers = %d, want %d (empty s-network: position folds away)", got, nT-1)
+	}
+}
+
+func TestCrashedDataIsLost(t *testing.T) {
+	sys := newTestSystem(t, 24, func(c *Config) { c.Ps = 0.5 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	r, err := sys.StoreSync(peers[3], "precious", "v")
+	if err != nil || !r.OK {
+		t.Fatalf("store: %v %v", r, err)
+	}
+	holder := sys.Peer(r.Holder.Addr)
+	holder.Crash()
+	sys.Settle(6 * sys.Cfg.HelloTimeout)
+
+	lr, err := sys.LookupSync(peers[7], "precious")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.OK {
+		t.Fatal("item survived its holder's crash without replication")
+	}
+}
+
+func TestMassCrashRecovery(t *testing.T) {
+	sys := newTestSystem(t, 25, func(c *Config) { c.Ps = 0.7 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	// Crash 20% of all peers at once.
+	for i := 0; i < 20; i++ {
+		peers[i*5].Crash()
+	}
+	sys.Settle(10 * sys.Cfg.HelloTimeout)
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckTrees(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumPeers() != 80 {
+		t.Fatalf("peers = %d, want 80", sys.NumPeers())
+	}
+	// The system still serves operations.
+	r, err := sys.StoreSync(sys.Peers()[0], "after-storm", "v")
+	if err != nil || !r.OK {
+		t.Fatalf("store after mass crash: %+v %v", r, err)
+	}
+	lr, err := sys.LookupSync(sys.Peers()[10], "after-storm")
+	if err != nil || !lr.OK {
+		t.Fatalf("lookup after mass crash: %+v %v", lr, err)
+	}
+}
+
+func TestAckSuppression(t *testing.T) {
+	sys := newTestSystem(t, 26, func(c *Config) {
+		c.Ps = 0.8
+		c.SuppressTimeout = 10 * sim.Second
+	})
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	// Seed one item and hammer the same s-network with lookups: acks for
+	// the repeated queries must be suppressed.
+	if _, err := sys.StoreSync(peers[0], "hot", "v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := sys.LookupSync(peers[(i*7)%50], "hot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sys.Stats()
+	if st.AcksSent == 0 {
+		t.Fatal("no acks sent at all")
+	}
+	if st.AcksSuppressed == 0 {
+		t.Fatal("suppress timer never suppressed an ack under a hot query load")
+	}
+}
+
+func TestAcksResetWatchdog(t *testing.T) {
+	// With HELLOs disabled-ish (very long period), query acks alone must
+	// keep neighbors alive — §3.2.2's point that acks double as liveness.
+	sys := newTestSystem(t, 27, func(c *Config) {
+		c.Ps = 0.8
+		c.HelloEvery = 300 * sim.Second // effectively off
+		c.HelloTimeout = 301 * sim.Second
+		c.SuppressTimeout = 1 * sim.Second
+	})
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.StoreSync(peers[0], "keepalive", "v"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := sys.LookupSync(peers[(i*3)%30], "keepalive"); err != nil {
+			t.Fatal(err)
+		}
+		sys.Settle(2 * sim.Second)
+	}
+	if sys.Stats().WatchdogExpiries != 0 {
+		t.Fatalf("%d false expiries despite ack traffic", sys.Stats().WatchdogExpiries)
+	}
+	if sys.Stats().AcksSent == 0 {
+		t.Fatal("no acks under query load")
+	}
+}
+
+func TestRejoinViaServerWhenTPeerGone(t *testing.T) {
+	// Crash a whole s-network root and its replacement candidates' paths:
+	// orphaned s-peers must eventually re-home through the server.
+	sys := newTestSystem(t, 28, func(c *Config) { c.Ps = 0.75 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 60}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+
+	var root *Peer
+	for _, tp := range sys.TPeers() {
+		if len(tp.children) >= 2 {
+			root = tp
+			break
+		}
+	}
+	if root == nil {
+		t.Skip("no s-network with >= 2 direct children at this seed")
+	}
+	children := root.Children()
+	// Crash the root AND the first child (a likely replacement) together.
+	first := sys.Peer(children[0].Addr)
+	root.Crash()
+	first.Crash()
+	sys.Settle(12 * sys.Cfg.HelloTimeout)
+
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckTrees(); err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving former child is attached somewhere.
+	for _, c := range children[1:] {
+		cp := sys.Peer(c.Addr)
+		if cp == nil || !cp.Alive() {
+			continue
+		}
+		if cp.Role == SPeer && !cp.cp.Valid() {
+			t.Fatalf("former child %d still orphaned", c.Addr)
+		}
+	}
+}
+
+func TestCrashIdempotent(t *testing.T) {
+	sys := newTestSystem(t, 29, func(c *Config) { c.Ps = 0.5 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sys.Stats().Crashes
+	peers[0].Crash()
+	peers[0].Crash()
+	peers[0].Leave()
+	if sys.Stats().Crashes != before+1 {
+		t.Fatal("crash not idempotent")
+	}
+}
+
+func TestHelloPiggybackPropagatesSegment(t *testing.T) {
+	sys := newTestSystem(t, 30, func(c *Config) {
+		c.Ps = 0.8
+		c.Delta = 2
+	})
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 60}); err != nil {
+		t.Fatal(err)
+	}
+	// Several HELLO rounds propagate segment bounds down every tree.
+	sys.Settle(6 * sys.Cfg.HelloEvery)
+	for _, sp := range sys.SPeers() {
+		root := sys.Peer(sp.tpeer.Addr)
+		if root == nil || root.Role != TPeer {
+			continue
+		}
+		if sp.segLo != root.segLo {
+			t.Fatalf("s-peer %d segLo %s != root segLo %s", sp.Addr, sp.segLo, root.segLo)
+		}
+	}
+}
+
+func TestWatchSelfIgnored(t *testing.T) {
+	sys := newTestSystem(t, 31, func(c *Config) { c.Ps = 0 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := peers[0]
+	p.watch(p.Addr)
+	if len(p.watchdog) != 0 {
+		t.Fatal("peer watches itself")
+	}
+	_ = idspace.ID(0)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"repro/internal/simnet"
+)
+
+// handleSJoinReq walks a joining s-peer down the tree until it lands on a
+// peer with spare degree (§3.2.2). The walk starts at the s-network's t-peer
+// and picks a random branch at every full peer, so the resulting topology is
+// a tree with maximum degree δ. FCFS concurrency falls out of the engine's
+// run-to-completion event processing: the first request to arrive takes the
+// last slot and later ones walk on.
+func (p *Peer) handleSJoinReq(m sJoinReq) {
+	if p.acceptChild() {
+		joiner := Ref{ID: p.ID, Addr: m.Joiner.Addr}
+		p.children[joiner.Addr] = joiner
+		p.watch(joiner.Addr)
+		root := p.tpeer
+		if p.Role == TPeer {
+			root = p.Ref()
+		}
+		p.send(m.Joiner.Addr, sJoinAck{
+			CP:    p.Ref(),
+			TPeer: root,
+			ID:    p.ID,
+			Epoch: m.Epoch,
+			Hops:  m.Hops,
+		})
+		if !m.Rejoin {
+			p.send(ServerAddr, sRegister{TPeer: root})
+		}
+		return
+	}
+	// Degree (or link usage) exhausted: pass the request down a random
+	// branch.
+	children := p.Children()
+	if len(children) == 0 {
+		// δ < 2 would make trees impossible; Validate prevents it, so a
+		// full peer always has a child to delegate to.
+		return
+	}
+	next := children[p.sys.Eng.Rand().Intn(len(children))]
+	m.Hops++
+	p.send(next.Addr, m)
+}
+
+// acceptChild applies the degree constraint and, with link heterogeneity on,
+// the link-usage gate from §5.1: a connect point only accepts when
+// degree/capacity stays under the threshold.
+func (p *Peer) acceptChild() bool {
+	if p.Degree() >= p.sys.Cfg.Delta {
+		return false
+	}
+	if p.sys.Cfg.Heterogeneity {
+		usage := float64(p.Degree()+1) / p.Capacity
+		if usage > p.sys.Cfg.MaxLinkUsage {
+			return len(p.children) == 0 // never strand the walk at a leaf
+		}
+	}
+	return true
+}
+
+// handleSJoinAck finalizes an s-peer's membership: it records its connect
+// point, its s-network's t-peer, and adopts the s-network's p_id ("the p_id
+// of the s-peer is the same as its neighbor").
+func (p *Peer) handleSJoinAck(from simnet.Addr, m sJoinAck) {
+	if m.Epoch != p.joinEpoch {
+		return // handshake of an abandoned join attempt
+	}
+	if p.cp.Valid() {
+		return // duplicate ack from a retried join
+	}
+	p.Role = SPeer
+	p.ID = m.ID
+	p.cp = m.CP
+	p.tpeer = m.TPeer
+	p.segLo = m.ID // refined by HELLO piggyback and lookups
+	p.watch(m.CP.Addr)
+	p.sys.stats.SJoins++
+	p.completeJoin(m.Hops)
+}
+
+// leaveSPeer departs gracefully: neighbors are notified, the stored load is
+// transferred to a neighbor, and children rejoin through the t-peer.
+func (p *Peer) leaveSPeer() {
+	p.leaving = true
+	p.sys.stats.SLeaves++
+	nbs := p.neighbors()
+	for _, nb := range nbs {
+		p.send(nb.Addr, sLeaveMsg{})
+	}
+	if len(p.data) > 0 && len(nbs) > 0 {
+		// "The leaving s-peer should also choose a neighbor to transfer
+		// the load to."
+		target := nbs[p.sys.Eng.Rand().Intn(len(nbs))]
+		items := make([]Item, 0, len(p.data))
+		for _, it := range p.data {
+			items = append(items, it)
+		}
+		p.sendData(target.Addr, len(items), itemsMsg{Items: items})
+	}
+	if p.tpeer.Valid() {
+		p.send(ServerAddr, sUnregister{TPeer: p.tpeer})
+	}
+	p.stop()
+}
+
+// handleSLeave reacts to a neighbor's graceful departure: parents drop the
+// child; children whose connect point left rejoin through the t-peer.
+func (p *Peer) handleSLeave(from simnet.Addr) {
+	if _, isChild := p.children[from]; isChild {
+		delete(p.children, from)
+		p.unwatch(from)
+		return
+	}
+	if p.Role == SPeer && p.cp.Addr == from {
+		p.unwatch(from)
+		p.rejoin()
+	}
+}
+
+// rejoin re-attaches this s-peer (with its intact subtree) to its s-network
+// after its connect point left or crashed: "the neighbor whose cp is the
+// leaving peer should rejoin the s-network by sending a join request to the
+// t-peer again."
+func (p *Peer) rejoin() {
+	p.cp = NilRef
+	p.sys.stats.Rejoins++
+	if !p.tpeer.Valid() {
+		p.rejoinViaServer()
+		return
+	}
+	p.send(p.tpeer.Addr, sJoinReq{Joiner: Ref{Addr: p.Addr}, Rejoin: true, Epoch: p.joinEpoch, Hops: 1})
+	// If the t-peer is also gone the request vanishes; the watchdog on
+	// nothing won't fire, so arm a retry through the server.
+	addr := p.Addr
+	p.sys.Eng.After(p.sys.Cfg.HelloTimeout, func() {
+		pp := p.sys.peers[addr]
+		if pp == nil || !pp.alive || pp.cp.Valid() || pp.Role != SPeer {
+			return
+		}
+		pp.rejoinViaServer()
+	})
+}
+
+// rejoinViaServer asks the server for a fresh s-network when the local
+// t-peer is unreachable.
+func (p *Peer) rejoinViaServer() {
+	req := serverJoinReq{
+		Capacity:  p.Capacity,
+		Interest:  p.Interest,
+		Host:      p.Host,
+		ForceRole: int8(SPeer),
+	}
+	if p.sys.Cfg.TopologyAware {
+		req.Coord = p.sys.landmarkCoord(p.Host)
+	}
+	// Re-enter the join state machine: the completed-join guard must not
+	// swallow the server's response, and the fresh ack must be accepted.
+	p.cp = NilRef
+	p.joined = false
+	p.joinStart = p.sys.Eng.Now()
+	p.send(ServerAddr, req)
+}

@@ -1,0 +1,632 @@
+package core
+
+import (
+	"repro/internal/idspace"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// FingerBits is the finger table size (one entry per power of two of the
+// 64-bit id space).
+const FingerBits = 64
+
+// handleServerJoinResp reacts to the server's placement decision and starts
+// the role-specific join protocol.
+func (p *Peer) handleServerJoinResp(m serverJoinResp) {
+	if p.joined {
+		return // stale response: an earlier attempt already completed
+	}
+	p.joinAttempts++
+	p.joinEpoch++
+	switch m.Role {
+	case TPeer:
+		p.Role = TPeer
+		p.ID = m.ID
+		p.tpeer = p.Ref()
+		p.ensureFingers()
+		if m.First {
+			self := p.Ref()
+			p.pred, p.succ = self, self
+			p.segLo = p.ID
+			for i := range p.finger {
+				p.finger[i] = self
+			}
+			p.send(ServerAddr, ringRegister{Self: self})
+			p.sys.stats.TJoins++
+			p.completeJoin(0)
+			return
+		}
+		p.armJoinTimer()
+		p.send(m.Entry.Addr, tJoinReq{Joiner: p.Ref(), Epoch: p.joinEpoch, Hops: 1})
+	case SPeer:
+		p.Role = SPeer
+		p.armJoinTimer()
+		p.send(m.Entry.Addr, sJoinReq{Joiner: Ref{Addr: p.Addr}, Epoch: p.joinEpoch, Hops: 1})
+	}
+}
+
+// armJoinTimer retries the whole join through the server if the current
+// attempt stalls (e.g. the entry point crashed mid-protocol).
+func (p *Peer) armJoinTimer() {
+	if p.joinTimer != nil {
+		p.sys.Eng.Cancel(p.joinTimer)
+	}
+	p.joinTimer = p.sys.Eng.After(p.sys.Cfg.JoinTimeout, func() {
+		if !p.alive || p.joined {
+			return
+		}
+		req := serverJoinReq{
+			Capacity:  p.Capacity,
+			Interest:  p.Interest,
+			Host:      p.Host,
+			ForceRole: -1,
+		}
+		if p.sys.Cfg.TopologyAware {
+			req.Coord = p.sys.landmarkCoord(p.Host)
+		}
+		p.send(ServerAddr, req)
+	})
+}
+
+// ensureFingers sizes the finger table.
+func (p *Peer) ensureFingers() {
+	if p.finger == nil {
+		p.finger = make([]Ref, FingerBits)
+		for i := range p.finger {
+			p.finger[i] = NilRef
+		}
+	}
+}
+
+// --- join request routing -----------------------------------------------------
+
+// handleTJoinReq routes a t-join along the ring until it reaches the
+// predecessor-to-be, then runs the join triangle there.
+func (p *Peer) handleTJoinReq(m tJoinReq) {
+	if p.Role != TPeer || !p.succ.Valid() {
+		// Not a ring member (promotion in flight): bounce to our root.
+		if p.tpeer.Valid() && p.tpeer.Addr != p.Addr {
+			p.send(p.tpeer.Addr, m)
+		}
+		return
+	}
+	if idspace.Between(p.ID, m.Joiner.ID, p.succ.ID) || p.succ.Addr == p.Addr {
+		p.startJoinTriangle(m)
+		return
+	}
+	next := p.closestPreceding(m.Joiner.ID)
+	if !next.Valid() || next.Addr == p.Addr {
+		next = p.succ
+	}
+	m.Hops++
+	p.sys.stats.RingForwards++
+	p.send(next.Addr, m)
+}
+
+// startJoinTriangle begins the §3.3 join triangle with this peer as pre.
+// While the triangle is open the peer queues further join requests and
+// refuses leave requests (its own included).
+func (p *Peer) startJoinTriangle(m tJoinReq) {
+	if p.joining || p.leaving {
+		p.joinQueue = append(p.joinQueue, m)
+		p.sys.stats.QueuedJoinRequests++
+		return
+	}
+	p.joining = true
+	p.armMutexGuard()
+	tracef("t=%v TRIANGLE pre=%d joiner=%d succ=%d", p.sys.Eng.Now(), p.Addr, m.Joiner.Addr, p.succ.Addr)
+	setup := tJoinSetup{Pred: p.Ref(), Succ: p.succ, Epoch: m.Epoch, Hops: m.Hops}
+	// pre.check: resolve id conflicts with the midpoint rule (Table 1).
+	if m.Joiner.ID == p.ID || m.Joiner.ID == p.succ.ID {
+		setup.NewID = idspace.Midpoint(p.ID, p.succ.ID)
+		setup.HasNewID = true
+		p.sys.stats.IDConflicts++
+	}
+	p.send(m.Joiner.Addr, setup)
+}
+
+// handleTJoinSetup is the joiner receiving its ring neighbors from pre.
+func (p *Peer) handleTJoinSetup(from simnet.Addr, m tJoinSetup) {
+	if m.Epoch != p.joinEpoch || p.Role != TPeer {
+		return // handshake of an abandoned join attempt
+	}
+	if p.joined && p.pred.Valid() {
+		return // duplicate setup (e.g. pre re-ran a triangle it had queued)
+	}
+	if m.HasNewID {
+		p.ID = m.NewID
+		p.tpeer = p.Ref()
+	}
+	p.pred = m.Pred
+	p.succ = m.Succ
+	p.segLo = m.Pred.ID
+	p.ensureFingers()
+	for i := range p.finger {
+		p.finger[i] = m.Succ
+	}
+	p.watch(m.Pred.Addr)
+	if m.Succ.Addr != m.Pred.Addr {
+		p.watch(m.Succ.Addr)
+	}
+	// Hold our own joining mutex until succ confirms the insertion, so any
+	// triangle we anchor as pre cannot reach succ before our own did.
+	p.joining = true
+	p.armMutexGuard()
+	p.send(m.Succ.Addr, tJoinToSucc{Joiner: p.Ref(), Hops: m.Hops + 1})
+	p.send(ServerAddr, ringRegister{Self: p.Ref()})
+	p.sys.stats.TJoins++
+	p.completeJoin(m.Hops)
+}
+
+// armMutexGuard self-heals a joining mutex that a crashed counterparty would
+// otherwise leave set forever.
+func (p *Peer) armMutexGuard() {
+	p.mutexEpoch++
+	epoch := p.mutexEpoch
+	p.sys.Eng.After(p.sys.Cfg.JoinTimeout, func() {
+		if p.alive && p.joining && p.mutexEpoch == epoch {
+			p.joining = false
+			p.drainJoinQueue()
+		}
+	})
+}
+
+// handleTJoinToSucc is succ learning about the inserted joiner: it adopts the
+// joiner as predecessor, triggers the load transfer and closes the triangle.
+func (p *Peer) handleTJoinToSucc(m tJoinToSucc) {
+	tracef("t=%v TOSUCC at=%d joiner=%d oldpred=%d", p.sys.Eng.Now(), p.Addr, m.Joiner.Addr, p.pred.Addr)
+	oldPred := p.pred
+	p.pred = m.Joiner
+	p.segLo = m.Joiner.ID
+	p.watch(m.Joiner.Addr)
+	if oldPred.Valid() && oldPred.Addr != m.Joiner.Addr &&
+		oldPred.Addr != p.succ.Addr && oldPred.Addr != p.Addr {
+		p.unwatch(oldPred.Addr)
+	}
+	// suc.loadtransfer(n.id): everything in (oldPred, joiner] now belongs
+	// to the joiner; ask the whole s-network to ship matching items.
+	lo := oldPred.ID
+	if !oldPred.Valid() {
+		lo = p.ID
+	}
+	p.handleLoadTransfer(p.Addr, loadTransferReq{
+		Lo: lo, Hi: m.Joiner.ID, Target: m.Joiner, TTL: 1 << 20,
+	})
+	// Release the joiner's self-mutex and close the triangle at pre.
+	p.send(m.Joiner.Addr, tJoinConfirm{})
+	pre := oldPred
+	if !pre.Valid() || pre.Addr == p.Addr {
+		// Singleton or bootstrap ring: we are pre ourselves.
+		p.handleTJoinDone(tJoinDone{Joiner: m.Joiner, Hops: m.Hops})
+		return
+	}
+	p.send(pre.Addr, tJoinDone{Joiner: m.Joiner, Hops: m.Hops + 1})
+}
+
+// handleTJoinDone is pre finishing the triangle: flip the successor pointer,
+// then drain the queued join requests (FIFO, §3.3).
+func (p *Peer) handleTJoinDone(m tJoinDone) {
+	tracef("t=%v DONE at=%d joiner=%d oldsucc=%d", p.sys.Eng.Now(), p.Addr, m.Joiner.Addr, p.succ.Addr)
+	oldSucc := p.succ
+	p.succ = m.Joiner
+	p.watch(m.Joiner.Addr)
+	if oldSucc.Valid() && oldSucc.Addr != m.Joiner.Addr &&
+		oldSucc.Addr != p.pred.Addr && oldSucc.Addr != p.Addr {
+		p.unwatch(oldSucc.Addr)
+	}
+	p.joining = false
+	p.drainJoinQueue()
+}
+
+// drainJoinQueue processes the next queued join request, or honors a
+// deferred leave once the queue is empty.
+func (p *Peer) drainJoinQueue() {
+	if p.joining {
+		return
+	}
+	if len(p.joinQueue) > 0 {
+		next := p.joinQueue[0]
+		p.joinQueue = p.joinQueue[1:]
+		// Re-route rather than assume we are still pre: the ring moved.
+		p.handleTJoinReq(next)
+		return
+	}
+	if p.deferLeave {
+		p.deferLeave = false
+		p.Leave()
+	}
+}
+
+// handleLoadTransfer ships every local item in (Lo, Hi] to the target and
+// propagates the request down the s-network tree.
+func (p *Peer) handleLoadTransfer(from simnet.Addr, m loadTransferReq) {
+	var moved []Item
+	for did, it := range p.data {
+		if idspace.Between(m.Lo, did, m.Hi) && m.Lo != m.Hi {
+			moved = append(moved, it)
+			delete(p.data, did)
+		}
+	}
+	if len(moved) > 0 && m.Target.Addr != p.Addr {
+		p.sendData(m.Target.Addr, len(moved), itemsMsg{Items: moved})
+		if p.sys.Cfg.TrackerMode && p.tpeer.Valid() {
+			for _, it := range moved {
+				p.send(p.tpeer.Addr, indexRemove{DID: it.DID, Holder: p.Ref()})
+			}
+		}
+	}
+	if m.TTL <= 1 {
+		return
+	}
+	m.TTL--
+	for _, c := range p.Children() {
+		if c.Addr != from {
+			p.send(c.Addr, m)
+		}
+	}
+}
+
+// handleItems stores delivered items locally (load transfer, load dump or
+// spreading) and, in tracker mode, announces them to the tracker. A t-peer
+// whose segment shrank while the items were in flight re-routes them to the
+// current owner instead of keeping them — otherwise a load transfer racing a
+// concurrent join could strand data at a stale owner.
+func (p *Peer) handleItems(m itemsMsg) {
+	kept := m.Items[:0:0]
+	for _, it := range m.Items {
+		sid := p.segmentID(it.Key)
+		if p.Role == TPeer && !p.inLocalSegment(sid) &&
+			p.succ.Valid() && p.succ.Addr != p.Addr {
+			p.forwardTowardSegment(sid, storeReq{Item: it, SID: sid, Origin: p.Ref(), Hops: 1}, simnet.None)
+			continue
+		}
+		p.data[it.DID] = it
+		kept = append(kept, it)
+	}
+	if p.sys.Cfg.TrackerMode && len(kept) > 0 {
+		p.announceItems(kept)
+	}
+}
+
+// --- leave ---------------------------------------------------------------------
+
+// Leave departs gracefully. T-peers with a non-empty s-network hand their
+// role to a random s-peer (substitution); t-peers with an empty s-network
+// run the leave triangle; s-peers notify neighbors and transfer load.
+func (p *Peer) Leave() {
+	if !p.alive || p.leaving {
+		return
+	}
+	if p.Role == SPeer {
+		p.leaveSPeer()
+		return
+	}
+	if p.joining || len(p.joinQueue) > 0 {
+		// §3.3: process queued joins first, then leave.
+		p.deferLeave = true
+		return
+	}
+	p.leaving = true
+	p.sys.stats.TLeaves++
+	if len(p.children) > 0 {
+		p.leaveBySubstitution()
+		return
+	}
+	p.leaveEmpty()
+}
+
+// leaveBySubstitution promotes a random direct child to take over this
+// t-peer's identity: ring position, fingers, data and remaining children.
+// The total number and position of t-peers is unchanged, so no finger
+// recomputation happens anywhere — other t-peers only swap an address.
+func (p *Peer) leaveBySubstitution() {
+	children := p.Children()
+	pick := children[p.sys.Eng.Rand().Intn(len(children))]
+	newRef := Ref{ID: p.ID, Addr: pick.Addr}
+
+	items := make([]Item, 0, len(p.data))
+	for _, it := range p.data {
+		items = append(items, it)
+	}
+	rest := make([]Ref, 0, len(children)-1)
+	for _, c := range children {
+		if c.Addr != pick.Addr {
+			rest = append(rest, c)
+		}
+	}
+	pm := promoteMsg{
+		ID:       p.ID,
+		Pred:     p.pred,
+		Succ:     p.succ,
+		Fingers:  append([]Ref(nil), p.finger...),
+		Items:    items,
+		Children: rest,
+	}
+	if pm.Pred.Addr == p.Addr {
+		pm.Pred = newRef // singleton ring hands itself over
+	}
+	if pm.Succ.Addr == p.Addr {
+		pm.Succ = newRef
+	}
+	p.sendData(pick.Addr, len(items), pm)
+	for _, c := range rest {
+		p.send(c.Addr, newParentMsg{Parent: newRef})
+	}
+	if p.pred.Valid() && p.pred.Addr != p.Addr {
+		p.send(p.pred.Addr, pointerUpdate{Succ: newRef, Pred: NilRef, IfCurrent: p.Ref()})
+	}
+	if p.succ.Valid() && p.succ.Addr != p.Addr && p.succ.Addr != p.pred.Addr {
+		p.send(p.succ.Addr, pointerUpdate{Pred: newRef, Succ: NilRef, IfCurrent: p.Ref()})
+	}
+	p.send(ServerAddr, ringReplace{Old: p.Ref(), New: newRef})
+	if p.succ.Valid() && p.succ.Addr != p.Addr {
+		p.send(p.succ.Addr, substituteMsg{Old: p.Ref(), New: newRef, Origin: p.Addr})
+	}
+	p.sys.stats.Promotions++
+	p.stop()
+}
+
+// leaveEmpty runs the leave triangle (Fig. 2 right) for a t-peer with no
+// s-network, then dumps its data onto its successor (Table 1, n.loaddump).
+func (p *Peer) leaveEmpty() {
+	if !p.succ.Valid() || p.succ.Addr == p.Addr {
+		// Last t-peer of the system.
+		p.send(ServerAddr, ringUnregister{Self: p.Ref(), Succ: NilRef})
+		p.stop()
+		return
+	}
+	p.send(p.pred.Addr, tLeaveToPred{Leaver: p.Ref(), Succ: p.succ})
+	// Departure completes when succ confirms with tLeaveDone. If a
+	// triangle counterparty dies first the confirmation never comes, so
+	// the leaver force-finishes after a timeout rather than lingering
+	// half-departed with its mutex set.
+	p.sys.Eng.After(p.sys.Cfg.JoinTimeout, func() {
+		if p.alive && p.leaving {
+			p.finishEmptyLeave()
+		}
+	})
+}
+
+// handleTLeaveToPred is pre receiving the first edge of the leave triangle.
+// If pre is itself mid-join it retries shortly rather than interleaving the
+// two topology changes.
+func (p *Peer) handleTLeaveToPred(from simnet.Addr, m tLeaveToPred) {
+	if p.joining {
+		retry := m
+		p.sys.Eng.After(10*sim.Millisecond, func() {
+			if p.alive {
+				p.handleTLeaveToPred(from, retry)
+			}
+		})
+		return
+	}
+	if p.succ.Addr != m.Leaver.Addr {
+		// Stale: the leaver is no longer our successor.
+		return
+	}
+	oldSucc := p.succ
+	p.succ = m.Succ
+	p.watch(m.Succ.Addr)
+	if oldSucc.Addr != p.pred.Addr {
+		p.unwatch(oldSucc.Addr)
+	}
+	p.send(m.Succ.Addr, tLeaveToSucc{Leaver: m.Leaver, Pred: p.Ref()})
+}
+
+// handleTLeaveToSucc is suc verifying and completing the leave triangle:
+// "only if they are the same peer, will the peer suc set its predecessor
+// pointer to peer pre and send a packet to the leaving peer".
+func (p *Peer) handleTLeaveToSucc(m tLeaveToSucc) {
+	if p.pred.Addr != m.Leaver.Addr {
+		return
+	}
+	oldPred := p.pred
+	p.pred = m.Pred
+	p.segLo = m.Pred.ID
+	p.watch(m.Pred.Addr)
+	if oldPred.Addr != p.succ.Addr {
+		p.unwatch(oldPred.Addr)
+	}
+	p.send(m.Leaver.Addr, tLeaveDone{})
+	// The leaver's segment folds into ours; circulate the substitution so
+	// stale fingers route here. The leaver dumps its data on us when it
+	// receives tLeaveDone.
+	p.handleSubstitute(substituteMsg{Old: m.Leaver, New: p.Ref(), Origin: p.Addr})
+}
+
+// finishEmptyLeave completes the departure after the triangle closes.
+func (p *Peer) finishEmptyLeave() {
+	var items []Item
+	for _, it := range p.data {
+		items = append(items, it)
+	}
+	if len(items) > 0 && p.succ.Valid() && p.succ.Addr != p.Addr {
+		p.sendData(p.succ.Addr, len(items), itemsMsg{Items: items})
+	}
+	p.send(ServerAddr, ringUnregister{Self: p.Ref(), Succ: p.succ})
+	p.stop()
+}
+
+// handlePromote converts an s-peer into the t-peer it is substituting.
+func (p *Peer) handlePromote(m promoteMsg) {
+	p.Role = TPeer
+	p.ID = m.ID
+	p.tpeer = p.Ref()
+	p.segLo = m.Pred.ID
+	oldCP := p.cp
+	p.cp = NilRef
+	if oldCP.Valid() {
+		p.unwatch(oldCP.Addr)
+	}
+	p.pred = m.Pred
+	p.succ = m.Succ
+	p.ensureFingers()
+	copy(p.finger, m.Fingers)
+	for _, it := range m.Items {
+		p.data[it.DID] = it
+	}
+	for _, c := range m.Children {
+		p.children[c.Addr] = c
+		p.watch(c.Addr)
+	}
+	if p.pred.Valid() && p.pred.Addr != p.Addr {
+		p.watch(p.pred.Addr)
+	}
+	if p.succ.Valid() && p.succ.Addr != p.Addr {
+		p.watch(p.succ.Addr)
+	}
+	if p.fingerTicker == nil {
+		p.fingerTicker = sim.NewTicker(p.sys.Eng, p.sys.Cfg.FingerRefreshEvery, p.refreshFingers)
+		p.fingerTicker.Start()
+	}
+	if p.sys.Cfg.TrackerMode {
+		p.ensureIndex()
+		p.announceItems(m.Items)
+	}
+}
+
+// handleNewParent re-parents this peer onto the promoted substitute.
+func (p *Peer) handleNewParent(m newParentMsg) {
+	if p.Role != SPeer {
+		return
+	}
+	old := p.cp
+	p.cp = m.Parent
+	p.tpeer = m.Parent
+	if old.Valid() {
+		p.unwatch(old.Addr)
+	}
+	p.watch(m.Parent.Addr)
+}
+
+// handleSubstitute swaps Old for New in the ring pointers and finger table,
+// then forwards the notice along successor pointers. The circulation
+// terminates when it reaches the substitute itself (which occupies the old
+// ring position, so a full traversal always lands there) or its origin.
+func (p *Peer) handleSubstitute(m substituteMsg) {
+	if p.Role != TPeer {
+		return
+	}
+	if p.pred.Addr == m.Old.Addr {
+		p.pred = m.New
+		p.segLo = m.New.ID
+	}
+	if p.succ.Addr == m.Old.Addr {
+		p.succ = m.New
+	}
+	for i := range p.finger {
+		if p.finger[i].Addr == m.Old.Addr {
+			p.finger[i] = m.New
+		}
+	}
+	if p.Addr == m.New.Addr {
+		return // the substitute swallows the notice
+	}
+	if p.succ.Valid() && p.succ.Addr != m.Origin && p.succ.Addr != m.New.Addr && p.succ.Addr != p.Addr {
+		p.send(p.succ.Addr, m)
+	}
+}
+
+// handlePointerUpdate applies a ring pointer patch, honoring the IfCurrent
+// condition so stale repairs cannot overwrite newer pointers.
+func (p *Peer) handlePointerUpdate(m pointerUpdate) {
+	if m.Pred.Valid() {
+		if !m.IfCurrent.Valid() || p.pred.Addr == m.IfCurrent.Addr || !p.pred.Valid() {
+			p.pred = m.Pred
+			p.segLo = m.Pred.ID
+			p.watch(m.Pred.Addr)
+		}
+	}
+	if m.Succ.Valid() {
+		if !m.IfCurrent.Valid() || p.succ.Addr == m.IfCurrent.Addr || !p.succ.Valid() {
+			p.succ = m.Succ
+			p.watch(m.Succ.Addr)
+		}
+	}
+}
+
+// --- finger maintenance ---------------------------------------------------------
+
+// closestPreceding returns the known t-peer closest to target from below.
+func (p *Peer) closestPreceding(target idspace.ID) Ref {
+	for i := len(p.finger) - 1; i >= 0; i-- {
+		f := p.finger[i]
+		if f.Valid() && f.Addr != p.Addr && idspace.StrictBetween(p.ID, f.ID, target) {
+			return f
+		}
+	}
+	if p.succ.Valid() && p.succ.Addr != p.Addr && idspace.StrictBetween(p.ID, p.succ.ID, target) {
+		return p.succ
+	}
+	return NilRef
+}
+
+// refreshFingers refreshes a few finger entries per tick by resolving their
+// targets through the ring.
+func (p *Peer) refreshFingers() {
+	if !p.alive || p.Role != TPeer {
+		return
+	}
+	if !p.succ.Valid() {
+		// Orphaned ring member (both triangle counterparties died):
+		// re-anchor through the server's registry.
+		p.send(ServerAddr, ringLocate{Self: p.Ref()})
+		return
+	}
+	p.stabilizeRing()
+	p.ensureFingers()
+	const perRound = 8
+	for i := 0; i < perRound; i++ {
+		idx := p.nextFinger
+		p.nextFinger = (p.nextFinger + 1) % FingerBits
+		target := idspace.FingerStart(p.ID, idx)
+		tag := p.sys.newTag()
+		p.pending[tag] = &op{kind: "fixfinger", fidx: idx}
+		// A refresh that never answers was routed into a dead finger (a
+		// crashed peer gives no error). Clearing the slot on timeout
+		// makes the next route fall back to lower fingers or the
+		// successor, un-wedging the refresh itself.
+		p.sys.Eng.After(p.sys.Cfg.FingerRefreshEvery, func() {
+			if o, ok := p.pending[tag]; ok && o.kind == "fixfinger" {
+				delete(p.pending, tag)
+				p.finger[o.fidx] = NilRef
+			}
+		})
+		p.routeFindSucc(findSuccReq{Target: target, Origin: p.Addr, Tag: tag})
+	}
+}
+
+// routeFindSucc forwards a successor query one step (or answers it).
+func (p *Peer) routeFindSucc(m findSuccReq) {
+	if !p.succ.Valid() || p.succ.Addr == p.Addr {
+		p.send(m.Origin, findSuccResp{Succ: p.Ref(), Tag: m.Tag, Hops: m.Hops})
+		return
+	}
+	if idspace.Between(p.ID, m.Target, p.succ.ID) {
+		p.send(m.Origin, findSuccResp{Succ: p.succ, Tag: m.Tag, Hops: m.Hops + 1})
+		return
+	}
+	next := p.closestPreceding(m.Target)
+	if !next.Valid() || next.Addr == p.Addr {
+		next = p.succ
+	}
+	m.Hops++
+	p.send(next.Addr, m)
+}
+
+func (p *Peer) handleFindSucc(m findSuccReq) {
+	if p.Role != TPeer {
+		return
+	}
+	p.routeFindSucc(m)
+}
+
+func (p *Peer) handleFindSuccResp(m findSuccResp) {
+	o, ok := p.pending[m.Tag]
+	if !ok || o.kind != "fixfinger" {
+		return
+	}
+	delete(p.pending, m.Tag)
+	p.ensureFingers()
+	p.finger[o.fidx] = m.Succ
+}

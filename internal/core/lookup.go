@@ -1,0 +1,193 @@
+package core
+
+import (
+	"repro/internal/idspace"
+	"repro/internal/simnet"
+)
+
+// Lookup resolves a key (§3.4). The operation checks the local database,
+// then floods the local s-network if the key belongs to it; otherwise the
+// request climbs to the t-peer, rides the ring to the owning segment and is
+// flooded (or tracker-resolved) there. done receives the outcome, including
+// hop count, latency and the number of peers contacted.
+func (p *Peer) Lookup(key string, done func(OpResult)) {
+	p.LookupWithTTL(key, 0, done)
+}
+
+// LookupWithTTL is Lookup with an explicit flood radius; ttl <= 0 uses the
+// configured default. The experiment harness sweeps TTL per lookup so one
+// built system serves several TTL settings.
+func (p *Peer) LookupWithTTL(key string, ttl int, done func(OpResult)) {
+	o, qid := p.newOp("lookup", key, done)
+	if ttl > 0 {
+		o.ttl = ttl
+	}
+	if it, ok := p.findLocal(o.did); ok {
+		p.finishOp(qid, OpResult{OK: true, Value: it.Value, Hops: 0, Holder: p.Ref()})
+		return
+	}
+	if p.inLocalSegment(o.sid) {
+		p.lookupLocal(o, qid)
+		return
+	}
+	p.lookupRemote(o, qid)
+}
+
+// lookupLocal searches the peer's own s-network.
+func (p *Peer) lookupLocal(o *op, qid uint64) {
+	if p.sys.Cfg.TrackerMode {
+		// "A data lookup request is sent to the t-peer directly."
+		if p.Role == TPeer {
+			p.resolveFromIndex(lookupReq{QID: qid, DID: o.did, SID: o.sid, Origin: p.Ref(), TTL: o.ttl, Hops: 0})
+			return
+		}
+		if p.tpeer.Valid() {
+			p.send(p.tpeer.Addr, lookupReq{QID: qid, DID: o.did, SID: o.sid, Origin: p.Ref(), TTL: o.ttl, Hops: 1})
+		}
+		return
+	}
+	if len(p.neighbors()) == 0 {
+		// Nobody to flood to: the item cannot exist elsewhere locally.
+		p.finishOp(qid, OpResult{OK: false})
+		return
+	}
+	if p.sys.Cfg.RandomWalk {
+		p.startWalks(qid, o.did, p.Ref())
+		return
+	}
+	p.floodOut(qid, o.did, o.ttl, p.Ref())
+}
+
+// lookupRemote routes a lookup toward a different s-network, taking a
+// bypass link when one covers the segment (§5.4). Per §3.1 — "the query
+// message is first flooded within the same s-network; in the meanwhile, it
+// is forwarded to other s-networks through the t-network" — the local
+// s-network is searched in parallel, which lets spread or cached copies
+// answer without a ring round-trip.
+func (p *Peer) lookupRemote(o *op, qid uint64) {
+	if !p.sys.Cfg.TrackerMode && len(p.neighbors()) > 0 {
+		if p.sys.Cfg.RandomWalk {
+			p.startWalks(qid, o.did, p.Ref())
+		} else {
+			p.floodOut(qid, o.did, o.ttl, p.Ref())
+		}
+	}
+	m := lookupReq{QID: qid, DID: o.did, SID: o.sid, Origin: p.Ref(), TTL: o.ttl, Hops: 1}
+	if p.sys.Cfg.Bypass {
+		if link := p.bypassFor(o.sid); link != nil {
+			p.sys.stats.BypassUses++
+			p.send(link.peer.Addr, m)
+			return
+		}
+	}
+	p.forwardTowardSegment(o.sid, m, simnet.None)
+}
+
+// floodOut starts (or restarts) a flood of the local s-network from this
+// peer: the query travels every tree edge away from the entry point, so
+// each peer of the s-network receives it exactly once within the TTL.
+func (p *Peer) floodOut(qid uint64, did idspace.ID, ttl int, origin Ref) {
+	m := floodReq{QID: qid, DID: did, Origin: origin, TTL: ttl, Hops: 1}
+	for _, nb := range p.neighbors() {
+		p.sys.stats.FloodsSent++
+		p.send(nb.Addr, m)
+	}
+}
+
+// handleLookupReq advances a routed lookup one step: toward the owning
+// segment while remote, into a flood (or tracker resolution) on arrival.
+func (p *Peer) handleLookupReq(from simnet.Addr, m lookupReq) {
+	p.sys.contact(m.QID)
+	p.maybeAck(from)
+	if it, ok := p.findLocal(m.DID); ok {
+		p.answer(m.Origin, m.QID, it, m.Hops+1)
+		return
+	}
+	if !p.inLocalSegment(m.SID) {
+		m.Hops++
+		p.forwardTowardSegment(m.SID, m, from)
+		return
+	}
+	// The request reached the owning s-network.
+	if p.sys.Cfg.TrackerMode {
+		if p.Role == TPeer {
+			p.resolveFromIndex(m)
+		} else if p.tpeer.Valid() {
+			m.Hops++
+			p.send(p.tpeer.Addr, m)
+		}
+		return
+	}
+	if p.sys.Cfg.RandomWalk {
+		p.startWalks(m.QID, m.DID, m.Origin)
+		return
+	}
+	nbs := p.neighbors()
+	// Flood away from where the request came from; for requests arriving
+	// off-tree (ring hop or bypass link) every tree edge qualifies.
+	targets := nbs[:0:0]
+	for _, nb := range nbs {
+		if nb.Addr != from {
+			targets = append(targets, nb)
+		}
+	}
+	if len(targets) == 0 {
+		// Owning peer with no s-network and no local copy: definitive miss.
+		p.send(m.Origin.Addr, notFoundMsg{QID: m.QID, Hops: m.Hops + 1})
+		return
+	}
+	ttl := m.TTL
+	if ttl <= 0 {
+		ttl = p.sys.Cfg.TTL
+	}
+	fm := floodReq{QID: m.QID, DID: m.DID, Origin: m.Origin, TTL: ttl, Hops: m.Hops + 1}
+	for _, nb := range targets {
+		p.sys.stats.FloodsSent++
+		p.send(nb.Addr, fm)
+	}
+}
+
+// handleFlood processes one hop of an s-network flood: check the database,
+// answer on a hit, otherwise keep flooding away from the sender while TTL
+// lasts. The tree topology guarantees each peer sees the query once, so no
+// duplicate-suppression state is needed (§3.2.2).
+func (p *Peer) handleFlood(from simnet.Addr, m floodReq) {
+	p.sys.contact(m.QID)
+	p.maybeAck(from)
+	if it, ok := p.findLocal(m.DID); ok {
+		// "The peer will stop flooding and send the data item to the
+		// peer requesting the data item directly."
+		p.answer(m.Origin, m.QID, it, m.Hops+1)
+		return
+	}
+	if m.TTL <= 1 {
+		return
+	}
+	m.TTL--
+	m.Hops++
+	for _, nb := range p.neighbors() {
+		if nb.Addr != from {
+			p.sys.stats.FloodsSent++
+			p.send(nb.Addr, m)
+		}
+	}
+}
+
+// handleFound closes a successful lookup and creates a bypass link when the
+// holder lives in a different s-network (§5.4, rule 3). With caching on, the
+// requester keeps a surrogate copy, so its s-network's parallel local floods
+// can answer the next request for the same item nearby.
+func (p *Peer) handleFound(m foundMsg) {
+	if p.sys.Cfg.Bypass && m.Holder.ID != p.ID {
+		p.addBypass(m.Holder, m.HolderSegLo)
+	}
+	if p.sys.Cfg.Caching && m.Holder.Addr != p.Addr {
+		p.handleCacheAdd(cacheAdd{Item: m.Item})
+	}
+	p.finishOp(m.QID, OpResult{OK: true, Value: m.Item.Value, Hops: m.Hops, Holder: m.Holder})
+}
+
+// handleNotFound fails a lookup fast on a definitive miss.
+func (p *Peer) handleNotFound(m notFoundMsg) {
+	p.finishOp(m.QID, OpResult{OK: false, Hops: m.Hops})
+}

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/idspace"
+	"repro/internal/sim"
+)
+
+func TestRingInvariantAcrossPsAndSeeds(t *testing.T) {
+	for _, ps := range []float64{0, 0.3, 0.5, 0.8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			sys := newTestSystem(t, seed, func(c *Config) { c.Ps = ps })
+			if _, _, err := sys.BuildPopulation(PopulationOpts{N: 80}); err != nil {
+				t.Fatalf("ps=%v seed=%d: %v", ps, seed, err)
+			}
+			sys.Settle(5 * sim.Second)
+			if err := sys.CheckRing(); err != nil {
+				t.Errorf("ps=%v seed=%d: %v", ps, seed, err)
+			}
+			if err := sys.CheckTrees(); err != nil {
+				t.Errorf("ps=%v seed=%d: %v", ps, seed, err)
+			}
+		}
+	}
+}
+
+func TestRingIDsOrdered(t *testing.T) {
+	sys := newTestSystem(t, 4, func(c *Config) { c.Ps = 0.4 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 60}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	tps := sys.TPeers() // sorted by id
+	if len(tps) < 3 {
+		t.Fatal("too few t-peers")
+	}
+	// Walking successors from the smallest id must visit ids in ascending
+	// order (single wrap).
+	cur := tps[0]
+	wraps := 0
+	for i := 0; i < len(tps); i++ {
+		next := sys.Peer(cur.succ.Addr)
+		if next == cur {
+			break
+		}
+		if next.ID < cur.ID {
+			wraps++
+		}
+		cur = next
+	}
+	if wraps != 1 {
+		t.Fatalf("ring wraps %d times, want exactly 1", wraps)
+	}
+}
+
+func TestRoleRatioTracksPs(t *testing.T) {
+	for _, ps := range []float64{0.2, 0.5, 0.8} {
+		sys := newTestSystem(t, 5, func(c *Config) { c.Ps = ps })
+		if _, _, err := sys.BuildPopulation(PopulationOpts{N: 100}); err != nil {
+			t.Fatal(err)
+		}
+		got := float64(len(sys.SPeers())) / 100
+		if got < ps-0.06 || got > ps+0.06 {
+			t.Errorf("ps=%v: realized s fraction %v", ps, got)
+		}
+	}
+}
+
+func TestDegreeConstraintHolds(t *testing.T) {
+	for _, delta := range []int{2, 3, 5} {
+		sys := newTestSystem(t, 6, func(c *Config) {
+			c.Ps = 0.8
+			c.Delta = delta
+		})
+		if _, _, err := sys.BuildPopulation(PopulationOpts{N: 100}); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range sys.Peers() {
+			if p.Degree() > delta {
+				t.Errorf("delta=%d: peer %d has degree %d", delta, p.Addr, p.Degree())
+			}
+		}
+	}
+}
+
+func TestSPeerAdoptsTPeerID(t *testing.T) {
+	sys := newTestSystem(t, 7, func(c *Config) { c.Ps = 0.7 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 60}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	for _, sp := range sys.SPeers() {
+		root := sys.Peer(sp.tpeer.Addr)
+		if root == nil {
+			t.Fatalf("s-peer %d has dead root", sp.Addr)
+		}
+		if sp.ID != root.ID {
+			t.Errorf("s-peer %d id %s != root id %s", sp.Addr, sp.ID, root.ID)
+		}
+	}
+}
+
+func TestConcurrentTJoins(t *testing.T) {
+	// Fire many t-joins simultaneously; the join triangles must serialize
+	// them into a consistent ring (§3.3).
+	sys := newTestSystem(t, 8, func(c *Config) { c.Ps = 0 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 3}); err != nil {
+		t.Fatal(err)
+	}
+	role := TPeer
+	joined := 0
+	stubs := sys.Topo.StubNodes()
+	for i := 0; i < 40; i++ {
+		sys.Join(JoinOpts{
+			Host:      stubs[i%len(stubs)],
+			Capacity:  1,
+			ForceRole: &role,
+		}, func(*Peer, JoinStats) { joined++ })
+	}
+	// Let everything resolve, including queued triangles.
+	sys.Settle(240 * sim.Second)
+	if joined != 40 {
+		t.Fatalf("only %d/40 concurrent joins completed", joined)
+	}
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.TPeers()); got != 43 {
+		t.Fatalf("t-peers = %d, want 43", got)
+	}
+	if sys.Stats().QueuedJoinRequests == 0 {
+		t.Log("note: no joins were queued (triangles never overlapped)")
+	}
+}
+
+func TestConcurrentMixedJoins(t *testing.T) {
+	sys := newTestSystem(t, 9, func(c *Config) { c.Ps = 0.6 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 10}); err != nil {
+		t.Fatal(err)
+	}
+	joined := 0
+	stubs := sys.Topo.StubNodes()
+	for i := 0; i < 60; i++ {
+		sys.Join(JoinOpts{Host: stubs[(i*3)%len(stubs)], Capacity: 1},
+			func(*Peer, JoinStats) { joined++ })
+	}
+	sys.Settle(240 * sim.Second)
+	if joined != 60 {
+		t.Fatalf("only %d/60 mixed concurrent joins completed", joined)
+	}
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckTrees(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumPeers() != 70 {
+		t.Fatalf("peers = %d, want 70", sys.NumPeers())
+	}
+}
+
+func TestIDConflictResolvedByMidpoint(t *testing.T) {
+	// End to end: location-based id generation gives two peers on the same
+	// physical host the same p_id; the insertion point must detect the
+	// conflict and assign the midpoint id instead (Table 1, pre.check).
+	sys := newTestSystem(t, 10, func(c *Config) {
+		c.Ps = 0
+		c.IDGen = IDLocation
+	})
+	host := sys.Topo.StubNodes()[3]
+	hosts := []int{host, sys.Topo.StubNodes()[9], sys.Topo.StubNodes()[20], host}
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 4, Hosts: hosts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(10 * sim.Second)
+	if got := sys.Stats().IDConflicts; got == 0 {
+		t.Fatal("co-located peers did not trigger an id conflict")
+	}
+	if peers[0].ID == peers[3].ID {
+		t.Fatal("conflicting id kept")
+	}
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	// The midpoint id lies strictly between the original and its successor
+	// at insertion time; at minimum it must be owned consistently now.
+	if got := len(sys.TPeers()); got != 4 {
+		t.Fatalf("t-peers = %d, want 4", got)
+	}
+}
+
+func TestTLeaveBySubstitution(t *testing.T) {
+	sys := newTestSystem(t, 11, func(c *Config) { c.Ps = 0.7 })
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 60}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+
+	var victim *Peer
+	for _, tp := range sys.TPeers() {
+		if len(tp.children) > 0 {
+			victim = tp
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no t-peer with children")
+	}
+	// Seed some data on the victim so the promotion must carry it.
+	victim.data[idspace.HashKey("carried")] = Item{Key: "carried", Value: "v", DID: idspace.HashKey("carried")}
+	id := victim.ID
+	nT := len(sys.TPeers())
+
+	victim.Leave()
+	sys.Settle(10 * sim.Second)
+
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.TPeers()); got != nT {
+		t.Fatalf("t-peer count changed: %d -> %d (substitution must preserve it)", nT, got)
+	}
+	// The ring position survives with the same id at a new address.
+	var substitute *Peer
+	for _, tp := range sys.TPeers() {
+		if tp.ID == id {
+			substitute = tp
+			break
+		}
+	}
+	if substitute == nil {
+		t.Fatal("substituted ring position disappeared")
+	}
+	if substitute.Addr == victim.Addr {
+		t.Fatal("substitute is the departed peer")
+	}
+	if !substitute.HasItem("carried") {
+		t.Fatal("data not carried to the substitute")
+	}
+	if sys.Stats().Promotions == 0 {
+		t.Fatal("no promotion recorded")
+	}
+}
+
+func TestTLeaveEmptyUsesTriangle(t *testing.T) {
+	sys := newTestSystem(t, 12, func(c *Config) { c.Ps = 0 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	victim := peers[7]
+	// Give it data: the leave must dump it on the successor (Table 1,
+	// n.loaddump).
+	did := idspace.HashKey("dumped")
+	victim.data[did] = Item{Key: "dumped", Value: "v", DID: did}
+	succ := sys.Peer(victim.succ.Addr)
+	nT := len(sys.TPeers())
+
+	victim.Leave()
+	sys.Settle(10 * sim.Second)
+
+	if victim.Alive() {
+		t.Fatal("victim still alive")
+	}
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sys.TPeers()); got != nT-1 {
+		t.Fatalf("t-peers = %d, want %d", got, nT-1)
+	}
+	// The dump lands on the successor, which re-routes it to the segment
+	// owner if the id belongs elsewhere; either way it must survive.
+	if succ.HasItem("dumped") {
+		return
+	}
+	for _, p := range sys.Peers() {
+		if p.HasItem("dumped") {
+			return
+		}
+	}
+	t.Fatal("load dump lost the departing peer's data")
+}
+
+func TestLeaveWhileJoiningIsDeferred(t *testing.T) {
+	sys := newTestSystem(t, 13, func(c *Config) { c.Ps = 0 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	pre := peers[2]
+	// Open a triangle by hand, then ask pre to leave: §3.3 says the leave
+	// must wait.
+	pre.joining = true
+	pre.Leave()
+	if !pre.Alive() {
+		t.Fatal("pre left while a join triangle was open")
+	}
+	if !pre.deferLeave {
+		t.Fatal("leave not deferred")
+	}
+	// Closing the triangle releases the deferred leave.
+	pre.joining = false
+	pre.drainJoinQueue()
+	sys.Settle(10 * sim.Second)
+	if pre.Alive() {
+		t.Fatal("deferred leave never executed")
+	}
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLeaveReattachesChildren(t *testing.T) {
+	sys := newTestSystem(t, 14, func(c *Config) {
+		c.Ps = 0.85
+		c.Delta = 2 // deep trees => interior s-peers with children
+	})
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 80}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+
+	var victim *Peer
+	for _, sp := range sys.SPeers() {
+		if len(sp.children) > 0 {
+			victim = sp
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatal("no interior s-peer found")
+	}
+	children := victim.Children()
+	victim.data[idspace.HashKey("heirloom")] = Item{Key: "heirloom", Value: "v", DID: idspace.HashKey("heirloom")}
+
+	victim.Leave()
+	sys.Settle(20 * sim.Second)
+
+	if err := sys.CheckTrees(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range children {
+		cp := sys.Peer(c.Addr)
+		if cp == nil || !cp.Alive() {
+			t.Fatalf("child %d died with its parent", c.Addr)
+		}
+		if cp.cp.Addr == victim.Addr {
+			t.Fatalf("child %d still points at the departed parent", c.Addr)
+		}
+	}
+	// The heirloom moved to some neighbor.
+	found := false
+	for _, p := range sys.Peers() {
+		if p.HasItem("heirloom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("departing s-peer's data was lost despite graceful leave")
+	}
+	if sys.Stats().Rejoins == 0 {
+		t.Fatal("no rejoin recorded")
+	}
+}
+
+func TestManyConcurrentLeaves(t *testing.T) {
+	sys := newTestSystem(t, 15, func(c *Config) { c.Ps = 0.6 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	// A burst of simultaneous graceful leaves across both tiers.
+	for i := 0; i < 30; i++ {
+		peers[i*3].Leave()
+	}
+	sys.Settle(120 * sim.Second)
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckTrees(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumPeers() != 60 {
+		t.Fatalf("peers = %d, want 60", sys.NumPeers())
+	}
+}
+
+func TestJoinStatsPopulated(t *testing.T) {
+	sys := newTestSystem(t, 16, func(c *Config) { c.Ps = 0.5 })
+	_, stats, err := sys.BuildPopulation(PopulationOpts{N: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, js := range stats {
+		if js.Hops < 0 {
+			t.Fatalf("join %d negative hops", i)
+		}
+		if i > 0 && js.Latency <= 0 {
+			t.Fatalf("join %d non-positive latency", i)
+		}
+	}
+}
+
+func TestLastTPeerCanLeave(t *testing.T) {
+	sys := newTestSystem(t, 17, func(c *Config) { c.Ps = 0 })
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers[0].Leave()
+	sys.Settle(5 * sim.Second)
+	if sys.NumPeers() != 0 {
+		t.Fatal("last peer did not leave")
+	}
+	// The system can bootstrap again afterwards.
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * sim.Second)
+	if err := sys.CheckRing(); err != nil {
+		t.Fatal(err)
+	}
+}

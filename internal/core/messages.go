@@ -1,0 +1,349 @@
+package core
+
+import (
+	"repro/internal/idspace"
+	"repro/internal/simnet"
+)
+
+// Ref names a remote peer by id and address.
+type Ref struct {
+	ID   idspace.ID
+	Addr simnet.Addr
+}
+
+// NilRef is the null peer reference.
+var NilRef = Ref{Addr: simnet.None}
+
+// Valid reports whether the reference points at a peer.
+func (r Ref) Valid() bool { return r.Addr != simnet.None }
+
+// Item is a stored (key, value) pair together with its hashed id.
+type Item struct {
+	Key   string
+	Value string
+	DID   idspace.ID
+}
+
+// --- Server dialogue -------------------------------------------------------
+
+// serverJoinReq is a new peer's first message: it asks the well-known server
+// for a role, an id and an entry point into the system.
+type serverJoinReq struct {
+	Capacity float64
+	Interest int
+	// Coord is the peer's landmark coordinate (ordered landmark indices)
+	// when topology awareness is on; nil otherwise.
+	Coord string
+	Host  int
+	// ForceRole pins the role (-1 = let the server decide).
+	ForceRole int8
+}
+
+// serverJoinResp carries the server's placement decision.
+type serverJoinResp struct {
+	Role Role
+	// ID is the assigned p_id (t-peers only; s-peers copy their
+	// t-peer's id on arrival).
+	ID idspace.ID
+	// Entry is where to send the join request: an arbitrary t-peer for
+	// t-joins, the target s-network's t-peer for s-joins.
+	Entry Ref
+	// First marks the very first t-peer, which forms the ring alone.
+	First bool
+}
+
+// replaceReq is sent to the server by an s-peer that detected its t-peer
+// crashed; the server arbitrates a single replacement (§3.2.1).
+type replaceReq struct {
+	Crashed Ref // the dead t-peer
+	Self    Ref // the reporting s-peer
+}
+
+// replaceResp tells the reporter the outcome of the arbitration.
+type replaceResp struct {
+	// Promote is true if the reporter was chosen as the new t-peer.
+	Promote bool
+	// NewT is the replacement t-peer (for losers to rejoin under).
+	NewT Ref
+	// Ring state handed to the chosen peer.
+	ID         idspace.ID
+	Pred, Succ Ref
+}
+
+// ringDeadReq reports a crashed t-peer with an empty s-network; the server
+// patches the ring around it.
+type ringDeadReq struct {
+	Crashed Ref
+	Self    Ref
+}
+
+// ringRepair is the server's targeted answer to a ringDeadReq: the reporter
+// swaps whichever of its ring pointers still names the crashed peer for the
+// registry's current neighbor.
+type ringRepair struct {
+	Crashed    Ref
+	Pred, Succ Ref
+}
+
+// --- T-network membership --------------------------------------------------
+
+// tJoinReq is routed along the ring (accelerated by fingers) until it
+// reaches the predecessor-to-be of the joining peer. Epoch is the joiner's
+// join-attempt counter: handshakes from an abandoned attempt are dropped.
+type tJoinReq struct {
+	Joiner Ref
+	Epoch  int
+	Hops   int
+}
+
+// tJoinSetup is the first edge of the join triangle (Fig. 2 left): pre sends
+// the new peer its future neighbors.
+type tJoinSetup struct {
+	Pred, Succ Ref
+	// NewID is set (with HasNewID) when pre resolved an id conflict with
+	// the midpoint rule; the joiner must adopt it.
+	NewID    idspace.ID
+	HasNewID bool
+	Epoch    int
+	Hops     int
+}
+
+// tJoinToSucc is the second edge: the new peer introduces itself to succ.
+type tJoinToSucc struct {
+	Joiner Ref
+	Hops   int
+}
+
+// tJoinDone is the closing edge: succ tells pre the insertion is complete,
+// and pre flips its successor pointer and unblocks its request queue.
+type tJoinDone struct {
+	Joiner Ref
+	Hops   int
+}
+
+// tJoinConfirm tells the joiner its successor has processed the insertion.
+// Until it arrives the joiner keeps its own joining mutex set, so triangles
+// it anchors as pre cannot overtake its own insertion at the shared
+// successor.
+type tJoinConfirm struct{}
+
+// loadTransferReq asks every peer of succ's s-network to ship the items the
+// new t-peer now owns (Table 1, suc.loadtransfer).
+type loadTransferReq struct {
+	// Range (Lo, Hi]: items with d_id in this arc move to Target.
+	Lo, Hi idspace.ID
+	Target Ref
+	// TTLs the broadcast through the tree.
+	TTL int
+}
+
+// itemsMsg carries data items between peers (load transfer, load dump,
+// placement forwarding).
+type itemsMsg struct {
+	Items []Item
+}
+
+// tLeaveToPred/tLeaveToSucc implement the leave triangle (Fig. 2 right) for
+// a t-peer leaving with an empty s-network.
+type tLeaveToPred struct {
+	Leaver Ref
+	Succ   Ref
+}
+type tLeaveToSucc struct {
+	Leaver Ref
+	Pred   Ref
+}
+type tLeaveDone struct{}
+
+// promoteMsg transfers the t-role to an s-peer of the same s-network
+// (substitution-on-leave, §3.2.1). The promoted peer takes over the ring
+// pointers, finger table, stored data and the remaining direct children of
+// the departing t-peer.
+type promoteMsg struct {
+	ID         idspace.ID
+	Pred, Succ Ref
+	Fingers    []Ref
+	Items      []Item
+	Children   []Ref
+}
+
+// newParentMsg re-parents a child onto the promoted peer.
+type newParentMsg struct {
+	Parent Ref
+}
+
+// substituteMsg circulates the ring after a substitution so every t-peer
+// replaces the old address in its finger table ("other t-peers only need to
+// substitute the leaving t-peer with the new t-peer in the finger table").
+type substituteMsg struct {
+	Old, New Ref
+	Origin   simnet.Addr
+}
+
+// pointerUpdate patches a single ring pointer (used by the server after
+// crash recovery and by substitution leaves). When IfCurrent is valid the
+// update is conditional: it applies only to a pointer that still names that
+// peer, so a repair raced by newer membership changes cannot clobber them.
+type pointerUpdate struct {
+	Pred, Succ Ref // invalid fields are left unchanged
+	IfCurrent  Ref
+}
+
+// ringLocate asks the server for this t-peer's current ring neighbors; sent
+// by a t-peer that lost a ring pointer (e.g. both triangle counterparties
+// died mid-protocol). The server re-registers the peer if needed and answers
+// with a pointerUpdate.
+type ringLocate struct {
+	Self Ref
+}
+
+// findSuccReq resolves the successor of Target on the t-network; used for
+// finger maintenance.
+type findSuccReq struct {
+	Target idspace.ID
+	Origin simnet.Addr
+	Tag    uint64
+	Hops   int
+}
+type findSuccResp struct {
+	Succ Ref
+	Tag  uint64
+	Hops int
+}
+
+// --- S-network membership ---------------------------------------------------
+
+// sJoinReq walks from the t-peer down a random branch until it reaches a
+// peer with degree < δ (§3.2.2). Rejoin marks an existing s-peer
+// re-attaching after losing its connect point, so the server's s-network
+// size accounting is not inflated.
+type sJoinReq struct {
+	Joiner Ref
+	Rejoin bool
+	Epoch  int
+	Hops   int
+}
+
+// sJoinAck tells the joiner its connect point and its s-network's t-peer.
+type sJoinAck struct {
+	CP    Ref
+	TPeer Ref
+	ID    idspace.ID // s-peers adopt their t-peer's p_id
+	Epoch int
+	Hops  int
+}
+
+// sLeaveMsg notifies neighbors of a graceful s-peer departure.
+type sLeaveMsg struct{}
+
+// --- Failure detection -------------------------------------------------------
+
+// helloMsg is the periodic heartbeat. Heartbeats flowing down the tree
+// piggyback the s-network's identity and segment bounds so every s-peer
+// tracks them without extra traffic.
+type helloMsg struct {
+	Root  Ref
+	SegLo idspace.ID
+}
+
+// ackMsg acknowledges a data query, doubling as a liveness signal (§3.2.2).
+type ackMsg struct{}
+
+// --- Data operations ---------------------------------------------------------
+
+// storeReq routes an insertion along the t-network toward the owning
+// segment. SID is the segment-selection id: the item's d_id normally, its
+// category id in interest-based mode.
+type storeReq struct {
+	Item   Item
+	SID    idspace.ID
+	Origin Ref
+	Tag    uint64
+	Hops   int
+}
+
+// spreadReq performs the scheme-2 random spreading walk inside the owning
+// s-network.
+type spreadReq struct {
+	Item   Item
+	Origin Ref
+	Tag    uint64
+	Hops   int
+	From   simnet.Addr // upstream neighbor, excluded from the next step
+}
+
+// storeAck confirms an insertion back to the origin; Holder is where the
+// item landed (used for bypass-link creation, so the holder's segment lower
+// bound rides along).
+type storeAck struct {
+	Tag         uint64
+	Holder      Ref
+	HolderSegLo idspace.ID
+	Hops        int
+}
+
+// lookupReq routes a lookup along the t-network toward the owning segment.
+// TTL, when positive, overrides the configured flood radius at the target
+// s-network.
+type lookupReq struct {
+	QID    uint64
+	DID    idspace.ID
+	SID    idspace.ID
+	Origin Ref
+	TTL    int
+	Hops   int
+}
+
+// floodReq searches an s-network tree. It travels every tree edge away from
+// its entry point at most once, so each peer receives it exactly once.
+type floodReq struct {
+	QID    uint64
+	DID    idspace.ID
+	Origin Ref
+	TTL    int
+	Hops   int
+}
+
+// foundMsg delivers the item directly to the lookup origin.
+type foundMsg struct {
+	QID         uint64
+	Item        Item
+	Holder      Ref
+	HolderSegLo idspace.ID
+	Hops        int
+}
+
+// notFoundMsg is a definitive miss from a tracker-mode t-peer (no flooding
+// to wait out, so the origin can fail fast).
+type notFoundMsg struct {
+	QID  uint64
+	Hops int
+}
+
+// --- Tracker mode (§5.5) -----------------------------------------------------
+
+// indexAdd reports a locally stored item to the s-network's tracker t-peer.
+type indexAdd struct {
+	DID    idspace.ID
+	Holder Ref
+}
+
+// indexRemove withdraws an index entry when an item moves away.
+type indexRemove struct {
+	DID    idspace.ID
+	Holder Ref
+}
+
+// fetchReq asks a specific holder for an item (tracker mode direct fetch).
+type fetchReq struct {
+	QID    uint64
+	DID    idspace.ID
+	Origin Ref
+	Hops   int
+}
+
+// bypassAdd installs the reverse half of a new bypass link (§5.4).
+type bypassAdd struct {
+	Peer  Ref
+	SegLo idspace.ID
+}

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/idspace"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Peer is one participant of the hybrid system. A single struct serves both
+// roles because the paper's substitution mechanism converts s-peers into
+// t-peers in place.
+type Peer struct {
+	ID       idspace.ID
+	Addr     simnet.Addr
+	Host     int
+	Capacity float64
+	Interest int
+	Role     Role
+
+	sys   *System
+	alive bool
+
+	// --- t-network state ---
+	pred, succ Ref
+	finger     []Ref // lazily sized to FingerBits
+	nextFinger int
+	// joining/leaving are the §3.3 mutex variables; joinQueue serializes
+	// join requests that arrive while a triangle is in flight.
+	joining    bool
+	leaving    bool
+	mutexEpoch int
+	joinQueue  []tJoinReq
+
+	// --- s-network state ---
+	// tpeer is the root of this peer's s-network (self for t-peers).
+	tpeer Ref
+	// segLo is the lower bound of the s-network's id segment (the
+	// t-peer's predecessor id), cached from sJoinAck and HELLO piggyback.
+	segLo idspace.ID
+	// cp is the connect point (tree parent); invalid for t-peers.
+	cp Ref
+	// children are downstream tree neighbors.
+	children map[simnet.Addr]Ref
+
+	// --- failure detection ---
+	helloTicker *sim.Ticker
+	// watchdog holds one failure-detection timer per monitored neighbor.
+	watchdog map[simnet.Addr]*sim.Timer
+	// lastAck is the per-neighbor suppress clock: an ack is sent only if
+	// the suppress timeout elapsed since the previous one (§3.2.2).
+	lastAck map[simnet.Addr]sim.Time
+
+	// --- data ---
+	data map[idspace.ID]Item
+	// index is the tracker-mode content index (tracker t-peers only).
+	index map[idspace.ID]Ref
+	// cache holds surrogate copies of hot items (future-work caching).
+	cache map[idspace.ID]*cacheEntry
+	// serves tracks per-item hot-window serve counts.
+	serves map[idspace.ID]*serveStat
+	// served counts every lookup this peer answered.
+	served uint64
+
+	// --- bypass links (§5.4) ---
+	bypass map[simnet.Addr]*bypassLink
+
+	// --- client operations ---
+	pending map[uint64]*op
+	// searches holds in-flight prefix searches (search.go).
+	searches map[uint64]*searchOp
+
+	// --- pending join ---
+	joinStart    sim.Time
+	joinDone     func(*Peer, JoinStats)
+	joinTimer    *sim.Event
+	joinAttempts int
+	// joined flips once the peer is a full member; retries and duplicate
+	// handshake suppression key off it (joinDone may legitimately be nil).
+	joined bool
+	// joinEpoch numbers join attempts; handshake messages echo it so a
+	// retried join cannot be completed by a stale earlier attempt.
+	joinEpoch int
+	// deferLeave marks a leave requested while a join triangle was in
+	// flight; it runs once the triangle closes (§3.3: a joining pre
+	// accepts no leave requests, including its own).
+	deferLeave bool
+
+	fingerTicker *sim.Ticker
+}
+
+// op is an in-flight store or lookup issued by this peer.
+type op struct {
+	kind    string // "store", "lookup" or "fixfinger"
+	key     string
+	qid     uint64
+	did     idspace.ID
+	sid     idspace.ID // segment-selection id (differs from did in interest mode)
+	start   sim.Time
+	ttl     int
+	fidx    int // finger index (fixfinger ops)
+	attempt int
+	done    func(OpResult)
+	timer   *sim.Event
+}
+
+// OpResult reports the outcome of a store or lookup.
+type OpResult struct {
+	OK    bool
+	Key   string
+	Value string
+	// Hops is the overlay hop count experienced by the request path that
+	// produced the result.
+	Hops int
+	// Latency is the simulated end-to-end time.
+	Latency sim.Time
+	// Contacts is the number of peers the operation touched (connum).
+	Contacts int
+	// Holder is where the item lives (valid on success).
+	Holder Ref
+}
+
+// Alive reports whether the peer participates in the system.
+func (p *Peer) Alive() bool { return p.alive }
+
+// Ref returns the peer's own reference.
+func (p *Peer) Ref() Ref { return Ref{ID: p.ID, Addr: p.Addr} }
+
+// TNet returns the peer's s-network root reference.
+func (p *Peer) TNet() Ref { return p.tpeer }
+
+// ConnectPoint returns the peer's tree parent (invalid for t-peers).
+func (p *Peer) ConnectPoint() Ref { return p.cp }
+
+// Degree returns the peer's s-network degree: children plus the parent link
+// for s-peers. This is the quantity the δ constraint bounds.
+func (p *Peer) Degree() int {
+	d := len(p.children)
+	if p.Role == SPeer && p.cp.Valid() {
+		d++
+	}
+	return d
+}
+
+// Children returns the tree children sorted by address.
+func (p *Peer) Children() []Ref {
+	out := make([]Ref, 0, len(p.children))
+	for _, r := range p.children {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// NumItems returns the number of locally stored items.
+func (p *Peer) NumItems() int { return len(p.data) }
+
+// HasItem reports whether the peer stores the item with the given key.
+func (p *Peer) HasItem(key string) bool {
+	_, ok := p.data[idspace.HashKey(key)]
+	return ok
+}
+
+// Successor returns the ring successor (t-peers).
+func (p *Peer) Successor() Ref { return p.succ }
+
+// Predecessor returns the ring predecessor (t-peers).
+func (p *Peer) Predecessor() Ref { return p.pred }
+
+// send transmits a control-sized message.
+func (p *Peer) send(to simnet.Addr, msg any) {
+	p.sys.Net.Send(p.Addr, to, p.sys.Cfg.MessageBytes, msg)
+}
+
+// sendData transmits a message carrying n data items.
+func (p *Peer) sendData(to simnet.Addr, n int, msg any) {
+	size := p.sys.Cfg.MessageBytes + n*p.sys.Cfg.DataBytes
+	p.sys.Net.Send(p.Addr, to, size, msg)
+}
+
+// recv dispatches an incoming message to its protocol handler.
+func (p *Peer) recv(from simnet.Addr, msg any) {
+	if !p.alive {
+		return
+	}
+	switch m := msg.(type) {
+	// Server dialogue.
+	case serverJoinResp:
+		p.handleServerJoinResp(m)
+	case replaceResp:
+		p.handleReplaceResp(m)
+
+	// T-network membership.
+	case tJoinReq:
+		p.handleTJoinReq(m)
+	case tJoinSetup:
+		p.handleTJoinSetup(from, m)
+	case tJoinToSucc:
+		p.handleTJoinToSucc(m)
+	case tJoinDone:
+		p.handleTJoinDone(m)
+	case tJoinConfirm:
+		p.joining = false
+		p.drainJoinQueue()
+	case loadTransferReq:
+		p.handleLoadTransfer(from, m)
+	case itemsMsg:
+		p.handleItems(m)
+	case tLeaveToPred:
+		p.handleTLeaveToPred(from, m)
+	case tLeaveToSucc:
+		p.handleTLeaveToSucc(m)
+	case tLeaveDone:
+		if p.leaving {
+			p.finishEmptyLeave()
+		}
+	case promoteMsg:
+		p.handlePromote(m)
+	case newParentMsg:
+		p.handleNewParent(m)
+	case substituteMsg:
+		p.handleSubstitute(m)
+	case pointerUpdate:
+		p.handlePointerUpdate(m)
+	case ringRepair:
+		p.handleRingRepair(m)
+	case findSuccReq:
+		p.handleFindSucc(m)
+	case findSuccResp:
+		p.handleFindSuccResp(m)
+
+	// S-network membership.
+	case sJoinReq:
+		p.handleSJoinReq(m)
+	case sJoinAck:
+		p.handleSJoinAck(from, m)
+	case sLeaveMsg:
+		p.handleSLeave(from)
+
+	// Failure detection.
+	case helloMsg:
+		p.handleHello(from, m)
+	case ackMsg:
+		p.refreshWatchdog(from)
+
+	// Data operations.
+	case storeReq:
+		p.handleStoreReq(from, m)
+	case spreadReq:
+		p.handleSpreadReq(m)
+	case storeAck:
+		p.handleStoreAck(m)
+	case lookupReq:
+		p.handleLookupReq(from, m)
+	case floodReq:
+		p.handleFlood(from, m)
+	case foundMsg:
+		p.handleFound(m)
+	case notFoundMsg:
+		p.handleNotFound(m)
+	case indexAdd:
+		p.handleIndexAdd(m)
+	case indexRemove:
+		p.handleIndexRemove(m)
+	case bypassAdd:
+		p.handleBypassAdd(m)
+	case cacheAdd:
+		p.handleCacheAdd(m)
+	case walkReq:
+		p.handleWalk(m)
+	case searchReq:
+		p.handleSearch(from, m)
+	case searchHit:
+		p.handleSearchHit(m)
+	case ringStabQ:
+		p.send(from, ringStabA{Pred: p.pred})
+	case ringStabA:
+		p.handleRingStabA(from, m)
+	case ringNotify:
+		p.handleRingNotify(m)
+	case fetchReq:
+		p.handleFetch(m)
+
+	default:
+		panic(fmt.Sprintf("core: peer %d received unknown message %T", p.Addr, msg))
+	}
+}
+
+// neighbors returns every s-network tree neighbor (parent first, then
+// children) in deterministic order.
+func (p *Peer) neighbors() []Ref {
+	var out []Ref
+	if p.Role == SPeer && p.cp.Valid() {
+		out = append(out, p.cp)
+	}
+	out = append(out, p.Children()...)
+	return out
+}
+
+// --- HELLO / failure detection ----------------------------------------------
+
+// startMaintenance begins the peer's periodic protocols once it is a full
+// member: HELLO heartbeats for everyone, finger refresh for t-peers.
+func (p *Peer) startMaintenance() {
+	if p.helloTicker == nil {
+		p.helloTicker = sim.NewTicker(p.sys.Eng, p.sys.Cfg.HelloEvery, p.broadcastHello)
+		p.helloTicker.Start()
+	}
+	if p.Role == TPeer && p.fingerTicker == nil {
+		p.fingerTicker = sim.NewTicker(p.sys.Eng, p.sys.Cfg.FingerRefreshEvery, p.refreshFingers)
+		p.fingerTicker.Start()
+	}
+}
+
+// broadcastHello sends the periodic heartbeat to all monitored neighbors.
+// T-peers include their ring neighbors so an empty-s-network crash is still
+// detected. The heartbeat piggybacks the current s-network metadata so
+// segment boundaries propagate down the tree.
+func (p *Peer) broadcastHello() {
+	if !p.alive {
+		return
+	}
+	hello := helloMsg{Root: p.tpeer, SegLo: p.segLo}
+	for _, nb := range p.neighbors() {
+		p.send(nb.Addr, hello)
+		p.sys.stats.HellosSent++
+	}
+	if p.Role == TPeer {
+		if p.pred.Valid() && p.pred.Addr != p.Addr {
+			p.send(p.pred.Addr, hello)
+			p.sys.stats.HellosSent++
+		}
+		if p.succ.Valid() && p.succ.Addr != p.Addr && p.succ.Addr != p.pred.Addr {
+			p.send(p.succ.Addr, hello)
+			p.sys.stats.HellosSent++
+		}
+	}
+}
+
+// handleHello refreshes the sender's watchdog and, for heartbeats arriving
+// from the tree parent, adopts the piggybacked s-network metadata: the root
+// reference, the segment lower bound and the s-network's shared p_id.
+func (p *Peer) handleHello(from simnet.Addr, m helloMsg) {
+	p.refreshWatchdog(from)
+	if p.Role != SPeer || p.cp.Addr != from || !m.Root.Valid() {
+		return
+	}
+	rootChanged := p.tpeer.Addr != m.Root.Addr
+	p.tpeer = m.Root
+	p.ID = m.Root.ID
+	p.segLo = m.SegLo
+	if rootChanged && p.sys.Cfg.TrackerMode && len(p.data) > 0 {
+		// A substituted or replaced tracker lost the old index; re-announce.
+		items := make([]Item, 0, len(p.data))
+		for _, it := range p.data {
+			items = append(items, it)
+		}
+		p.announceItems(items)
+	}
+}
+
+// watch (re)arms the failure detector for a neighbor.
+func (p *Peer) watch(nb simnet.Addr) {
+	if nb == p.Addr || nb == simnet.None {
+		return
+	}
+	if t, ok := p.watchdog[nb]; ok {
+		t.Reset()
+		return
+	}
+	nbCopy := nb
+	t := sim.NewTimer(p.sys.Eng, p.sys.Cfg.HelloTimeout, func() {
+		p.neighborTimeout(nbCopy)
+	})
+	p.watchdog[nb] = t
+	t.Start()
+}
+
+// unwatch stops monitoring a neighbor.
+func (p *Peer) unwatch(nb simnet.Addr) {
+	if t, ok := p.watchdog[nb]; ok {
+		t.Stop()
+		delete(p.watchdog, nb)
+	}
+}
+
+// refreshWatchdog resets the failure detector for a neighbor on any
+// liveness signal (HELLO or ack).
+func (p *Peer) refreshWatchdog(from simnet.Addr) {
+	if t, ok := p.watchdog[from]; ok {
+		t.Reset()
+	}
+}
+
+// maybeAck responds to a data query with an acknowledgment unless the
+// suppress timer says one was sent recently (§3.2.2). Acks double as
+// liveness signals, letting failure detection accelerate under query load.
+func (p *Peer) maybeAck(to simnet.Addr) {
+	if _, monitored := p.watchdog[to]; !monitored {
+		return // acks only matter between tree neighbors
+	}
+	now := p.sys.Eng.Now()
+	if last, ok := p.lastAck[to]; ok && now-last < p.sys.Cfg.SuppressTimeout {
+		p.sys.stats.AcksSuppressed++
+		return
+	}
+	p.lastAck[to] = now
+	p.send(to, ackMsg{})
+	p.sys.stats.AcksSent++
+}
+
+// stop halts all timers and detaches the peer from the network.
+func (p *Peer) stop() {
+	p.alive = false
+	if p.helloTicker != nil {
+		p.helloTicker.Stop()
+	}
+	if p.fingerTicker != nil {
+		p.fingerTicker.Stop()
+	}
+	for _, t := range p.watchdog {
+		t.Stop()
+	}
+	p.watchdog = make(map[simnet.Addr]*sim.Timer)
+	if p.joinTimer != nil {
+		p.sys.Eng.Cancel(p.joinTimer)
+	}
+	for _, o := range p.pending {
+		if o.timer != nil {
+			p.sys.Eng.Cancel(o.timer)
+		}
+	}
+	for _, e := range p.cache {
+		e.timer.Stop()
+	}
+	for _, so := range p.searches {
+		if so.timer != nil {
+			p.sys.Eng.Cancel(so.timer)
+		}
+	}
+	p.sys.Net.Detach(p.Addr)
+	delete(p.sys.peers, p.Addr)
+}
+
+// Crash removes the peer abruptly: no notifications, all stored data lost.
+// Neighbors discover the failure through HELLO/ack timeouts.
+func (p *Peer) Crash() {
+	if !p.alive {
+		return
+	}
+	p.sys.stats.Crashes++
+	p.stop()
+}
+
+// completeJoin finalizes membership and reports statistics.
+func (p *Peer) completeJoin(hops int) {
+	if p.joined {
+		return
+	}
+	p.joined = true
+	if p.joinTimer != nil {
+		p.sys.Eng.Cancel(p.joinTimer)
+		p.joinTimer = nil
+	}
+	p.startMaintenance()
+	if p.joinDone != nil {
+		done := p.joinDone
+		p.joinDone = nil
+		done(p, JoinStats{
+			Role:    p.Role,
+			Hops:    hops,
+			Latency: p.sys.Eng.Now() - p.joinStart,
+		})
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+// Partial / keyword search. §3.1 notes that exact-match lookup "is easy to
+// extend ... to support more complex data lookup such as regular-expression-
+// based data lookup", and §5.3 describes partial search scoped to an
+// interest s-network. SearchPrefix implements that: the query floods an
+// s-network matching keys by prefix, every match flows back to the origin,
+// and the origin returns whatever arrived when its collection window closes
+// (or as soon as MaxResults are in).
+//
+// In interest-based deployments a categorized prefix ("cat07/") routes to
+// the s-network serving that category first, exactly as §5.3's "partial
+// search first indicates a field of interest". Uncategorized prefixes search
+// the origin's own s-network — best-effort, like any unstructured search.
+
+import (
+	"strings"
+
+	"repro/internal/idspace"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// searchReq floods a prefix query through an s-network tree. When HasSID is
+// set the query is first routed along the t-network to the segment owning
+// SID (the §5.3 "field of interest"), and only floods there.
+type searchReq struct {
+	QID    uint64
+	Prefix string
+	Origin Ref
+	SID    idspace.ID
+	HasSID bool
+	TTL    int
+	Hops   int
+}
+
+// searchHit returns matching items to the origin.
+type searchHit struct {
+	QID   uint64
+	Items []Item
+}
+
+// SearchResult is the outcome of a prefix search.
+type SearchResult struct {
+	Prefix string
+	Items  []Item
+	// Contacts is the number of peers the search touched.
+	Contacts int
+	// Latency is the collection window actually spent.
+	Latency sim.Time
+}
+
+// searchOp collects hits until the window closes.
+type searchOp struct {
+	prefix  string
+	qid     uint64
+	start   sim.Time
+	items   []Item
+	seen    map[string]bool
+	max     int
+	done    func(SearchResult)
+	timer   *sim.Event
+	expired bool
+}
+
+// SearchPrefix floods a prefix query and calls done with every match
+// collected within the window. window <= 0 uses half the lookup timeout;
+// maxResults <= 0 collects without bound until the window closes.
+func (p *Peer) SearchPrefix(prefix string, maxResults int, window sim.Time, done func(SearchResult)) {
+	if window <= 0 {
+		window = p.sys.Cfg.LookupTimeout / 2
+	}
+	qid := p.sys.newQID()
+	op := &searchOp{
+		prefix: prefix,
+		qid:    qid,
+		start:  p.sys.Eng.Now(),
+		seen:   make(map[string]bool),
+		max:    maxResults,
+		done:   done,
+	}
+	if p.searches == nil {
+		p.searches = make(map[uint64]*searchOp)
+	}
+	p.searches[qid] = op
+	op.timer = p.sys.Eng.After(window, func() { p.finishSearch(qid) })
+
+	// Local matches count immediately.
+	for _, it := range p.data {
+		p.collectSearchHit(op, it)
+	}
+
+	ttl := p.sys.Cfg.TTL + 2 // searches want coverage over latency
+	sid, routed := p.searchTarget(prefix)
+	if routed && !p.inLocalSegment(sid) {
+		m := searchReq{QID: qid, Prefix: prefix, Origin: p.Ref(), SID: sid, HasSID: true, TTL: ttl, Hops: 1}
+		p.forwardTowardSegment(sid, m, simnet.None)
+		return
+	}
+	m := searchReq{QID: qid, Prefix: prefix, Origin: p.Ref(), TTL: ttl, Hops: 1}
+	for _, nb := range p.neighbors() {
+		p.sys.stats.SearchesSent++
+		p.send(nb.Addr, m)
+	}
+}
+
+// searchTarget maps a categorized prefix to the serving s-network.
+func (p *Peer) searchTarget(prefix string) (sid idspace.ID, routed bool) {
+	if p.sys.Cfg.InterestCategories > 0 {
+		if cat := CategoryOf(prefix); cat >= 0 {
+			return CategoryID(cat), true
+		}
+	}
+	return 0, false
+}
+
+// handleSearch answers matches and keeps flooding within the TTL. Arriving
+// off-tree (via ring routing) it fans out over every tree edge; inside the
+// tree it avoids the sender like any flood.
+func (p *Peer) handleSearch(from simnet.Addr, m searchReq) {
+	p.sys.contact(m.QID)
+	p.maybeAck(from)
+	if m.HasSID && !p.inLocalSegment(m.SID) {
+		// Still in transit toward the field-of-interest segment.
+		m.Hops++
+		p.forwardTowardSegment(m.SID, m, from)
+		return
+	}
+	if m.HasSID {
+		// Arrived: from here on it is an ordinary tree flood.
+		m.HasSID = false
+	}
+	var matches []Item
+	for _, it := range p.data {
+		if strings.HasPrefix(it.Key, m.Prefix) {
+			matches = append(matches, it)
+		}
+	}
+	if len(matches) > 0 {
+		p.served++
+		p.sendData(m.Origin.Addr, len(matches), searchHit{QID: m.QID, Items: matches})
+	}
+	if m.TTL <= 1 {
+		return
+	}
+	m.TTL--
+	m.Hops++
+	for _, nb := range p.neighbors() {
+		if nb.Addr != from {
+			p.sys.stats.SearchesSent++
+			p.send(nb.Addr, m)
+		}
+	}
+}
+
+// handleSearchHit accumulates matches at the origin.
+func (p *Peer) handleSearchHit(m searchHit) {
+	op, ok := p.searches[m.QID]
+	if !ok || op.expired {
+		return
+	}
+	for _, it := range m.Items {
+		p.collectSearchHit(op, it)
+	}
+}
+
+// collectSearchHit deduplicates by key and closes the search early once
+// maxResults are in.
+func (p *Peer) collectSearchHit(op *searchOp, it Item) {
+	if !strings.HasPrefix(it.Key, op.prefix) || op.seen[it.Key] {
+		return
+	}
+	op.seen[it.Key] = true
+	op.items = append(op.items, it)
+	if op.max > 0 && len(op.items) >= op.max {
+		p.finishSearch(op.qid)
+	}
+}
+
+// finishSearch closes the collection window and reports.
+func (p *Peer) finishSearch(qid uint64) {
+	op, ok := p.searches[qid]
+	if !ok || op.expired {
+		return
+	}
+	op.expired = true
+	delete(p.searches, qid)
+	if op.timer != nil {
+		p.sys.Eng.Cancel(op.timer)
+	}
+	res := SearchResult{
+		Prefix:   op.prefix,
+		Items:    op.items,
+		Contacts: p.sys.takeContacts(qid),
+		Latency:  p.sys.Eng.Now() - op.start,
+	}
+	if op.done != nil {
+		op.done(res)
+	}
+}

@@ -1,0 +1,515 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/idspace"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Server is the well-known bootstrap server (§3.2): it hands joining peers a
+// role, an id and an entry point, assigns s-peers to s-networks, manages the
+// landmark list, and arbitrates the replacement of crashed t-peers.
+//
+// The server holds soft state only — a registry mirroring what peers report —
+// and is never on the data path, so it is not the BitTorrent-style single
+// point of failure the paper distinguishes itself from.
+type Server struct {
+	sys  *System
+	Host int
+
+	// ring mirrors the live t-network, ordered by id.
+	ring []Ref
+	// snetSize tracks s-peers per s-network, keyed by t-peer address.
+	snetSize map[simnet.Addr]int
+	// tCount/sCount track how many role assignments were made.
+	tCount, sCount int
+
+	// landmarks are the physical hosts acting as binning landmarks.
+	landmarks []int
+	// clusterRR advances round-robin assignment within a landmark bin.
+	clusterRR map[string]int
+
+	// replaced remembers crash substitutions so late reporters learn the
+	// new t-peer instead of being promoted twice.
+	replaced map[simnet.Addr]Ref
+	// deadPending tracks crashed t-peers whose s-network is expected to
+	// drive the replacement; if none arrives before the fallback fires
+	// the server force-patches the ring.
+	deadPending map[simnet.Addr]bool
+
+	// firstIssued flips when the very first t-peer role is handed out; it
+	// closes the window in which a second joiner could race the first
+	// peer's ringRegister and be crowned a second "first" ring.
+	firstIssued bool
+}
+
+// Server-bound registration messages.
+type (
+	ringRegister   struct{ Self Ref }
+	ringUnregister struct {
+		Self Ref
+		Succ Ref
+	}
+	ringReplace struct{ Old, New Ref }
+	sRegister   struct{ TPeer Ref }
+	sUnregister struct{ TPeer Ref }
+)
+
+func newServer(sys *System, host int) *Server {
+	sv := &Server{
+		sys:         sys,
+		Host:        host,
+		snetSize:    make(map[simnet.Addr]int),
+		clusterRR:   make(map[string]int),
+		replaced:    make(map[simnet.Addr]Ref),
+		deadPending: make(map[simnet.Addr]bool),
+	}
+	sv.pickLandmarks()
+	sys.Net.Attach(ServerAddr, host, 10, simnet.HandlerFunc(sv.recv))
+	return sv
+}
+
+// pickLandmarks chooses evenly spaced stub hosts as landmarks ("the
+// landmarks are predetermined so that they are uniformly distributed around
+// the network").
+func (sv *Server) pickLandmarks() {
+	n := sv.sys.Cfg.Landmarks
+	stubs := sv.sys.Topo.StubNodes()
+	if len(stubs) == 0 {
+		stubs = []int{0}
+	}
+	if n > len(stubs) {
+		n = len(stubs)
+	}
+	sv.landmarks = make([]int, n)
+	for i := 0; i < n; i++ {
+		sv.landmarks[i] = stubs[i*len(stubs)/n]
+	}
+}
+
+// Landmarks returns the landmark hosts.
+func (sv *Server) Landmarks() []int { return append([]int(nil), sv.landmarks...) }
+
+// RingSize returns the number of registered t-peers.
+func (sv *Server) RingSize() int { return len(sv.ring) }
+
+// SNetSizes returns a copy of the per-s-network size table.
+func (sv *Server) SNetSizes() map[simnet.Addr]int {
+	out := make(map[simnet.Addr]int, len(sv.snetSize))
+	for k, v := range sv.snetSize {
+		out[k] = v
+	}
+	return out
+}
+
+func (sv *Server) recv(from simnet.Addr, msg any) {
+	switch m := msg.(type) {
+	case serverJoinReq:
+		sv.handleJoin(from, m)
+	case ringRegister:
+		sv.ringInsert(m.Self)
+		delete(sv.replaced, m.Self.Addr)
+	case ringUnregister:
+		sv.ringRemove(m.Self.Addr)
+		delete(sv.snetSize, m.Self.Addr)
+	case ringReplace:
+		sv.ringSubstitute(m.Old, m.New)
+		sv.snetSize[m.New.Addr] = sv.snetSize[m.Old.Addr]
+		delete(sv.snetSize, m.Old.Addr)
+		sv.replaced[m.Old.Addr] = m.New
+	case sRegister:
+		sv.snetSize[m.TPeer.Addr]++
+	case sUnregister:
+		if sv.snetSize[m.TPeer.Addr] > 0 {
+			sv.snetSize[m.TPeer.Addr]--
+		}
+	case replaceReq:
+		sv.handleReplace(from, m)
+	case ringLocate:
+		sv.handleRingLocate(m)
+	case ringDeadReq:
+		sv.handleRingDead(m)
+	default:
+		panic(fmt.Sprintf("core: server received unknown message %T", msg))
+	}
+}
+
+func (sv *Server) send(to simnet.Addr, msg any) {
+	sv.sys.Net.Send(ServerAddr, to, sv.sys.Cfg.MessageBytes, msg)
+}
+
+// handleJoin decides role, id and entry point for a joining peer.
+func (sv *Server) handleJoin(from simnet.Addr, m serverJoinReq) {
+	if len(sv.ring) == 0 && sv.firstIssued {
+		// The first t-peer was created but its registration is still in
+		// flight; park this join briefly instead of minting a second
+		// disconnected ring.
+		sv.sys.Eng.After(20*sim.Millisecond, func() { sv.handleJoin(from, m) })
+		return
+	}
+	role := sv.decideRole(m)
+	resp := serverJoinResp{Role: role}
+	switch role {
+	case TPeer:
+		sv.tCount++
+		resp.ID = sv.generateID(from, m)
+		if !sv.firstIssued {
+			sv.firstIssued = true
+			resp.First = true
+		} else {
+			// An arbitrary existing t-peer is the entry point.
+			resp.Entry = sv.ring[sv.sys.Eng.Rand().Intn(len(sv.ring))]
+		}
+	case SPeer:
+		entry, ok := sv.assignSNetwork(m)
+		if !ok {
+			// No t-network yet: promote to first t-peer instead.
+			sv.tCount++
+			sv.firstIssued = true
+			resp.Role = TPeer
+			resp.ID = sv.generateID(from, m)
+			resp.First = true
+			break
+		}
+		sv.sCount++
+		resp.Entry = entry
+	}
+	sv.send(from, resp)
+}
+
+// decideRole implements the role policy. Without heterogeneity the server
+// keeps the realized t:s ratio as close to (1-Ps):Ps as arrival order
+// allows. With heterogeneity it additionally requires t-peers to come from
+// the highest capacity class available, relaxing the bar only when the
+// deficit grows (§5.1: "we assign peers with higher link capacities as
+// t-peers").
+func (sv *Server) decideRole(m serverJoinReq) Role {
+	if m.ForceRole == int8(TPeer) {
+		return TPeer
+	}
+	if m.ForceRole == int8(SPeer) && len(sv.ring) > 0 {
+		return SPeer
+	}
+	total := sv.tCount + sv.sCount + 1
+	desiredT := int(math.Round((1 - sv.sys.Cfg.Ps) * float64(total)))
+	if desiredT < 1 {
+		desiredT = 1
+	}
+	deficit := desiredT - sv.tCount
+	if deficit <= 0 {
+		return SPeer
+	}
+	if !sv.sys.Cfg.Heterogeneity {
+		return TPeer
+	}
+	switch {
+	case m.Capacity >= 10:
+		return TPeer
+	case m.Capacity >= 3 && deficit > 3:
+		return TPeer
+	case deficit > 20:
+		return TPeer
+	default:
+		return SPeer
+	}
+}
+
+// generateID produces a p_id per the configured policy. Conflicts are
+// possible and are resolved at the insertion point with the midpoint rule.
+func (sv *Server) generateID(from simnet.Addr, m serverJoinReq) idspace.ID {
+	switch sv.sys.Cfg.IDGen {
+	case IDHashAddr:
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(from))
+		return idspace.HashBytes(b[:])
+	case IDLocation:
+		// Project the host's coordinates onto the ring by angle around
+		// the unit square's center so physically close peers get close
+		// ids.
+		n := sv.sys.Topo.Nodes[m.Host]
+		theta := math.Atan2(n.Y-0.5, n.X-0.5) + math.Pi
+		return idspace.ID(theta / (2 * math.Pi) * float64(math.MaxUint64))
+	default:
+		return idspace.ID(sv.sys.Eng.Rand().Uint64())
+	}
+}
+
+// assignSNetwork picks the s-network for a joining s-peer.
+func (sv *Server) assignSNetwork(m serverJoinReq) (Ref, bool) {
+	if len(sv.ring) == 0 {
+		return NilRef, false
+	}
+	switch sv.sys.Cfg.Assignment {
+	case AssignRandom:
+		return sv.ring[sv.sys.Eng.Rand().Intn(len(sv.ring))], true
+	case AssignInterest:
+		return sv.ringSuccessor(CategoryID(m.Interest)), true
+	case AssignCluster:
+		if sv.sys.Cfg.TopologyAware && m.Coord != "" {
+			return sv.assignByCluster(m.Coord), true
+		}
+		return sv.smallestSNet(), true
+	default: // AssignSmallest
+		return sv.smallestSNet(), true
+	}
+}
+
+// smallestSNet returns the t-peer with the fewest s-peers (§3.2.2: "the
+// server is responsible for assigning a joining s-peer to some s-network
+// with a smaller size").
+func (sv *Server) smallestSNet() Ref {
+	best := sv.ring[0]
+	bestSize := sv.snetSize[best.Addr]
+	for _, r := range sv.ring[1:] {
+		if s := sv.snetSize[r.Addr]; s < bestSize {
+			best, bestSize = r, s
+		}
+	}
+	return best
+}
+
+// assignByCluster maps a landmark bin to an s-network (§5.2). Peers in the
+// same bin land in the same s-network unless that network has grown well
+// past the average, in which case the bin advances round-robin to keep
+// sizes balanced.
+func (sv *Server) assignByCluster(coord string) Ref {
+	base := int(idspace.HashBytes([]byte(coord)) % idspace.ID(len(sv.ring)))
+	idx := (base + sv.clusterRR[coord]) % len(sv.ring)
+	chosen := sv.ring[idx]
+
+	total := 0
+	for _, s := range sv.snetSize {
+		total += s
+	}
+	avg := float64(total) / float64(len(sv.ring))
+	if float64(sv.snetSize[chosen.Addr]) > avg+float64(len(sv.ring)) {
+		sv.clusterRR[coord]++
+		idx = (base + sv.clusterRR[coord]) % len(sv.ring)
+		chosen = sv.ring[idx]
+	}
+	return chosen
+}
+
+// --- ring registry -----------------------------------------------------------
+
+func (sv *Server) ringInsert(r Ref) {
+	for i, e := range sv.ring {
+		if e.Addr == r.Addr {
+			sv.ring[i] = r
+			return
+		}
+	}
+	sv.ring = append(sv.ring, r)
+	sort.Slice(sv.ring, func(i, j int) bool {
+		if sv.ring[i].ID != sv.ring[j].ID {
+			return sv.ring[i].ID < sv.ring[j].ID
+		}
+		return sv.ring[i].Addr < sv.ring[j].Addr
+	})
+}
+
+func (sv *Server) ringRemove(addr simnet.Addr) {
+	for i, e := range sv.ring {
+		if e.Addr == addr {
+			sv.ring = append(sv.ring[:i], sv.ring[i+1:]...)
+			if len(sv.ring) == 0 {
+				// The t-network died out entirely; the next t-join
+				// bootstraps a fresh ring.
+				sv.firstIssued = false
+			}
+			return
+		}
+	}
+}
+
+func (sv *Server) ringSubstitute(old, new Ref) {
+	for i, e := range sv.ring {
+		if e.Addr == old.Addr {
+			sv.ring[i] = new
+			return
+		}
+	}
+	sv.ringInsert(new)
+}
+
+// ringSuccessor returns the registered t-peer owning the given id.
+func (sv *Server) ringSuccessor(id idspace.ID) Ref {
+	if len(sv.ring) == 0 {
+		return NilRef
+	}
+	for _, r := range sv.ring {
+		if r.ID >= id {
+			return r
+		}
+	}
+	return sv.ring[0]
+}
+
+// ringNeighbors returns the registered predecessor and successor of the
+// entry with the given address.
+func (sv *Server) ringNeighbors(addr simnet.Addr) (pred, succ Ref, ok bool) {
+	for i, e := range sv.ring {
+		if e.Addr == addr {
+			if len(sv.ring) == 1 {
+				return e, e, true
+			}
+			pred = sv.ring[(i-1+len(sv.ring))%len(sv.ring)]
+			succ = sv.ring[(i+1)%len(sv.ring)]
+			return pred, succ, true
+		}
+	}
+	return NilRef, NilRef, false
+}
+
+// handleRingLocate re-anchors a t-peer that lost its ring pointers: it is
+// (re-)registered and told its registry neighbors unconditionally; the ring
+// stabilization protocol then reconciles the eager pointers around it.
+func (sv *Server) handleRingLocate(m ringLocate) {
+	sv.ringInsert(m.Self)
+	delete(sv.replaced, m.Self.Addr)
+	pred, succ, ok := sv.ringNeighbors(m.Self.Addr)
+	if !ok {
+		return
+	}
+	sv.send(m.Self.Addr, pointerUpdate{Pred: pred, Succ: succ})
+	// Tell the registry neighbors too, conditionally: only a neighbor
+	// whose pointer is missing adopts it (IfCurrent of None matches the
+	// invalid pointer case in handlePointerUpdate via the !Valid branch).
+	if pred.Addr != m.Self.Addr {
+		sv.send(pred.Addr, pointerUpdate{Succ: m.Self, Pred: NilRef, IfCurrent: Ref{Addr: -2}})
+	}
+	if succ.Addr != m.Self.Addr && succ.Addr != pred.Addr {
+		sv.send(succ.Addr, pointerUpdate{Pred: m.Self, Succ: NilRef, IfCurrent: Ref{Addr: -2}})
+	}
+}
+
+// --- crash arbitration --------------------------------------------------------
+
+// handleReplace arbitrates the replacement of a crashed t-peer. The paper
+// lets disconnected s-peers "compete to replace the crashed t-peer by
+// sending messages to the server"; the server picks one (the first reporter
+// here — any deterministic rule works) and points the rest at the winner.
+func (sv *Server) handleReplace(from simnet.Addr, m replaceReq) {
+	if rep, done := sv.replaced[m.Crashed.Addr]; done {
+		sv.send(from, replaceResp{Promote: false, NewT: rep})
+		return
+	}
+	pred, succ, registered := sv.ringNeighbors(m.Crashed.Addr)
+	if !registered {
+		// Unknown crash report: steer the reporter to the segment owner.
+		sv.send(from, replaceResp{Promote: false, NewT: sv.ringSuccessor(m.Crashed.ID)})
+		return
+	}
+	winner := m.Self
+	newRef := Ref{ID: m.Crashed.ID, Addr: winner.Addr}
+	sv.ringSubstitute(m.Crashed, newRef)
+	sv.replaced[m.Crashed.Addr] = newRef
+	size := sv.snetSize[m.Crashed.Addr]
+	delete(sv.snetSize, m.Crashed.Addr)
+	if size > 0 {
+		sv.snetSize[winner.Addr] = size - 1 // the winner is no longer an s-peer
+	}
+	sv.sys.stats.Promotions++
+
+	if pred.Addr == m.Crashed.Addr {
+		pred = newRef // singleton ring
+	}
+	if succ.Addr == m.Crashed.Addr {
+		succ = newRef
+	}
+	sv.send(from, replaceResp{Promote: true, ID: m.Crashed.ID, Pred: pred, Succ: succ})
+	// Patch the ring neighbors' pointers directly; the promoted peer also
+	// circulates a finger substitution when it takes over.
+	if pred.Addr != winner.Addr {
+		sv.send(pred.Addr, pointerUpdate{Succ: newRef, Pred: NilRef, IfCurrent: m.Crashed})
+	}
+	if succ.Addr != winner.Addr {
+		sv.send(succ.Addr, pointerUpdate{Pred: newRef, Succ: NilRef, IfCurrent: m.Crashed})
+	}
+}
+
+// handleRingDead handles a crashed-t-peer report from a ring neighbor. If
+// the registry says the dead peer had an empty s-network the ring is patched
+// around it immediately; otherwise the s-network is given one failure-
+// detection window to drive the replacement (replaceReq) before the server
+// force-patches anyway. Either way the reporter gets a targeted ringRepair
+// so its own stale pointer heals.
+func (sv *Server) handleRingDead(m ringDeadReq) {
+	if rep, done := sv.replaced[m.Crashed.Addr]; done {
+		sv.send(m.Self.Addr, ringRepair{Crashed: m.Crashed, Pred: rep, Succ: rep})
+		return
+	}
+	pred, succ, registered := sv.ringNeighbors(m.Crashed.Addr)
+	if !registered {
+		sv.send(m.Self.Addr, ringRepair{
+			Crashed: m.Crashed,
+			Pred:    sv.ringPredecessor(m.Crashed.ID),
+			Succ:    sv.ringSuccessor(m.Crashed.ID),
+		})
+		return
+	}
+	if sv.snetSize[m.Crashed.Addr] > 0 {
+		// The s-network should drive replacement through replaceReq; if
+		// it does not (the size accounting can drift, or the children
+		// crashed too), force-patch after one more detection window.
+		if !sv.deadPending[m.Crashed.Addr] {
+			sv.deadPending[m.Crashed.Addr] = true
+			crashed := m.Crashed
+			sv.sys.Eng.After(2*sv.sys.Cfg.HelloTimeout, func() {
+				delete(sv.deadPending, crashed.Addr)
+				if _, done := sv.replaced[crashed.Addr]; done {
+					return
+				}
+				if _, _, still := sv.ringNeighbors(crashed.Addr); still {
+					sv.patchAround(crashed)
+				}
+			})
+		}
+		return
+	}
+	sv.patchAround(m.Crashed)
+	_ = pred
+	_ = succ
+}
+
+// patchAround removes a dead t-peer from the registry and splices its ring
+// neighbors together, folding its segment into the successor.
+func (sv *Server) patchAround(crashed Ref) {
+	pred, succ, registered := sv.ringNeighbors(crashed.Addr)
+	if !registered {
+		return
+	}
+	sv.ringRemove(crashed.Addr)
+	delete(sv.snetSize, crashed.Addr)
+	sv.replaced[crashed.Addr] = succ
+	if pred.Addr != crashed.Addr && pred.Addr != succ.Addr {
+		sv.send(pred.Addr, pointerUpdate{Succ: succ, Pred: NilRef, IfCurrent: crashed})
+		sv.send(succ.Addr, pointerUpdate{Pred: pred, Succ: NilRef, IfCurrent: crashed})
+	} else if pred.Addr == succ.Addr && pred.Addr != crashed.Addr {
+		// Two-node ring collapsing to one.
+		sv.send(pred.Addr, pointerUpdate{Pred: pred, Succ: pred, IfCurrent: crashed})
+	}
+	// Circulate a finger substitution so stale fingers route to the
+	// successor, which now owns the dead peer's segment.
+	if succ.Addr != crashed.Addr {
+		sv.send(succ.Addr, substituteMsg{Old: crashed, New: succ, Origin: succ.Addr})
+	}
+}
+
+// ringPredecessor returns the registered t-peer preceding the given id.
+func (sv *Server) ringPredecessor(id idspace.ID) Ref {
+	if len(sv.ring) == 0 {
+		return NilRef
+	}
+	for i := len(sv.ring) - 1; i >= 0; i-- {
+		if sv.ring[i].ID < id {
+			return sv.ring[i]
+		}
+	}
+	return sv.ring[len(sv.ring)-1]
+}

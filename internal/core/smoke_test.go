@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// newTestSystem builds a small system over a compact transit-stub topology.
+func newTestSystem(t *testing.T, seed int64, mut func(*Config)) *System {
+	t.Helper()
+	tcfg := topology.Config{
+		TransitDomains:        2,
+		TransitNodesPerDomain: 2,
+		StubDomainsPerTransit: 2,
+		StubNodesPerDomain:    10,
+		ExtraTransitEdges:     2,
+		ExtraStubEdges:        2,
+		TransitScale:          10,
+		BaseLatency:           500,
+		LatencyPerUnit:        20000,
+	}
+	topo, err := topology.GenerateTransitStub(tcfg, seed)
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	eng := sim.New(seed)
+	net := simnet.New(eng, topo, simnet.DefaultConfig())
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	sys, err := NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	if err != nil {
+		t.Fatalf("system: %v", err)
+	}
+	return sys
+}
+
+func TestSmokeBuildAndLookup(t *testing.T) {
+	sys := newTestSystem(t, 1, func(c *Config) { c.Ps = 0.5 })
+	peers, stats, err := sys.BuildPopulation(PopulationOpts{N: 60})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if len(peers) != 60 || len(stats) != 60 {
+		t.Fatalf("got %d peers, %d stats", len(peers), len(stats))
+	}
+	sys.Settle(10 * sim.Second)
+	if err := sys.CheckRing(); err != nil {
+		t.Fatalf("ring: %v", err)
+	}
+	if err := sys.CheckTrees(); err != nil {
+		t.Fatalf("trees: %v", err)
+	}
+
+	nt, ns := len(sys.TPeers()), len(sys.SPeers())
+	if nt+ns != 60 {
+		t.Fatalf("t=%d s=%d, want total 60", nt, ns)
+	}
+	if nt < 25 || nt > 35 {
+		t.Errorf("t-peer count %d far from 30", nt)
+	}
+
+	// Store from many peers, then look up from others.
+	for i, p := range peers {
+		key := keyf("smoke-%03d", i)
+		r, err := sys.StoreSync(p, key, "v")
+		if err != nil {
+			t.Fatalf("store %s: %v", key, err)
+		}
+		if !r.OK {
+			t.Fatalf("store %s failed", key)
+		}
+	}
+	okCount := 0
+	for i := range peers {
+		origin := peers[(i+17)%len(peers)]
+		r, err := sys.LookupSync(origin, keyf("smoke-%03d", i))
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		if r.OK {
+			okCount++
+		}
+	}
+	if okCount < 55 {
+		t.Errorf("only %d/60 lookups succeeded", okCount)
+	}
+	if got := sys.TotalItems(); got != 60 {
+		t.Errorf("TotalItems = %d, want 60", got)
+	}
+}
+
+func keyf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

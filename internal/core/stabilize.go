@@ -1,0 +1,89 @@
+package core
+
+// Ring stabilization: a Chord-style safety net for the t-network. The
+// eager join/leave triangles of §3.3 keep the ring consistent on their own
+// when every participant survives the handshake, but under heavy churn a
+// triangle's counterparty can crash mid-protocol and leave a joiner
+// half-inserted: its own pointers are right, yet nobody points back at it.
+// The t-network therefore runs the classic stabilize/notify pair
+// (piggybacked on the finger-refresh tick) that the paper inherits from
+// Chord ("the t-network ... organizes peers into a ring similar to a chord
+// ring"): ask the successor for its predecessor, adopt a closer successor if
+// one appeared, and notify the successor so it can adopt us as predecessor.
+
+import (
+	"repro/internal/idspace"
+	"repro/internal/simnet"
+)
+
+type (
+	// ringStabQ asks the successor for its current predecessor.
+	ringStabQ struct{}
+	// ringStabA is the answer.
+	ringStabA struct{ Pred Ref }
+	// ringNotify proposes the sender as the receiver's predecessor.
+	ringNotify struct{ Cand Ref }
+)
+
+// stabilizeRing runs one stabilization round; it is invoked from the finger
+// refresh ticker so it shares that cadence.
+func (p *Peer) stabilizeRing() {
+	if p.Role != TPeer || p.joining || p.leaving {
+		return
+	}
+	if !p.succ.Valid() || p.succ.Addr == p.Addr {
+		return
+	}
+	p.send(p.succ.Addr, ringStabQ{})
+}
+
+// handleRingStabA adopts a closer successor if the current successor knows
+// one, then notifies the (possibly new) successor.
+func (p *Peer) handleRingStabA(from simnet.Addr, m ringStabA) {
+	if p.Role != TPeer || p.joining || p.leaving {
+		return
+	}
+	if from != p.succ.Addr {
+		return // stale answer from a replaced successor
+	}
+	if m.Pred.Valid() && m.Pred.Addr != p.Addr &&
+		idspace.StrictBetween(p.ID, m.Pred.ID, p.succ.ID) {
+		p.succ = m.Pred
+		p.watch(m.Pred.Addr)
+		// Cascade: re-probe the adopted successor right away instead of
+		// waiting a full tick, so a long dangling chain reconnects in one
+		// round trip per hop rather than one tick per hop. Each adoption
+		// strictly shrinks the successor arc, so the cascade terminates.
+		p.send(p.succ.Addr, ringStabQ{})
+	}
+	if p.succ.Valid() && p.succ.Addr != p.Addr {
+		p.send(p.succ.Addr, ringNotify{Cand: p.Ref()})
+	}
+}
+
+// handleRingNotify adopts the candidate as predecessor when it sits between
+// the current predecessor and us, handing over the slice of our segment it
+// now owns — the same load transfer a triangle insertion performs.
+func (p *Peer) handleRingNotify(m ringNotify) {
+	if p.Role != TPeer || m.Cand.Addr == p.Addr {
+		return
+	}
+	if p.pred.Valid() && p.pred.Addr != p.Addr &&
+		!idspace.StrictBetween(p.pred.ID, m.Cand.ID, p.ID) {
+		return
+	}
+	oldPred := p.pred
+	if oldPred.Addr == m.Cand.Addr {
+		return // already our predecessor
+	}
+	p.pred = m.Cand
+	p.segLo = m.Cand.ID
+	p.watch(m.Cand.Addr)
+	lo := oldPred.ID
+	if !oldPred.Valid() {
+		lo = p.ID
+	}
+	p.handleLoadTransfer(p.Addr, loadTransferReq{
+		Lo: lo, Hi: m.Cand.ID, Target: m.Cand, TTL: 1 << 20,
+	})
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/idspace"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// ServerAddr is the well-known address of the bootstrap server.
+const ServerAddr simnet.Addr = 0
+
+// traceHook, when non-nil, receives protocol trace lines (tests only).
+var traceHook func(format string, args ...any)
+
+// SetTraceHook installs (or clears, with nil) the protocol trace sink.
+func SetTraceHook(fn func(format string, args ...any)) { traceHook = fn }
+
+func tracef(format string, args ...any) {
+	if traceHook != nil {
+		traceHook(format, args...)
+	}
+}
+
+// System owns one hybrid peer-to-peer deployment: the bootstrap server, the
+// t-network ring and every attached s-network, all running over a shared
+// simulated network.
+type System struct {
+	Eng  *sim.Engine
+	Net  *simnet.Network
+	Topo *topology.Graph
+	Cfg  Config
+
+	server   *Server
+	peers    map[simnet.Addr]*Peer
+	nextAddr simnet.Addr
+
+	// nextQID numbers lookups/stores globally so contact counts can be
+	// attributed per query.
+	nextQID uint64
+	// contacts counts peers contacted per in-flight query (connum).
+	contacts map[uint64]int
+
+	stats SystemStats
+}
+
+// SystemStats aggregates protocol-level counters for a run.
+type SystemStats struct {
+	TJoins, SJoins     int
+	TLeaves, SLeaves   int
+	Crashes            int
+	Promotions         int // s-peer -> t-peer substitutions
+	Rejoins            int // s-peers re-attaching after a parent loss
+	FloodsSent         uint64
+	RingForwards       uint64
+	BypassUses         uint64
+	IDConflicts        int
+	HellosSent         uint64
+	AcksSent           uint64
+	AcksSuppressed     uint64
+	WatchdogExpiries   uint64
+	QueuedJoinRequests int
+	CachePushes        uint64
+	CacheHits          uint64
+	WalksSent          uint64
+	SearchesSent       uint64
+}
+
+// NewSystem creates an empty hybrid system. The server is attached at
+// ServerAddr on the given physical host.
+func NewSystem(eng *sim.Engine, net *simnet.Network, topo *topology.Graph, cfg Config, serverHost int) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		Eng:      eng,
+		Net:      net,
+		Topo:     topo,
+		Cfg:      cfg,
+		peers:    make(map[simnet.Addr]*Peer),
+		nextAddr: ServerAddr + 1,
+		contacts: make(map[uint64]int),
+	}
+	s.server = newServer(s, serverHost)
+	return s, nil
+}
+
+// Server returns the bootstrap server.
+func (s *System) Server() *Server { return s.server }
+
+// Stats returns a copy of the protocol counters.
+func (s *System) Stats() SystemStats { return s.stats }
+
+// Peer returns the peer at the given address, or nil.
+func (s *System) Peer(a simnet.Addr) *Peer { return s.peers[a] }
+
+// Peers returns all live peers sorted by address.
+func (s *System) Peers() []*Peer {
+	out := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		if p.alive {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// TPeers returns all live t-peers sorted by ring id.
+func (s *System) TPeers() []*Peer {
+	var out []*Peer
+	for _, p := range s.peers {
+		if p.alive && p.Role == TPeer {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// SPeers returns all live s-peers sorted by address.
+func (s *System) SPeers() []*Peer {
+	var out []*Peer
+	for _, p := range s.peers {
+		if p.alive && p.Role == SPeer {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// NumPeers returns the live peer count.
+func (s *System) NumPeers() int {
+	n := 0
+	for _, p := range s.peers {
+		if p.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// JoinStats reports how a join went.
+type JoinStats struct {
+	Role Role
+	// Hops is the number of overlay hops the join request traveled: ring
+	// forwarding hops for t-peers, tree walk hops for s-peers. This is
+	// the quantity Eq. (1) of the paper models.
+	Hops int
+	// Latency is the simulated time from contacting the server to being
+	// inserted.
+	Latency sim.Time
+}
+
+// JoinOpts describes a joining peer.
+type JoinOpts struct {
+	// Host is the physical topology node the peer lives on.
+	Host int
+	// Capacity is the relative access-link capacity (>= 1).
+	Capacity float64
+	// Interest is the peer's content category (interest-based mode).
+	Interest int
+	// ForceRole pins the role instead of letting the server decide.
+	ForceRole *Role
+}
+
+// Join starts the join protocol for a new peer. The returned peer is live
+// immediately as a network endpoint but only becomes a functional member
+// when done fires. done may be nil.
+func (s *System) Join(opts JoinOpts, done func(*Peer, JoinStats)) *Peer {
+	if opts.Capacity < 1 {
+		opts.Capacity = 1
+	}
+	p := &Peer{
+		Addr:     s.nextAddr,
+		Host:     opts.Host,
+		Capacity: opts.Capacity,
+		Interest: opts.Interest,
+		sys:      s,
+		alive:    true,
+
+		pred:     NilRef,
+		succ:     NilRef,
+		tpeer:    NilRef,
+		cp:       NilRef,
+		children: make(map[simnet.Addr]Ref),
+		data:     make(map[idspace.ID]Item),
+		pending:  make(map[uint64]*op),
+		watchdog: make(map[simnet.Addr]*sim.Timer),
+		lastAck:  make(map[simnet.Addr]sim.Time),
+	}
+	s.nextAddr++
+	s.peers[p.Addr] = p
+	s.Net.Attach(p.Addr, opts.Host, opts.Capacity, simnet.HandlerFunc(p.recv))
+
+	p.joinStart = s.Eng.Now()
+	p.joinDone = done
+	req := serverJoinReq{
+		Capacity:  opts.Capacity,
+		Interest:  opts.Interest,
+		Host:      opts.Host,
+		ForceRole: -1,
+	}
+	if opts.ForceRole != nil {
+		req.ForceRole = int8(*opts.ForceRole)
+	}
+	if s.Cfg.TopologyAware {
+		req.Coord = s.landmarkCoord(opts.Host)
+	}
+	p.send(ServerAddr, req)
+	return p
+}
+
+// landmarkCoord computes the peer's landmark bin: the landmark indices
+// ordered by physical distance. In a deployment the peer would probe each
+// landmark; the simulated probe returns exactly the shortest-path latency,
+// so we read it from the topology directly.
+func (s *System) landmarkCoord(host int) string {
+	lms := s.server.landmarks
+	type dl struct {
+		idx int
+		d   int64
+	}
+	ds := make([]dl, len(lms))
+	for i, lm := range lms {
+		lat, err := s.Topo.Latency(host, lm)
+		if err != nil {
+			lat = 1 << 60
+		}
+		ds[i] = dl{idx: i, d: lat}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].d != ds[j].d {
+			return ds[i].d < ds[j].d
+		}
+		return ds[i].idx < ds[j].idx
+	})
+	coord := make([]byte, 0, len(ds)*3)
+	for _, e := range ds {
+		coord = append(coord, byte('A'+e.idx/26), byte('A'+e.idx%26))
+	}
+	return string(coord)
+}
+
+// newQID allocates a globally unique query id and its contact counter.
+func (s *System) newQID() uint64 {
+	s.nextQID++
+	s.contacts[s.nextQID] = 0
+	return s.nextQID
+}
+
+// newTag allocates a globally unique request tag without contact tracking
+// (internal requests such as finger refresh). Sharing the qid counter keeps
+// every per-peer pending map collision-free.
+func (s *System) newTag() uint64 {
+	s.nextQID++
+	return s.nextQID
+}
+
+// contact records that a peer was contacted on behalf of a query.
+func (s *System) contact(qid uint64) {
+	if _, ok := s.contacts[qid]; ok {
+		s.contacts[qid]++
+	}
+}
+
+// takeContacts returns and clears the contact count for a finished query.
+func (s *System) takeContacts(qid uint64) int {
+	n := s.contacts[qid]
+	delete(s.contacts, qid)
+	return n
+}
+
+// CheckRing validates the t-network ring invariants: following successor
+// pointers from the smallest-id t-peer visits every live t-peer exactly once
+// and ids increase monotonically around the ring. It returns nil when the
+// ring is consistent. Intended for tests and debugging.
+func (s *System) CheckRing() error {
+	tps := s.TPeers()
+	if len(tps) == 0 {
+		return nil
+	}
+	byAddr := make(map[simnet.Addr]*Peer, len(tps))
+	for _, p := range tps {
+		byAddr[p.Addr] = p
+	}
+	start := tps[0]
+	cur := start
+	visited := make(map[simnet.Addr]bool)
+	for {
+		if visited[cur.Addr] {
+			return fmt.Errorf("core: successor cycle revisits %d before covering the ring", cur.Addr)
+		}
+		visited[cur.Addr] = true
+		if !cur.succ.Valid() {
+			return fmt.Errorf("core: t-peer %d has no successor", cur.Addr)
+		}
+		next, ok := byAddr[cur.succ.Addr]
+		if !ok {
+			return fmt.Errorf("core: t-peer %d points at dead successor %d", cur.Addr, cur.succ.Addr)
+		}
+		if next.pred.Addr != cur.Addr {
+			return fmt.Errorf("core: t-peer %d predecessor is %d, want %d", next.Addr, next.pred.Addr, cur.Addr)
+		}
+		cur = next
+		if cur == start {
+			break
+		}
+	}
+	if len(visited) != len(tps) {
+		return fmt.Errorf("core: ring covers %d of %d t-peers", len(visited), len(tps))
+	}
+	return nil
+}
+
+// CheckTrees validates the s-network invariants: every live s-peer has a
+// connect point, parent/child pointers agree, degrees respect δ (except
+// roots that inherited children during substitution), and every s-peer
+// reaches its t-peer by following connect points.
+func (s *System) CheckTrees() error {
+	for _, p := range s.SPeers() {
+		if !p.cp.Valid() {
+			return fmt.Errorf("core: s-peer %d has no connect point", p.Addr)
+		}
+		parent := s.peers[p.cp.Addr]
+		if parent == nil || !parent.alive {
+			return fmt.Errorf("core: s-peer %d connect point %d is dead", p.Addr, p.cp.Addr)
+		}
+		if _, ok := parent.children[p.Addr]; !ok {
+			return fmt.Errorf("core: peer %d does not list s-peer %d as a child", parent.Addr, p.Addr)
+		}
+		// Walk to the root.
+		cur := p
+		steps := 0
+		for cur.Role == SPeer {
+			next := s.peers[cur.cp.Addr]
+			if next == nil || !next.alive {
+				return fmt.Errorf("core: s-peer %d ancestry broken at %d", p.Addr, cur.cp.Addr)
+			}
+			cur = next
+			steps++
+			if steps > len(s.peers) {
+				return fmt.Errorf("core: s-peer %d connect-point cycle", p.Addr)
+			}
+		}
+		if p.tpeer.Valid() && cur.Addr != p.tpeer.Addr {
+			return fmt.Errorf("core: s-peer %d cached t-peer %d but root is %d", p.Addr, p.tpeer.Addr, cur.Addr)
+		}
+	}
+	return nil
+}
+
+// TotalItems returns the number of data items stored across all live peers.
+func (s *System) TotalItems() int {
+	total := 0
+	for _, p := range s.peers {
+		if p.alive {
+			total += len(p.data)
+		}
+	}
+	return total
+}
+
+// ItemsPerPeer returns the per-peer stored item counts (live peers, sorted
+// by address), feeding the Fig. 4 distributions.
+func (s *System) ItemsPerPeer() []int {
+	peers := s.Peers()
+	out := make([]int, len(peers))
+	for i, p := range peers {
+		out[i] = len(p.data)
+	}
+	return out
+}
+
+// DebugPendingOps lists in-flight client operations per peer ("kind key"),
+// for tests and debugging.
+func (s *System) DebugPendingOps() map[simnet.Addr][]string {
+	out := make(map[simnet.Addr][]string)
+	for addr, p := range s.peers {
+		for _, o := range p.pending {
+			if o.kind == "fixfinger" {
+				continue
+			}
+			out[addr] = append(out[addr], fmt.Sprintf("%s %s timer=%v", o.kind, o.key, o.timer != nil))
+		}
+	}
+	return out
+}

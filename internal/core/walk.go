@@ -1,0 +1,72 @@
+package core
+
+import (
+	"repro/internal/idspace"
+	"repro/internal/simnet"
+)
+
+// Random-walk search: §3.1 lets s-networks be searched by "flooding or
+// random walks". With Config.RandomWalk set, a local search launches
+// WalkCount walkers that each wander the tree for up to WalkTTL hops,
+// checking every peer they visit. Walks contact far fewer peers than floods
+// on large s-networks at the price of a higher miss probability.
+
+// walkReq is one walker.
+type walkReq struct {
+	QID    uint64
+	DID    idspace.ID
+	Origin Ref
+	TTL    int
+	Hops   int
+	From   simnet.Addr // previous hop, avoided when possible
+}
+
+// startWalks launches the configured number of walkers from this peer.
+func (p *Peer) startWalks(qid uint64, did idspace.ID, origin Ref) {
+	nbs := p.neighbors()
+	if len(nbs) == 0 {
+		return
+	}
+	rng := p.sys.Eng.Rand()
+	for i := 0; i < p.sys.Cfg.WalkCount; i++ {
+		nb := nbs[rng.Intn(len(nbs))]
+		p.sys.stats.WalksSent++
+		p.send(nb.Addr, walkReq{
+			QID: qid, DID: did, Origin: origin,
+			TTL: p.sys.Cfg.WalkTTL, Hops: 1, From: p.Addr,
+		})
+	}
+}
+
+// handleWalk advances one walker: check locally, then step to a random
+// neighbor (preferring not to bounce straight back).
+func (p *Peer) handleWalk(m walkReq) {
+	p.sys.contact(m.QID)
+	p.maybeAck(m.From)
+	if it, ok := p.findLocal(m.DID); ok {
+		p.answer(m.Origin, m.QID, it, m.Hops+1)
+		return
+	}
+	if m.TTL <= 1 {
+		return
+	}
+	nbs := p.neighbors()
+	if len(nbs) == 0 {
+		return
+	}
+	// Avoid the immediate previous hop when there is any alternative.
+	candidates := nbs[:0:0]
+	for _, nb := range nbs {
+		if nb.Addr != m.From {
+			candidates = append(candidates, nb)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = nbs
+	}
+	next := candidates[p.sys.Eng.Rand().Intn(len(candidates))]
+	m.TTL--
+	m.Hops++
+	m.From = p.Addr
+	p.send(next.Addr, m)
+}

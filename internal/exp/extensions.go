@@ -1,0 +1,265 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/workload"
+)
+
+// RunExtCaching evaluates the caching scheme the paper's conclusion proposes
+// as future work: under a Zipf-skewed lookup workload, hot items overwhelm
+// their holders; with caching the load spreads to surrogates. Reported per
+// mode: the hottest peer's serve count, the serve-count Gini, and mean
+// latency.
+func RunExtCaching(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ExtCaching")
+
+	keys := keysN(o.Items / 4) // small universe so Zipf repeats bite
+	t := metrics.NewTable("Extension: future-work caching under Zipf lookups (p_s=0.8)",
+		"mode", "max serves", "serve gini", "mean ms", "cache pushes", "cache hits")
+	for _, caching := range []bool{false, true} {
+		cfg := expConfig(0.8)
+		cfg.Caching = caching
+		cfg.CacheHotThreshold = 8
+		cfg.CacheWindow = 60 * sim.Second
+		cfg.CacheTTL = 600 * sim.Second
+		sc, err := buildScenario(o, cfg, o.Seed+900, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sc.storeItems(keys); err != nil {
+			return nil, err
+		}
+		zipf, err := workload.NewZipfPicker(sc.Sys.Eng.Rand(), 1.3, 1, len(keys))
+		if err != nil {
+			return nil, err
+		}
+		rs, err := sc.lookupBatch(o.Lookups, 4, keys, func(int) int { return zipf.Pick() })
+		if err != nil {
+			return nil, err
+		}
+		var maxServes uint64
+		var serves []int
+		for _, p := range sc.Sys.Peers() {
+			serves = append(serves, int(p.ServeCount()))
+			if p.ServeCount() > maxServes {
+				maxServes = p.ServeCount()
+			}
+		}
+		st := sc.Sys.Stats()
+		g := gini(serves)
+		t.AddRow(modeName(caching), maxServes, g, meanLatencyMs(rs), st.CachePushes, st.CacheHits)
+		tag := "nocache"
+		if caching {
+			tag = "cache"
+		}
+		res.Values["maxserves_"+tag] = float64(maxServes)
+		res.Values["gini_"+tag] = g
+		res.Values["latency_"+tag] = meanLatencyMs(rs)
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"paper (future work): 'distribute the load among as many peers as possible so that no peer is overwhelmed'")
+	return res, nil
+}
+
+func modeName(caching bool) string {
+	if caching {
+		return "with caching"
+	}
+	return "no caching"
+}
+
+// RunExtWalk compares flooding with k-walker random walks (§3.1 allows both)
+// inside large s-networks: contacts per lookup, failure ratio and latency.
+func RunExtWalk(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("ExtWalk")
+
+	keys := keysFor(o)
+	t := metrics.NewTable("Extension: flooding vs k-walker random walks (p_s=0.9)",
+		"search", "contacts/lookup", "failure", "mean ms")
+	for _, walk := range []bool{false, true} {
+		cfg := expConfig(0.9)
+		cfg.RandomWalk = walk
+		cfg.WalkCount = 3
+		cfg.WalkTTL = 12
+		sc, err := buildScenario(o, cfg, o.Seed+910, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sc.storeItems(keys); err != nil {
+			return nil, err
+		}
+		rs, err := sc.lookupBatch(o.Lookups/2, 4, keys, func(k int) int { return k })
+		if err != nil {
+			return nil, err
+		}
+		name, tag := "flood (TTL 4)", "flood"
+		if walk {
+			name, tag = "3 walkers, TTL 12", "walk"
+		}
+		contacts := float64(totalContacts(rs)) / float64(len(rs))
+		t.AddRow(name, contacts, failureRatio(rs), meanLatencyMs(rs))
+		res.Values["contacts_"+tag] = contacts
+		res.Values["failure_"+tag] = failureRatio(rs)
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"walks bound per-query bandwidth at the price of a higher miss probability (§3.1)")
+	return res, nil
+}
+
+// RunLinkStress measures the §5.2 motivation directly: the maximum physical
+// link stress (copies of overlay messages crossing one physical link) with
+// and without topology-aware peer clustering.
+func RunLinkStress(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("LinkStress")
+
+	keys := keysN(o.Items / 2)
+	t := metrics.NewTable("Extension: physical link stress with/without topology awareness (p_s=0.7)",
+		"mode", "max link stress", "mean ms")
+	for _, aware := range []bool{false, true} {
+		topoGraph, err := expTopology(o, o.Seed+920)
+		if err != nil {
+			return nil, err
+		}
+		eng := sim.New(o.Seed + 920)
+		ncfg := simnet.DefaultConfig()
+		ncfg.TrackLinkStress = true
+		net := simnet.New(eng, topoGraph, ncfg)
+		cfg := expConfig(0.7)
+		if aware {
+			cfg.TopologyAware = true
+			cfg.Landmarks = 8
+			cfg.Assignment = core.AssignCluster
+		}
+		sys, err := core.NewSystem(eng, net, topoGraph, cfg, topoGraph.StubNodes()[0])
+		if err != nil {
+			return nil, err
+		}
+		peers, joins, err := sys.BuildPopulation(core.PopulationOpts{N: o.N})
+		if err != nil {
+			return nil, err
+		}
+		sys.Settle(2 * cfg.HelloEvery)
+		sc := &scenario{Sys: sys, Peers: peers, Joins: joins}
+		if _, err := sc.storeItems(keys); err != nil {
+			return nil, err
+		}
+		rs, err := sc.lookupBatch(o.Lookups/2, 4, keys, func(k int) int { return k })
+		if err != nil {
+			return nil, err
+		}
+		name, tag := "basic", "basic"
+		if aware {
+			name, tag = "topology-aware (8 landmarks)", "aware"
+		}
+		maxStress := float64(net.MaxLinkStress())
+		t.AddRow(name, maxStress, meanLatencyMs(rs))
+		res.Values["maxstress_"+tag] = maxStress
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"link stress: 'the number of copies of a message transmitted over a certain physical link' (§5.2)")
+	return res, nil
+}
+
+// RunChurn runs the system under live Poisson churn — joins, graceful leaves
+// and crashes arriving concurrently with the lookup workload — and reports
+// failure ratio and recovery counters per churn intensity. This extends
+// Fig. 5b from a one-shot crash wave to sustained membership turnover.
+func RunChurn(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("Churn")
+
+	intensities := []struct {
+		name               string
+		join, leave, crash float64 // events per simulated second
+	}{
+		{"calm (0.2/s)", 0.1, 0.05, 0.05},
+		{"busy (1/s)", 0.5, 0.25, 0.25},
+		{"storm (4/s)", 2, 1, 1},
+	}
+	keys := keysN(o.Items / 2)
+	t := metrics.NewTable("Extension: lookups under live churn (p_s=0.7)",
+		"churn", "failure", "mean ms", "promotions", "rejoins", "peers end")
+	for i, in := range intensities {
+		cfg := expConfig(0.7)
+		sc, err := buildScenario(o, cfg, o.Seed+930+int64(i), nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sc.storeItems(keys); err != nil {
+			return nil, err
+		}
+		schedule := workload.PoissonSchedule(sc.Sys.Eng.Rand(), workload.ChurnConfig{
+			Duration:  120 * sim.Second,
+			JoinRate:  in.join,
+			LeaveRate: in.leave,
+			CrashRate: in.crash,
+		})
+		applyChurn(sc, schedule)
+
+		rs, err := sc.lookupBatch(o.Lookups/3, 4, keys, func(k int) int { return k })
+		if err != nil {
+			return nil, err
+		}
+		st := sc.Sys.Stats()
+		t.AddRow(in.name, failureRatio(rs), meanLatencyMs(rs), st.Promotions, st.Rejoins, sc.Sys.NumPeers())
+		res.Values[fmt.Sprintf("churnfail_%d", i)] = failureRatio(rs)
+
+		if err := sc.Sys.CheckRing(); err != nil {
+			return nil, fmt.Errorf("ring broken after churn %q: %w", in.name, err)
+		}
+		if err := sc.Sys.CheckTrees(); err != nil {
+			return nil, fmt.Errorf("trees broken after churn %q: %w", in.name, err)
+		}
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"the ring and tree invariants are re-verified after every churn phase")
+	return res, nil
+}
+
+// applyChurn executes a churn schedule against a built scenario: joins use
+// fresh hosts, leaves/crashes resolve their population index against the
+// currently live peers.
+func applyChurn(sc *scenario, schedule []workload.ChurnEvent) {
+	sys := sc.Sys
+	stubs := sys.Topo.StubNodes()
+	base := sys.Eng.Now()
+	for _, ev := range schedule {
+		ev := ev
+		sys.Eng.At(base+ev.At, func() {
+			switch ev.Kind {
+			case workload.Join:
+				sys.Join(core.JoinOpts{
+					Host:     stubs[sys.Eng.Rand().Intn(len(stubs))],
+					Capacity: 1,
+				}, nil)
+			case workload.Leave, workload.Crash:
+				live := sys.Peers()
+				if len(live) <= 3 {
+					return
+				}
+				p := live[ev.Peer%len(live)]
+				if ev.Kind == workload.Leave {
+					p.Leave()
+				} else {
+					p.Crash()
+				}
+			}
+		})
+	}
+	// Run through the churn phase plus a recovery window: failure
+	// detection (HELLO timeouts), server arbitration and ring
+	// stabilization all need a few rounds to quiesce after the last event.
+	sys.Settle(120*sim.Second + 10*sys.Cfg.HelloTimeout + 10*sys.Cfg.FingerRefreshEvery)
+}

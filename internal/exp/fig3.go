@@ -1,0 +1,146 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+	"repro/internal/metrics"
+)
+
+// RunFig3a regenerates Fig. 3a: the average join latency (in overlay hops)
+// as a function of p_s for δ in {2, 3, 4}. Analytic curves come from Eq. (1);
+// the simulated curve measures the hop counts of real joins at δ = 3 and
+// must reproduce the U shape with its minimum around p_s = 0.7-0.8.
+func RunFig3a(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("Fig3a")
+
+	deltas := []float64{2, 3, 4}
+	points := o.psPoints()
+
+	curves := make([]*metrics.Series, 0, len(deltas)+1)
+	for _, d := range deltas {
+		s := &metrics.Series{Name: fmt.Sprintf("analytic δ=%g", d)}
+		for _, ps := range points {
+			s.Add(ps, analytic.JoinLatency(analytic.Params{N: float64(o.N), Ps: ps, Delta: d}))
+		}
+		curves = append(curves, s)
+	}
+
+	simSeries := &metrics.Series{Name: "simulated δ=3"}
+	for _, ps := range points {
+		cfg := expConfig(ps)
+		sc, err := buildScenario(o, cfg, o.Seed+int64(ps*100), nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		total := 0.0
+		for _, js := range sc.Joins {
+			total += float64(js.Hops)
+		}
+		simSeries.Add(ps, total/float64(len(sc.Joins)))
+	}
+	curves = append(curves, simSeries)
+
+	t := metrics.NewTable("Fig 3a: average join latency (hops) vs p_s")
+	t.Headers = append([]string{"p_s"}, seriesNames(curves)...)
+	for i, ps := range points {
+		row := []any{fmt.Sprintf("%.2f", ps)}
+		for _, c := range curves {
+			row = append(row, c.Y[i])
+		}
+		t.AddRow(row...)
+	}
+	res.Tables = append(res.Tables, t)
+
+	for _, d := range deltas {
+		res.Values[fmt.Sprintf("optimal_ps_delta%g", d)] = analytic.OptimalJoinPs(float64(o.N), d)
+	}
+	res.Values["sim_argmin_ps"] = simSeries.ArgMin()
+	res.Notes = append(res.Notes,
+		"paper: join latency is minimized around p_s = 0.7 (δ=2); larger δ shifts the minimum right and lowers the curve")
+	return res, nil
+}
+
+// RunFig3b regenerates Fig. 3b: the average data lookup latency (hops) as a
+// function of p_s for δ in {2, 3, 4}, plus the measured hop count of
+// simulated lookups at δ = 3. The curves must be flat-high for p_s < 0.5 and
+// fall as p_s grows, with larger δ below smaller δ.
+func RunFig3b(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("Fig3b")
+
+	deltas := []float64{2, 3, 4}
+	points := o.psPoints()
+	const ttl = 4
+
+	curves := make([]*metrics.Series, 0, len(deltas)+1)
+	for _, d := range deltas {
+		s := &metrics.Series{Name: fmt.Sprintf("analytic δ=%g", d)}
+		for _, ps := range points {
+			s.Add(ps, analytic.LookupLatency(analytic.Params{N: float64(o.N), Ps: ps, Delta: d, TTL: ttl}))
+		}
+		curves = append(curves, s)
+	}
+
+	simSeries := &metrics.Series{Name: "simulated δ=3"}
+	keys := keysFor(o)
+	for _, ps := range points {
+		cfg := expConfig(ps)
+		cfg.TTL = ttl
+		sc, err := buildScenario(o, cfg, o.Seed+100+int64(ps*100), nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sc.storeItems(keys); err != nil {
+			return nil, err
+		}
+		rs, err := sc.lookupBatch(o.Lookups, ttl, keys, func(i int) int { return i })
+		if err != nil {
+			return nil, err
+		}
+		simSeries.Add(ps, meanHops(rs))
+	}
+	curves = append(curves, simSeries)
+
+	t := metrics.NewTable("Fig 3b: average lookup latency (hops) vs p_s")
+	t.Headers = append([]string{"p_s"}, seriesNames(curves)...)
+	for i, ps := range points {
+		row := []any{fmt.Sprintf("%.2f", ps)}
+		for _, c := range curves {
+			row = append(row, c.Y[i])
+		}
+		t.AddRow(row...)
+	}
+	res.Tables = append(res.Tables, t)
+
+	first, _ := simSeries.YAt(points[0])
+	last, _ := simSeries.YAt(points[len(points)-1])
+	res.Values["sim_hops_at_low_ps"] = first
+	res.Values["sim_hops_at_high_ps"] = last
+	res.Notes = append(res.Notes,
+		"paper: latency is flat for p_s < 0.5 (lookups dominated by the t-network) and falls as p_s grows")
+	return res, nil
+}
+
+// seriesNames extracts curve names for table headers.
+func seriesNames(curves []*metrics.Series) []string {
+	names := make([]string, len(curves))
+	for i, c := range curves {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// keysFor builds the experiment's key universe.
+func keysFor(o Options) []string {
+	return keysN(o.Items)
+}
+
+func keysN(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("item-%06d", i)
+	}
+	return keys
+}

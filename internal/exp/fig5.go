@@ -1,0 +1,139 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// RunFig5a regenerates Fig. 5a: the lookup failure ratio as a function of
+// p_s under TTL in {1, 2, 4}. Expected shape: ~0 for p_s < 0.5 (s-networks
+// average less than one peer, every flood covers them) and rising sharply
+// afterwards, with larger TTLs much flatter.
+func RunFig5a(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("Fig5a")
+
+	ttls := []int{1, 2, 4}
+	points := o.psPoints()
+	keys := keysFor(o)
+
+	curves := make([]*metrics.Series, len(ttls))
+	for i, ttl := range ttls {
+		curves[i] = &metrics.Series{Name: fmt.Sprintf("TTL=%d", ttl)}
+	}
+	for _, ps := range points {
+		cfg := expConfig(ps)
+		sc, err := buildScenario(o, cfg, o.Seed+200+int64(ps*100), nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sc.storeItems(keys); err != nil {
+			return nil, err
+		}
+		for i, ttl := range ttls {
+			rs, err := sc.lookupBatch(o.Lookups/len(ttls), ttl, keys, func(k int) int { return k*7 + i })
+			if err != nil {
+				return nil, err
+			}
+			curves[i].Add(ps, failureRatio(rs))
+		}
+	}
+
+	t := metrics.NewTable("Fig 5a: lookup failure ratio vs p_s")
+	t.Headers = append([]string{"p_s"}, seriesNames(curves)...)
+	for i, ps := range points {
+		row := []any{fmt.Sprintf("%.2f", ps)}
+		for _, c := range curves {
+			row = append(row, c.Y[i])
+		}
+		t.AddRow(row...)
+	}
+	res.Tables = append(res.Tables, t)
+
+	for i, ttl := range ttls {
+		lo, _ := curves[i].YAt(pointNear(points, 0.3))
+		hi, _ := curves[i].YAt(0.9)
+		res.Values[fmt.Sprintf("fail_ttl%d_low_ps", ttl)] = lo
+		res.Values[fmt.Sprintf("fail_ttl%d_ps0.9", ttl)] = hi
+	}
+	res.Notes = append(res.Notes,
+		"paper: failure ratio ~0 for p_s<0.5; at p_s=0.9 it reaches ~18% (TTL=1), ~14% (TTL=2), ~4% (TTL=4)")
+	return res, nil
+}
+
+// RunFig5b regenerates Fig. 5b: the lookup failure ratio when a fraction of
+// peers crash without transferring their load, under several p_s values with
+// the improved placement scheme. Expected shape: failure ratio grows
+// ~linearly with the crashed fraction and is nearly independent of p_s.
+func RunFig5b(o Options) (*Result, error) {
+	o = o.normalize()
+	res := newResult("Fig5b")
+
+	psValues := []float64{0.1, 0.5, 0.9}
+	fractions := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	if o.Quick {
+		fractions = []float64{0, 0.1, 0.2}
+	}
+	keys := keysFor(o)
+
+	curves := make([]*metrics.Series, len(psValues))
+	for i, ps := range psValues {
+		curves[i] = &metrics.Series{Name: fmt.Sprintf("p_s=%.1f", ps)}
+		for _, f := range fractions {
+			cfg := expConfig(ps)
+			sc, err := buildScenario(o, cfg, o.Seed+300+int64(ps*100)+int64(f*1000), nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sc.storeItems(keys); err != nil {
+				return nil, err
+			}
+			sc.crashFraction(f)
+			rs, err := sc.lookupBatch(o.Lookups/len(fractions), 4, keys, func(k int) int { return k })
+			if err != nil {
+				return nil, err
+			}
+			curves[i].Add(f, failureRatio(rs))
+		}
+	}
+
+	t := metrics.NewTable("Fig 5b: lookup failure ratio vs crashed fraction (scheme 2)")
+	t.Headers = append([]string{"crashed"}, seriesNames(curves)...)
+	for i, f := range fractions {
+		row := []any{fmt.Sprintf("%.2f", f)}
+		for _, c := range curves {
+			row = append(row, c.Y[i])
+		}
+		t.AddRow(row...)
+	}
+	res.Tables = append(res.Tables, t)
+
+	for i, ps := range psValues {
+		base := curves[i].Y[0]
+		worst := curves[i].Y[len(curves[i].Y)-1]
+		res.Values[fmt.Sprintf("crashfail_ps%.1f_base", ps)] = base
+		res.Values[fmt.Sprintf("crashfail_ps%.1f_worst", ps)] = worst
+	}
+	res.Notes = append(res.Notes,
+		"paper: the failure ratio rises linearly with the crashed fraction; changing p_s has little effect under scheme 2")
+	return res, nil
+}
+
+// pointNear returns the sweep point closest to the target.
+func pointNear(points []float64, target float64) float64 {
+	best := points[0]
+	for _, p := range points {
+		if abs(p-target) < abs(best-target) {
+			best = p
+		}
+	}
+	return best
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

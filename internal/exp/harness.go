@@ -1,0 +1,156 @@
+// Package exp is the experiment harness: one registered experiment per table
+// and figure in the paper's evaluation (section 6), plus the ablations
+// DESIGN.md calls out. Each experiment builds hybrid systems over a
+// transit-stub topology, drives the workload, and reports the same rows or
+// curves the paper shows.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Seed drives every random choice; same seed, same output.
+	Seed int64
+	// N is the system size (the paper uses 1,000).
+	N int
+	// Items is the number of data items injected.
+	Items int
+	// Lookups is the number of lookups measured.
+	Lookups int
+	// Quick shrinks the sweep (fewer ps points) for tests and benches.
+	Quick bool
+}
+
+// DefaultOptions mirrors the paper's scale.
+func DefaultOptions() Options {
+	return Options{Seed: 42, N: 1000, Items: 10000, Lookups: 5000}
+}
+
+// QuickOptions is a scaled-down configuration for tests and benchmarks.
+func QuickOptions() Options {
+	return Options{Seed: 42, N: 200, Items: 1000, Lookups: 400, Quick: true}
+}
+
+// normalize fills unset fields from the defaults.
+func (o Options) normalize() Options {
+	d := DefaultOptions()
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.N == 0 {
+		o.N = d.N
+	}
+	if o.Items == 0 {
+		o.Items = d.Items
+	}
+	if o.Lookups == 0 {
+		o.Lookups = d.Lookups
+	}
+	return o
+}
+
+// psPoints returns the ps sweep for the experiment scale.
+func (o Options) psPoints() []float64 {
+	if o.Quick {
+		return []float64{0, 0.3, 0.5, 0.7, 0.9}
+	}
+	return []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+}
+
+// Result is an experiment's output: human-readable tables plus named scalar
+// values the tests and EXPERIMENTS.md assert on.
+type Result struct {
+	ID     string
+	Tables []*metrics.Table
+	Values map[string]float64
+	Notes  []string
+}
+
+// newResult allocates a Result.
+func newResult(id string) *Result {
+	return &Result{ID: id, Values: make(map[string]float64)}
+}
+
+// CSV renders every table as comma-separated values, one block per table
+// separated by blank lines, for plotting pipelines.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	for i, t := range r.Tables {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		if t.Title != "" {
+			fmt.Fprintf(&b, "# %s\n", t.Title)
+		}
+		b.WriteString(t.CSV())
+	}
+	return b.String()
+}
+
+// String renders the result for the CLI.
+func (r *Result) String() string {
+	var b strings.Builder
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	if len(r.Values) > 0 {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("key values:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-40s %.4f\n", k, r.Values[k])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Result, error)
+}
+
+// Registry returns every experiment in presentation order.
+func Registry() []Experiment {
+	return []Experiment{
+		{ID: "Fig3a", Title: "Average join latency vs p_s (analytic + simulated), delta in {2,3,4}", Run: RunFig3a},
+		{ID: "Fig3b", Title: "Average lookup latency vs p_s (analytic + simulated hops)", Run: RunFig3b},
+		{ID: "Fig4", Title: "PDF of data items per peer for the two placement schemes", Run: RunFig4},
+		{ID: "Fig5a", Title: "Lookup failure ratio vs p_s under TTL in {1,2,4}", Run: RunFig5a},
+		{ID: "Fig5b", Title: "Lookup failure ratio under peer crashes", Run: RunFig5b},
+		{ID: "Fig6a", Title: "Average lookup latency with/without link heterogeneity", Run: RunFig6a},
+		{ID: "Fig6b", Title: "Average lookup latency with/without topology awareness", Run: RunFig6b},
+		{ID: "Table2", Title: "Total connum under different p_s and TTL values", Run: RunTable2},
+		{ID: "AblationTree", Title: "Ablation: tree s-networks vs mesh flooding (duplicate deliveries)", Run: RunAblationTree},
+		{ID: "AblationBypass", Title: "Ablation: bypass links on/off (t-network load and latency)", Run: RunAblationBypass},
+		{ID: "Baselines", Title: "Chord and Gnutella baselines vs the hybrid system", Run: RunBaselines},
+		{ID: "ExtCaching", Title: "Extension: future-work caching scheme under Zipf load", Run: RunExtCaching},
+		{ID: "ExtWalk", Title: "Extension: random-walk search vs flooding", Run: RunExtWalk},
+		{ID: "LinkStress", Title: "Extension: physical link stress with/without topology awareness", Run: RunLinkStress},
+		{ID: "Churn", Title: "Extension: lookups under live Poisson churn", Run: RunChurn},
+	}
+}
+
+// ByID finds an experiment ("all" is handled by the caller).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,286 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// expTopology returns the paper-scale transit-stub topology (or a compact
+// one in quick mode).
+func expTopology(o Options, seed int64) (*topology.Graph, error) {
+	cfg := topology.DefaultConfig()
+	if o.Quick {
+		cfg.TransitDomains = 2
+		cfg.TransitNodesPerDomain = 2
+		cfg.StubDomainsPerTransit = 2
+		cfg.StubNodesPerDomain = 12
+	}
+	return topology.GenerateTransitStub(cfg, seed)
+}
+
+// expConfig returns the core configuration shared by all experiments,
+// tightened so that long sweeps spend little simulated time on maintenance
+// and failed floods fail fast.
+func expConfig(ps float64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Ps = ps
+	cfg.Delta = 3 // "δ is equal to three in the simulations"
+	cfg.TTL = 4
+	cfg.HelloEvery = 5 * sim.Second
+	cfg.HelloTimeout = 12 * sim.Second
+	cfg.FingerRefreshEvery = 5 * sim.Second
+	cfg.LookupTimeout = 5 * sim.Second
+	cfg.JoinTimeout = 40 * sim.Second
+	return cfg
+}
+
+// paperRoutingConfig is expConfig plus the successor-only data routing the
+// paper's own simulation used (see Config.SuccessorRouting); the lookup
+// timeout grows to cover linear ring traversals.
+func paperRoutingConfig(ps float64) core.Config {
+	cfg := expConfig(ps)
+	cfg.SuccessorRouting = true
+	cfg.LookupTimeout = 180 * sim.Second
+	return cfg
+}
+
+// scenario is one built hybrid system plus its population.
+type scenario struct {
+	Sys   *core.System
+	Peers []*core.Peer
+	Joins []core.JoinStats
+}
+
+// buildScenario creates a system with the given config and joins N peers.
+func buildScenario(o Options, cfg core.Config, seed int64, capacities []float64, interests []int) (*scenario, error) {
+	topo, err := expTopology(o, seed)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.New(seed)
+	net := simnet.New(eng, topo, simnet.DefaultConfig())
+	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	if err != nil {
+		return nil, err
+	}
+	peers, joins, err := sys.BuildPopulation(core.PopulationOpts{
+		N:          o.N,
+		Capacities: capacities,
+		Interests:  interests,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.Settle(2 * cfg.HelloEvery)
+	return &scenario{Sys: sys, Peers: peers, Joins: joins}, nil
+}
+
+// alivePeer returns the i-th peer if alive, else scans forward for a live
+// one.
+func (s *scenario) alivePeer(i int) *core.Peer {
+	n := len(s.Peers)
+	for k := 0; k < n; k++ {
+		p := s.Peers[(i+k)%n]
+		if p.Alive() {
+			return p
+		}
+	}
+	return nil
+}
+
+// storeItems injects keys from deterministically chosen origins and returns
+// the number stored successfully.
+func (s *scenario) storeItems(keys []string) (int, error) {
+	rng := s.Sys.Eng.Rand()
+	stored := 0
+	const batch = 64
+	for start := 0; start < len(keys); start += batch {
+		end := start + batch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		remaining := 0
+		okCount := 0
+		for _, key := range keys[start:end] {
+			p := s.alivePeer(rng.Intn(len(s.Peers)))
+			if p == nil {
+				return stored, fmt.Errorf("exp: no live peers to store from")
+			}
+			remaining++
+			p.Store(key, "value-of-"+key, func(r core.OpResult) {
+				remaining--
+				if r.OK {
+					okCount++
+				}
+			})
+		}
+		if err := s.drain(&remaining); err != nil {
+			return stored, err
+		}
+		stored += okCount
+	}
+	return stored, nil
+}
+
+// lookupBatch issues lookups in batches (so timeout waits overlap) and
+// returns the results. pick chooses a key index per lookup; originOf chooses
+// the requesting peer.
+func (s *scenario) lookupBatch(count int, ttl int, keys []string, pick func(i int) int) ([]core.OpResult, error) {
+	rng := s.Sys.Eng.Rand()
+	results := make([]core.OpResult, 0, count)
+	const batch = 64
+	for start := 0; start < count; start += batch {
+		end := start + batch
+		if end > count {
+			end = count
+		}
+		remaining := 0
+		for i := start; i < end; i++ {
+			p := s.alivePeer(rng.Intn(len(s.Peers)))
+			if p == nil {
+				return results, fmt.Errorf("exp: no live peers to look up from")
+			}
+			key := keys[pick(i)%len(keys)]
+			remaining++
+			p.LookupWithTTL(key, ttl, func(r core.OpResult) {
+				remaining--
+				results = append(results, r)
+			})
+		}
+		if err := s.drain(&remaining); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// lookupFrom is lookupBatch with a fixed origin set instead of random
+// origins (used by workloads that model a few heavy consumers).
+func (s *scenario) lookupFrom(origins []*core.Peer, count, ttl int, keys []string, pick func(i int) int) ([]core.OpResult, error) {
+	results := make([]core.OpResult, 0, count)
+	const batch = 64
+	for start := 0; start < count; start += batch {
+		end := start + batch
+		if end > count {
+			end = count
+		}
+		remaining := 0
+		for i := start; i < end; i++ {
+			p := origins[i%len(origins)]
+			if !p.Alive() {
+				continue
+			}
+			key := keys[pick(i)%len(keys)]
+			remaining++
+			p.LookupWithTTL(key, ttl, func(r core.OpResult) {
+				remaining--
+				results = append(results, r)
+			})
+		}
+		if err := s.drain(&remaining); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// drain steps the engine until *remaining reaches zero.
+func (s *scenario) drain(remaining *int) error {
+	for steps := 0; *remaining > 0; steps++ {
+		if steps > 50_000_000 {
+			return fmt.Errorf("exp: batch did not drain within event budget")
+		}
+		if !s.Sys.Eng.Step() {
+			return fmt.Errorf("exp: engine ran dry with %d operations pending", *remaining)
+		}
+	}
+	return nil
+}
+
+// crashFraction abruptly crashes the given fraction of live peers, chosen
+// uniformly, without any load transfer, then lets failure detection and
+// recovery run.
+func (s *scenario) crashFraction(f float64) int {
+	rng := s.Sys.Eng.Rand()
+	var live []*core.Peer
+	for _, p := range s.Peers {
+		if p.Alive() {
+			live = append(live, p)
+		}
+	}
+	n := int(f * float64(len(live)))
+	perm := rng.Perm(len(live))
+	crashed := 0
+	for _, idx := range perm[:n] {
+		live[idx].Crash()
+		crashed++
+	}
+	// Let watchdogs fire, replacements settle and the ring re-stabilize:
+	// the paper's Fig. 5b measures the steady-state failure ratio caused
+	// by lost data, not the transient routing breakage right after the
+	// crash wave.
+	s.Sys.Settle(8*s.Sys.Cfg.HelloTimeout + 10*s.Sys.Cfg.FingerRefreshEvery)
+	return crashed
+}
+
+// capacities13 builds the paper's 1/3-1/3-1/3 capacity mix.
+func capacities13(n int) []float64 { return workload.CapacityClasses(n) }
+
+// meanHops averages the hop counts of successful results.
+func meanHops(rs []core.OpResult) float64 {
+	total, n := 0.0, 0
+	for _, r := range rs {
+		if r.OK {
+			total += float64(r.Hops)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// meanLatencyMs averages the latency (in simulated milliseconds) of
+// successful results.
+func meanLatencyMs(rs []core.OpResult) float64 {
+	total, n := 0.0, 0
+	for _, r := range rs {
+		if r.OK {
+			total += float64(r.Latency) / float64(sim.Millisecond)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// failureRatio is failed / total.
+func failureRatio(rs []core.OpResult) float64 {
+	if len(rs) == 0 {
+		return 0
+	}
+	failed := 0
+	for _, r := range rs {
+		if !r.OK {
+			failed++
+		}
+	}
+	return float64(failed) / float64(len(rs))
+}
+
+// totalContacts sums the per-lookup contact counts (connum).
+func totalContacts(rs []core.OpResult) int {
+	total := 0
+	for _, r := range rs {
+		total += r.Contacts
+	}
+	return total
+}

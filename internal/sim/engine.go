@@ -1,0 +1,194 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate every overlay in this repository runs on: it
+// replaces the NS2 simulator used in the paper. Events are ordered by
+// (time, sequence-number) so two runs with the same seed and the same
+// schedule of calls produce byte-identical traces. There is no wall clock
+// anywhere: simulated time only advances when the engine dispatches the next
+// event.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a simulated timestamp in microseconds since the start of the run.
+type Time int64
+
+// Common durations, expressed in simulated microseconds.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time as seconds with microsecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%06ds", t/Second, t%Second)
+}
+
+// Seconds converts the timestamp to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 once removed
+	fn       func()
+	canceled bool
+}
+
+// At reports the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Engine is a single-threaded discrete-event scheduler.
+//
+// An Engine is not safe for concurrent use; all protocol code in this
+// repository runs inside event callbacks, which the engine dispatches one at
+// a time. This mirrors the run-to-completion semantics of NS2 and keeps the
+// simulations deterministic without any locking.
+type Engine struct {
+	now        Time
+	seq        uint64
+	queue      eventHeap
+	rng        *rand.Rand
+	dispatched uint64
+}
+
+// New returns an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Dispatched returns the number of events executed so far.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a protocol bug, never a recoverable condition.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Step dispatches the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.dispatched++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunSteps dispatches at most n events and returns the number dispatched.
+func (e *Engine) RunSteps(n int) int {
+	ran := 0
+	for ran < n && e.Step() {
+		ran++
+	}
+	return ran
+}
+
+// eventHeap orders events by (time, seq) for deterministic dispatch.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,228 @@
+// Package simnet is the overlay message layer: it delivers messages between
+// peers hosted on physical topology nodes, charging each message the
+// shortest-path propagation latency plus an access-link serialization delay
+// derived from the endpoint with the lower link capacity.
+//
+// Together with sim and topology it replaces the NS2 substrate the paper ran
+// on. Protocol code never sees the physical network; it only calls Send and
+// implements Handler.
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Addr identifies a peer endpoint. Each overlay peer is hosted on one
+// physical topology node; the mapping is set at Attach time.
+type Addr int
+
+// None is the null address.
+const None Addr = -1
+
+// Handler receives delivered messages.
+type Handler interface {
+	// Recv is invoked inside the simulation loop when a message arrives.
+	Recv(from Addr, msg any)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from Addr, msg any)
+
+// Recv calls f(from, msg).
+func (f HandlerFunc) Recv(from Addr, msg any) { f(from, msg) }
+
+// LinkKey identifies an undirected physical link by its ordered endpoints.
+type LinkKey struct {
+	A, B int
+}
+
+func linkKey(a, b int) LinkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return LinkKey{A: a, B: b}
+}
+
+// Stats aggregates network-level accounting for a run.
+type Stats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	MessagesDropped   uint64
+	BytesSent         uint64
+}
+
+// Config tunes the message layer.
+type Config struct {
+	// BaseCapacity is the slowest access-link capacity in bytes per
+	// simulated microsecond. The paper's slowest links are dial-up-class;
+	// 0.015 B/us ~= 120 kbit/s.
+	BaseCapacity float64
+	// TrackLinkStress enables per-physical-link message counting. It
+	// walks the physical path of every message, so leave it off for the
+	// large sweeps that do not report link stress.
+	TrackLinkStress bool
+}
+
+// DefaultConfig returns the settings used by the experiments.
+func DefaultConfig() Config {
+	return Config{BaseCapacity: 0.015}
+}
+
+// Network delivers overlay messages over a physical topology.
+type Network struct {
+	Eng  *sim.Engine
+	Topo *topology.Graph
+
+	cfg      Config
+	handlers map[Addr]Handler
+	host     map[Addr]int      // peer address -> physical node
+	capacity map[Addr]float64  // relative access-link capacity (>= 1)
+	stress   map[LinkKey]int64 // physical link -> messages carried
+	stats    Stats
+}
+
+// New creates a network over the given engine and topology.
+func New(eng *sim.Engine, topo *topology.Graph, cfg Config) *Network {
+	if cfg.BaseCapacity <= 0 {
+		cfg.BaseCapacity = DefaultConfig().BaseCapacity
+	}
+	return &Network{
+		Eng:      eng,
+		Topo:     topo,
+		cfg:      cfg,
+		handlers: make(map[Addr]Handler),
+		host:     make(map[Addr]int),
+		capacity: make(map[Addr]float64),
+		stress:   make(map[LinkKey]int64),
+	}
+}
+
+// Attach registers a peer at the given physical host. Capacity is the
+// relative access-link speed (1 = slowest class; the paper's fastest class is
+// 10x the slowest).
+func (n *Network) Attach(a Addr, host int, capacity float64, h Handler) {
+	if host < 0 || host >= n.Topo.NumNodes() {
+		panic(fmt.Sprintf("simnet: host %d out of range", host))
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	n.handlers[a] = h
+	n.host[a] = host
+	n.capacity[a] = capacity
+}
+
+// Detach removes a peer; in-flight messages to it are dropped on delivery.
+// This models an abrupt crash.
+func (n *Network) Detach(a Addr) {
+	delete(n.handlers, a)
+	delete(n.host, a)
+	delete(n.capacity, a)
+}
+
+// Attached reports whether the address currently has a live handler.
+func (n *Network) Attached(a Addr) bool {
+	_, ok := n.handlers[a]
+	return ok
+}
+
+// Host returns the physical node hosting the peer, or -1 if detached.
+func (n *Network) Host(a Addr) int {
+	if h, ok := n.host[a]; ok {
+		return h
+	}
+	return -1
+}
+
+// Capacity returns the peer's relative access-link capacity (0 if detached).
+func (n *Network) Capacity(a Addr) float64 { return n.capacity[a] }
+
+// Stats returns a copy of the accounting counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// LinkStress returns the per-link message counts (only populated when
+// TrackLinkStress is set).
+func (n *Network) LinkStress() map[LinkKey]int64 { return n.stress }
+
+// MaxLinkStress returns the highest per-link message count.
+func (n *Network) MaxLinkStress() int64 {
+	var max int64
+	for _, v := range n.stress {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Delay returns the latency a message of the given size would experience
+// between two attached peers right now.
+func (n *Network) Delay(from, to Addr, size int) (sim.Time, error) {
+	hf, ok := n.host[from]
+	if !ok {
+		return 0, fmt.Errorf("simnet: sender %d not attached", from)
+	}
+	ht, ok := n.host[to]
+	if !ok {
+		return 0, fmt.Errorf("simnet: receiver %d not attached", to)
+	}
+	prop, err := n.Topo.Latency(hf, ht)
+	if err != nil {
+		return 0, err
+	}
+	// The transfer speed between two peers is bounded by the slower
+	// access link (paper, section 5.1).
+	cap := n.capacity[from]
+	if c := n.capacity[to]; c < cap {
+		cap = c
+	}
+	ser := float64(size) / (n.cfg.BaseCapacity * cap)
+	return sim.Time(prop) + sim.Time(ser), nil
+}
+
+// Send schedules delivery of msg from one peer to another. size is the
+// message size in bytes and only affects the serialization delay. If the
+// destination is detached now or at delivery time the message is dropped,
+// exactly as a packet to a crashed host would be.
+func (n *Network) Send(from, to Addr, size int, msg any) {
+	n.stats.MessagesSent++
+	n.stats.BytesSent += uint64(size)
+
+	d, err := n.Delay(from, to, size)
+	if err != nil {
+		n.stats.MessagesDropped++
+		return
+	}
+	if n.cfg.TrackLinkStress {
+		if path, err := n.Topo.Path(n.host[from], n.host[to]); err == nil {
+			for i := 1; i < len(path); i++ {
+				n.stress[linkKey(path[i-1], path[i])]++
+			}
+		}
+	}
+	n.Eng.After(d, func() {
+		h, ok := n.handlers[to]
+		if !ok {
+			n.stats.MessagesDropped++
+			return
+		}
+		n.stats.MessagesDelivered++
+		h.Recv(from, msg)
+	})
+}
+
+// SendLocal schedules a message from a peer to itself with negligible delay.
+// Protocols use it to defer work to a fresh event without network cost.
+func (n *Network) SendLocal(a Addr, msg any) {
+	n.Eng.After(sim.Microsecond, func() {
+		if h, ok := n.handlers[a]; ok {
+			n.stats.MessagesDelivered++
+			h.Recv(a, msg)
+		} else {
+			n.stats.MessagesDropped++
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+func testNet(t *testing.T, cfg Config) (*sim.Engine, *Network, *topology.Graph) {
+	t.Helper()
+	tc := topology.Config{
+		TransitDomains:        2,
+		TransitNodesPerDomain: 2,
+		StubDomainsPerTransit: 1,
+		StubNodesPerDomain:    8,
+		TransitScale:          10,
+		BaseLatency:           500,
+		LatencyPerUnit:        20000,
+	}
+	topo, err := topology.GenerateTransitStub(tc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(1)
+	return eng, New(eng, topo, cfg), topo
+}
+
+type recorder struct {
+	msgs  []any
+	froms []Addr
+	times []sim.Time
+	eng   *sim.Engine
+}
+
+func (r *recorder) Recv(from Addr, msg any) {
+	r.froms = append(r.froms, from)
+	r.msgs = append(r.msgs, msg)
+	r.times = append(r.times, r.eng.Now())
+}
+
+func TestSendDelivers(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	stubs := topo.StubNodes()
+	ra, rb := &recorder{eng: eng}, &recorder{eng: eng}
+	net.Attach(1, stubs[0], 1, ra)
+	net.Attach(2, stubs[5], 1, rb)
+
+	net.Send(1, 2, 100, "hello")
+	eng.Run()
+	if len(rb.msgs) != 1 || rb.msgs[0] != "hello" || rb.froms[0] != 1 {
+		t.Fatalf("delivery wrong: %+v", rb)
+	}
+	if rb.times[0] <= 0 {
+		t.Fatal("message delivered instantly; latency missing")
+	}
+	st := net.Stats()
+	if st.MessagesSent != 1 || st.MessagesDelivered != 1 || st.BytesSent != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDelayComposition(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	stubs := topo.StubNodes()
+	net.Attach(1, stubs[0], 1, &recorder{eng: eng})
+	net.Attach(2, stubs[5], 1, &recorder{eng: eng})
+
+	small, err := net.Delay(1, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := net.Delay(1, 2, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatalf("larger message not slower: %v vs %v", big, small)
+	}
+	prop, _ := topo.Latency(stubs[0], stubs[5])
+	if small <= sim.Time(prop) {
+		t.Fatalf("delay %v does not include serialization beyond propagation %v", small, prop)
+	}
+}
+
+func TestCapacityBoundedBySlowerSide(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	stubs := topo.StubNodes()
+	net.Attach(1, stubs[0], 10, &recorder{eng: eng}) // fast
+	net.Attach(2, stubs[5], 1, &recorder{eng: eng})  // slow
+	net.Attach(3, stubs[6], 10, &recorder{eng: eng}) // fast
+
+	fastToSlow, _ := net.Delay(1, 2, 1000)
+	slowToFast, _ := net.Delay(2, 1, 1000)
+	if fastToSlow != slowToFast {
+		t.Fatalf("min-capacity rule should be symmetric: %v vs %v", fastToSlow, slowToFast)
+	}
+	prop12, _ := topo.Latency(stubs[0], stubs[5])
+	prop13, _ := topo.Latency(stubs[0], stubs[6])
+	fastToFast, _ := net.Delay(1, 3, 1000)
+	// Compare serialization components only.
+	serSlow := fastToSlow - sim.Time(prop12)
+	serFast := fastToFast - sim.Time(prop13)
+	if serSlow <= serFast {
+		t.Fatalf("slow endpoint should dominate: ser slow=%v fast=%v", serSlow, serFast)
+	}
+}
+
+func TestDetachDropsMessages(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	stubs := topo.StubNodes()
+	r := &recorder{eng: eng}
+	net.Attach(1, stubs[0], 1, r)
+	net.Attach(2, stubs[1], 1, r)
+
+	// Dropped at send time: receiver already gone.
+	net.Detach(2)
+	net.Send(1, 2, 10, "a")
+	eng.Run()
+	if st := net.Stats(); st.MessagesDropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.MessagesDropped)
+	}
+
+	// Dropped at delivery time: receiver crashes while in flight.
+	net.Attach(2, stubs[1], 1, r)
+	net.Send(1, 2, 10, "b")
+	net.Detach(2)
+	eng.Run()
+	if st := net.Stats(); st.MessagesDropped != 2 {
+		t.Fatalf("dropped = %d, want 2", st.MessagesDropped)
+	}
+	if len(r.msgs) != 0 {
+		t.Fatalf("crashed peer received %v", r.msgs)
+	}
+}
+
+func TestSenderDetachedErrors(t *testing.T) {
+	_, net, topo := testNet(t, DefaultConfig())
+	net.Attach(2, topo.StubNodes()[0], 1, &recorder{})
+	if _, err := net.Delay(1, 2, 10); err == nil {
+		t.Fatal("detached sender Delay should error")
+	}
+	net.Send(1, 2, 10, "x") // silently counted as dropped
+	if st := net.Stats(); st.MessagesDropped != 1 {
+		t.Fatalf("dropped = %d", st.MessagesDropped)
+	}
+}
+
+func TestSendLocal(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	r := &recorder{eng: eng}
+	net.Attach(1, topo.StubNodes()[0], 1, r)
+	net.SendLocal(1, "self")
+	eng.Run()
+	if len(r.msgs) != 1 || r.froms[0] != 1 {
+		t.Fatalf("SendLocal failed: %+v", r)
+	}
+}
+
+func TestAttachedHostCapacity(t *testing.T) {
+	_, net, topo := testNet(t, DefaultConfig())
+	h := topo.StubNodes()[3]
+	net.Attach(9, h, 5, &recorder{})
+	if !net.Attached(9) || net.Attached(8) {
+		t.Fatal("Attached wrong")
+	}
+	if net.Host(9) != h || net.Host(8) != -1 {
+		t.Fatal("Host wrong")
+	}
+	if net.Capacity(9) != 5 {
+		t.Fatal("Capacity wrong")
+	}
+	// Capacity below 1 clamps.
+	net.Attach(10, h, 0.1, &recorder{})
+	if net.Capacity(10) != 1 {
+		t.Fatal("capacity not clamped to 1")
+	}
+}
+
+func TestLinkStress(t *testing.T) {
+	eng, net, topo := func() (*sim.Engine, *Network, *topology.Graph) {
+		tc := topology.Config{
+			TransitDomains: 2, TransitNodesPerDomain: 2,
+			StubDomainsPerTransit: 1, StubNodesPerDomain: 8,
+			TransitScale: 10, BaseLatency: 500, LatencyPerUnit: 20000,
+		}
+		topo, err := topology.GenerateTransitStub(tc, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.New(1)
+		cfg := DefaultConfig()
+		cfg.TrackLinkStress = true
+		return eng, New(eng, topo, cfg), topo
+	}()
+	stubs := topo.StubNodes()
+	net.Attach(1, stubs[0], 1, &recorder{eng: eng})
+	net.Attach(2, stubs[len(stubs)-1], 1, &recorder{eng: eng})
+	for i := 0; i < 5; i++ {
+		net.Send(1, 2, 10, i)
+	}
+	eng.Run()
+	if net.MaxLinkStress() != 5 {
+		t.Fatalf("max link stress = %d, want 5 (same path each time)", net.MaxLinkStress())
+	}
+	path, _ := topo.Path(stubs[0], stubs[len(stubs)-1])
+	if len(net.LinkStress()) != len(path)-1 {
+		t.Fatalf("stress tracked on %d links, path has %d", len(net.LinkStress()), len(path)-1)
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	called := false
+	HandlerFunc(func(from Addr, msg any) { called = true }).Recv(1, "x")
+	if !called {
+		t.Fatal("HandlerFunc did not dispatch")
+	}
+}

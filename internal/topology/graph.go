@@ -1,0 +1,293 @@
+// Package topology generates and routes over transit-stub physical network
+// topologies, standing in for the GT-ITM generator the paper uses.
+//
+// A transit-stub topology models the late-1990s Internet shape GT-ITM was
+// built around: a small set of densely connected transit (backbone) domains,
+// with many stub (edge) domains hanging off transit nodes. Overlay peers live
+// on stub nodes; every overlay message crosses the physical shortest path
+// between its endpoints, and its latency is the sum of physical link
+// latencies along that path.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeKind classifies a physical node.
+type NodeKind uint8
+
+const (
+	// Transit nodes form the backbone domains.
+	Transit NodeKind = iota
+	// Stub nodes form the edge domains where peers attach.
+	Stub
+)
+
+func (k NodeKind) String() string {
+	if k == Transit {
+		return "transit"
+	}
+	return "stub"
+}
+
+// Node is a physical host/router.
+type Node struct {
+	ID     int
+	Kind   NodeKind
+	Domain int     // index of the domain the node belongs to
+	X, Y   float64 // coordinates in the unit square, used for latencies
+}
+
+// Edge is a directed half of a physical link with a propagation latency in
+// simulated microseconds.
+type Edge struct {
+	To      int
+	Latency int64
+}
+
+// Graph is a physical network topology.
+type Graph struct {
+	Nodes []Node
+	Adj   [][]Edge
+
+	// pathCache memoizes single-source shortest-path trees on demand.
+	pathCache map[int]*spTree
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the number of undirected links.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, es := range g.Adj {
+		total += len(es)
+	}
+	return total / 2
+}
+
+// addEdge inserts an undirected link; duplicate links are ignored.
+func (g *Graph) addEdge(a, b int, latency int64) {
+	if a == b {
+		return
+	}
+	for _, e := range g.Adj[a] {
+		if e.To == b {
+			return
+		}
+	}
+	g.Adj[a] = append(g.Adj[a], Edge{To: b, Latency: latency})
+	g.Adj[b] = append(g.Adj[b], Edge{To: a, Latency: latency})
+}
+
+// Degree returns the number of links at node n.
+func (g *Graph) Degree(n int) int { return len(g.Adj[n]) }
+
+// StubNodes returns the ids of all stub nodes in ascending order.
+func (g *Graph) StubNodes() []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.Kind == Stub {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// TransitNodes returns the ids of all transit nodes in ascending order.
+func (g *Graph) TransitNodes() []int {
+	var out []int
+	for _, n := range g.Nodes {
+		if n.Kind == Transit {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Connected reports whether the graph is a single connected component.
+func (g *Graph) Connected() bool {
+	if len(g.Nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.Nodes))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Adj[n] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				count++
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return count == len(g.Nodes)
+}
+
+// spTree is a single-source shortest-path tree.
+type spTree struct {
+	dist []int64
+	prev []int
+}
+
+// shortestPaths runs Dijkstra from src, memoizing the result.
+func (g *Graph) shortestPaths(src int) *spTree {
+	if g.pathCache == nil {
+		g.pathCache = make(map[int]*spTree)
+	}
+	if t, ok := g.pathCache[src]; ok {
+		return t
+	}
+	n := len(g.Nodes)
+	t := &spTree{dist: make([]int64, n), prev: make([]int, n)}
+	for i := range t.dist {
+		t.dist[i] = math.MaxInt64
+		t.prev[i] = -1
+	}
+	t.dist[src] = 0
+
+	pq := &distHeap{items: []distItem{{node: src, dist: 0}}}
+	for pq.Len() > 0 {
+		it := pq.pop()
+		if it.dist > t.dist[it.node] {
+			continue
+		}
+		for _, e := range g.Adj[it.node] {
+			nd := it.dist + e.Latency
+			if nd < t.dist[e.To] {
+				t.dist[e.To] = nd
+				t.prev[e.To] = it.node
+				pq.push(distItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	g.pathCache[src] = t
+	return t
+}
+
+// Latency returns the shortest-path latency between two nodes in simulated
+// microseconds, or an error if they are disconnected.
+func (g *Graph) Latency(a, b int) (int64, error) {
+	if a == b {
+		return 0, nil
+	}
+	t := g.shortestPaths(a)
+	if t.dist[b] == math.MaxInt64 {
+		return 0, fmt.Errorf("topology: nodes %d and %d are disconnected", a, b)
+	}
+	return t.dist[b], nil
+}
+
+// Path returns the node sequence of the shortest path from a to b, inclusive
+// of both endpoints. Used for link-stress accounting.
+func (g *Graph) Path(a, b int) ([]int, error) {
+	if a == b {
+		return []int{a}, nil
+	}
+	t := g.shortestPaths(a)
+	if t.dist[b] == math.MaxInt64 {
+		return nil, fmt.Errorf("topology: nodes %d and %d are disconnected", a, b)
+	}
+	var rev []int
+	for n := b; n != -1; n = t.prev[n] {
+		rev = append(rev, n)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// Diameter returns the maximum shortest-path latency over sampled node pairs.
+// sources limits the computation; pass NumNodes() for the exact diameter.
+func (g *Graph) Diameter(sources int) int64 {
+	if sources > len(g.Nodes) {
+		sources = len(g.Nodes)
+	}
+	var max int64
+	for i := 0; i < sources; i++ {
+		t := g.shortestPaths(i)
+		for _, d := range t.dist {
+			if d != math.MaxInt64 && d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// DegreeHistogram returns degree -> node count, with degrees sorted by the
+// caller via SortedDegrees.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for i := range g.Nodes {
+		h[g.Degree(i)]++
+	}
+	return h
+}
+
+// SortedDegrees returns the distinct degrees in ascending order.
+func SortedDegrees(h map[int]int) []int {
+	out := make([]int, 0, len(h))
+	for d := range h {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// distItem and distHeap implement the Dijkstra priority queue without
+// interface boxing.
+type distItem struct {
+	node int
+	dist int64
+}
+
+type distHeap struct {
+	items []distItem
+}
+
+func (h *distHeap) Len() int { return len(h.items) }
+
+func (h *distHeap) push(it distItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].dist < h.items[small].dist {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].dist < h.items[small].dist {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}
