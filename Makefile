@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build check vet test race bench bench-json
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The verify loop: everything a change must pass before it lands.
+check: build vet test race
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# Re-record the benchmark baseline (see BENCH_PR1.json).
+bench-json:
+	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x | $(GO) run ./cmd/benchjson

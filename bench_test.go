@@ -57,6 +57,75 @@ func BenchmarkAblationSNetTopology(b *testing.B) { runExperiment(b, "AblationTre
 func BenchmarkAblationBypassLinks(b *testing.B)  { runExperiment(b, "AblationBypass") }
 func BenchmarkBaselines(b *testing.B)            { runExperiment(b, "Baselines") }
 
+// --- Parallel sweep ----------------------------------------------------------
+
+// BenchmarkSweepParallel runs one full multi-point experiment through the
+// worker-pool sweep runner at 1 and 4 workers. On a multi-core machine the
+// 4-worker variant should approach a 4x speedup (the points are independent
+// simulations over one shared topology); on a single-core machine the two
+// are expected to tie.
+func BenchmarkSweepParallel(b *testing.B) {
+	e, ok := exp.ByID("Fig5a")
+	if !ok {
+		b.Fatal("Fig5a not registered")
+	}
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := benchOptions()
+			o.Workers = w
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLatencyMatrix compares point latency queries answered by the
+// precomputed stub-to-stub matrix against the on-demand Dijkstra tree cache,
+// plus the one-time cost of building the matrix itself.
+func BenchmarkLatencyMatrix(b *testing.B) {
+	build := func(b *testing.B) *topology.Graph {
+		g, err := topology.GenerateTransitStub(topology.DefaultConfig(), 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+
+	b.Run("precompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			g := build(b)
+			b.StartTimer()
+			g.PrecomputeStubMatrix(4)
+		}
+	})
+
+	queryLoop := func(b *testing.B, g *topology.Graph) {
+		stubs := g.StubNodes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Latency(stubs[(i*31)%len(stubs)], stubs[(i*17+5)%len(stubs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("lookup/dijkstra", func(b *testing.B) {
+		g := build(b)
+		queryLoop(b, g) // first pass per source pays Dijkstra, then tree reads
+	})
+	b.Run("lookup/matrix", func(b *testing.B) {
+		g := build(b)
+		g.PrecomputeStubMatrix(4)
+		queryLoop(b, g)
+	})
+}
+
 // --- Micro-benchmarks on the hot paths ---------------------------------------
 
 func BenchmarkEventEngine(b *testing.B) {

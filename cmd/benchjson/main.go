@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so benchmark baselines can be recorded in the repo
+// (see BENCH_PR1.json) and diffed mechanically across changes.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem -benchtime=1x | go run ./cmd/benchjson > BENCH_PR1.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `BenchmarkName-P  N  x ns/op [y B/op  z allocs/op]` line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the full parsed run, with the host metadata go test prints.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line. Fields appear as
+// value-then-unit pairs after the name and run count.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 3 {
+		return Benchmark{}, false
+	}
+	var b Benchmark
+	b.Name = f[0]
+	b.Procs = 1
+	if i := strings.LastIndex(f[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			b.Name, b.Procs = f[0][:i], p
+		}
+	}
+	runs, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Runs = runs
+	for i := 2; i+1 < len(f); i += 2 {
+		v := f[i]
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp, _ = strconv.ParseFloat(v, 64)
+		case "B/op":
+			b.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+		case "allocs/op":
+			b.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	return b, true
+}

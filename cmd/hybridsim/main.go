@@ -9,12 +9,22 @@
 //	hybridsim -ps 0.5 -tracker
 //	hybridsim -ps 0.7 -hetero -topoaware -landmarks 12 -bypass
 //	hybridsim -ps 0.8 -crash 0.2
+//	hybridsim -ps 0.1,0.3,0.5,0.7,0.9 -workers 4
+//
+// -ps accepts a comma-separated list; the points run concurrently on a
+// worker pool over one shared topology and the reports print in list order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -24,15 +34,36 @@ import (
 	"repro/internal/workload"
 )
 
+// simParams carries every flag a single simulation run needs.
+type simParams struct {
+	n, delta, ttl  int
+	items, lookups int
+	seed           int64
+	ps             float64
+	placement      string
+	hetero         bool
+	topoaware      bool
+	landmarks      int
+	bypass         bool
+	tracker        bool
+	interests      int
+	crash          float64
+	zipf           bool
+	walk           bool
+	caching        bool
+	linear         bool
+}
+
 func main() {
 	var (
 		n         = flag.Int("n", 1000, "number of peers")
-		ps        = flag.Float64("ps", 0.7, "proportion of s-peers (0..1)")
+		psList    = flag.String("ps", "0.7", "proportion of s-peers (0..1); comma-separated list sweeps")
 		delta     = flag.Int("delta", 3, "s-network degree constraint")
 		ttl       = flag.Int("ttl", 4, "flood TTL")
 		items     = flag.Int("items", 5000, "data items to insert")
 		lookups   = flag.Int("lookups", 2000, "lookups to measure")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "parallel workers for a -ps sweep (0 = all CPUs)")
 		placement = flag.String("placement", "spread", "data placement: tpeer | spread")
 		hetero    = flag.Bool("hetero", false, "enable link heterogeneity support")
 		topoaware = flag.Bool("topoaware", false, "enable landmark binning")
@@ -48,122 +79,210 @@ func main() {
 	)
 	flag.Parse()
 
+	var points []float64
+	for _, f := range strings.Split(*psList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybridsim: bad -ps value %q: %v\n", f, err)
+			os.Exit(2)
+		}
+		points = append(points, v)
+	}
+
+	params := make([]simParams, len(points))
+	for i, ps := range points {
+		params[i] = simParams{
+			n: *n, delta: *delta, ttl: *ttl,
+			items: *items, lookups: *lookups,
+			seed: *seed, ps: ps, placement: *placement,
+			hetero: *hetero, topoaware: *topoaware, landmarks: *landmarks,
+			bypass: *bypass, tracker: *tracker, interests: *interests,
+			crash: *crash, zipf: *zipf, walk: *walk, caching: *caching,
+			linear: *linear,
+		}
+	}
+
+	// One immutable topology shared by every point; Graph is concurrency-safe
+	// after generation, and a single graph keeps a multi-point sweep from
+	// paying N Dijkstra caches.
+	topo, err := topology.GenerateTransitStub(topology.DefaultConfig(), *seed)
+	fatal(err)
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(params) {
+		w = len(params)
+	}
+	outs := make([]strings.Builder, len(params))
+	errs := make([]error, len(params))
+	if w <= 1 {
+		for i := range params {
+			errs[i] = runSim(&outs[i], topo, params[i])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(params) {
+						return
+					}
+					errs[i] = runSim(&outs[i], topo, params[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i := range params {
+		if len(params) > 1 {
+			fmt.Printf("===== ps=%.2f =====\n", params[i].ps)
+		}
+		os.Stdout.WriteString(outs[i].String())
+		fatal(errs[i])
+		if len(params) > 1 {
+			fmt.Println()
+		}
+	}
+}
+
+// runSim executes one full simulation and writes the report to w. It only
+// touches its own engine and system, so several runSims may execute
+// concurrently over the same topology graph.
+func runSim(w io.Writer, topo *topology.Graph, p simParams) error {
 	cfg := core.DefaultConfig()
-	cfg.Ps = *ps
-	cfg.Delta = *delta
-	cfg.TTL = *ttl
-	cfg.Heterogeneity = *hetero
-	cfg.TopologyAware = *topoaware
-	cfg.Landmarks = *landmarks
-	cfg.Bypass = *bypass
-	cfg.TrackerMode = *tracker
-	cfg.InterestCategories = *interests
-	cfg.RandomWalk = *walk
-	cfg.Caching = *caching
-	cfg.SuccessorRouting = *linear
+	cfg.Ps = p.ps
+	cfg.Delta = p.delta
+	cfg.TTL = p.ttl
+	cfg.Heterogeneity = p.hetero
+	cfg.TopologyAware = p.topoaware
+	cfg.Landmarks = p.landmarks
+	cfg.Bypass = p.bypass
+	cfg.TrackerMode = p.tracker
+	cfg.InterestCategories = p.interests
+	cfg.RandomWalk = p.walk
+	cfg.Caching = p.caching
+	cfg.SuccessorRouting = p.linear
 	cfg.LookupTimeout = 5 * sim.Second
-	if *linear {
+	if p.linear {
 		cfg.LookupTimeout = 180 * sim.Second
 	}
-	if *topoaware {
+	if p.topoaware {
 		cfg.Assignment = core.AssignCluster
 	}
-	if *interests > 0 {
+	if p.interests > 0 {
 		cfg.Assignment = core.AssignInterest
 	}
-	switch *placement {
+	switch p.placement {
 	case "tpeer":
 		cfg.Placement = core.PlaceAtTPeer
 	case "spread":
 		cfg.Placement = core.PlaceSpread
 	default:
-		fmt.Fprintf(os.Stderr, "hybridsim: unknown placement %q\n", *placement)
-		os.Exit(2)
+		return fmt.Errorf("unknown placement %q", p.placement)
 	}
 
-	topo, err := topology.GenerateTransitStub(topology.DefaultConfig(), *seed)
-	fatal(err)
-	eng := sim.New(*seed)
+	eng := sim.New(p.seed)
 	net := simnet.New(eng, topo, simnet.DefaultConfig())
 	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
-	fatal(err)
+	if err != nil {
+		return err
+	}
 
-	fmt.Printf("building %d peers (ps=%.2f δ=%d ttl=%d placement=%s)...\n", *n, *ps, *delta, *ttl, cfg.Placement)
+	fmt.Fprintf(w, "building %d peers (ps=%.2f δ=%d ttl=%d placement=%s)...\n", p.n, p.ps, p.delta, p.ttl, cfg.Placement)
 	var caps []float64
-	if *hetero {
-		caps = workload.CapacityClasses(*n)
+	if p.hetero {
+		caps = workload.CapacityClasses(p.n)
 	}
 	var ints []int
-	if *interests > 0 {
-		ints = make([]int, *n)
+	if p.interests > 0 {
+		ints = make([]int, p.n)
 		for i := range ints {
-			ints[i] = i % *interests
+			ints[i] = i % p.interests
 		}
 	}
-	peers, joins, err := sys.BuildPopulation(core.PopulationOpts{N: *n, Capacities: caps, Interests: ints})
-	fatal(err)
+	peers, joins, err := sys.BuildPopulation(core.PopulationOpts{N: p.n, Capacities: caps, Interests: ints})
+	if err != nil {
+		return err
+	}
 	sys.Settle(10 * sim.Second)
-	fatal(sys.CheckRing())
-	fatal(sys.CheckTrees())
+	if err := sys.CheckRing(); err != nil {
+		return err
+	}
+	if err := sys.CheckTrees(); err != nil {
+		return err
+	}
 
 	var joinHops metrics.Summary
 	for _, js := range joins {
 		joinHops.Add(float64(js.Hops))
 	}
-	fmt.Printf("built: %d t-peers, %d s-peers; join hops %s\n",
+	fmt.Fprintf(w, "built: %d t-peers, %d s-peers; join hops %s\n",
 		len(sys.TPeers()), len(sys.SPeers()), &joinHops)
 
 	// Insert data.
 	var keys []string
-	if *interests > 0 {
-		keys = workload.InterestKeys(*items, *interests)
+	if p.interests > 0 {
+		keys = workload.InterestKeys(p.items, p.interests)
 	} else {
-		keys = workload.Keys(*items)
+		keys = workload.Keys(p.items)
 	}
 	stored := 0
 	for i, key := range keys {
 		r, err := sys.StoreSync(peers[(i*31)%len(peers)], key, "value-of-"+key)
-		fatal(err)
+		if err != nil {
+			return err
+		}
 		if r.OK {
 			stored++
 		}
 	}
-	fmt.Printf("stored %d/%d items; total items in system: %d\n", stored, *items, sys.TotalItems())
+	fmt.Fprintf(w, "stored %d/%d items; total items in system: %d\n", stored, p.items, sys.TotalItems())
 
-	if *crash > 0 {
+	if p.crash > 0 {
 		before := sys.NumPeers()
 		rng := eng.Rand()
 		var live []*core.Peer
-		for _, p := range peers {
-			if p.Alive() {
-				live = append(live, p)
+		for _, pr := range peers {
+			if pr.Alive() {
+				live = append(live, pr)
 			}
 		}
-		for _, idx := range rng.Perm(len(live))[:int(*crash*float64(len(live)))] {
+		for _, idx := range rng.Perm(len(live))[:int(p.crash*float64(len(live)))] {
 			live[idx].Crash()
 		}
 		sys.Settle(3 * cfg.HelloTimeout)
-		fmt.Printf("crashed %d of %d peers; %d survive; promotions=%d rejoins=%d\n",
+		fmt.Fprintf(w, "crashed %d of %d peers; %d survive; promotions=%d rejoins=%d\n",
 			before-sys.NumPeers(), before, sys.NumPeers(),
 			sys.Stats().Promotions, sys.Stats().Rejoins)
 	}
 
 	// Lookups.
 	var pick workload.Picker = &workload.UniformPicker{N: len(keys), Rng: eng.Rand()}
-	if *zipf {
+	if p.zipf {
 		zp, err := workload.NewZipfPicker(eng.Rand(), 1.2, 1, len(keys))
-		fatal(err)
+		if err != nil {
+			return err
+		}
 		pick = zp
 	}
 	var hops, lat, contacts metrics.Summary
 	fails := 0
-	for i := 0; i < *lookups; i++ {
+	for i := 0; i < p.lookups; i++ {
 		origin := peers[(i*53)%len(peers)]
 		if !origin.Alive() {
 			origin = sys.Peers()[i%sys.NumPeers()]
 		}
 		r, err := sys.LookupSync(origin, keys[pick.Pick()])
-		fatal(err)
+		if err != nil {
+			return err
+		}
 		if r.OK {
 			hops.Add(float64(r.Hops))
 			lat.Add(float64(r.Latency) / float64(sim.Millisecond))
@@ -172,25 +291,26 @@ func main() {
 		}
 		contacts.Add(float64(r.Contacts))
 	}
-	fmt.Printf("\nlookups: %d issued, %d failed (%.2f%%)\n", *lookups, fails, 100*float64(fails)/float64(*lookups))
-	fmt.Printf("  hops     %s\n", &hops)
-	fmt.Printf("  latency  %s ms\n", &lat)
-	fmt.Printf("  contacts %s (total connum %d)\n", &contacts, int64(contacts.Mean()*float64(contacts.N())))
+	fmt.Fprintf(w, "\nlookups: %d issued, %d failed (%.2f%%)\n", p.lookups, fails, 100*float64(fails)/float64(p.lookups))
+	fmt.Fprintf(w, "  hops     %s\n", &hops)
+	fmt.Fprintf(w, "  latency  %s ms\n", &lat)
+	fmt.Fprintf(w, "  contacts %s (total connum %d)\n", &contacts, int64(contacts.Mean()*float64(contacts.N())))
 
 	st := sys.Stats()
-	if *caching {
+	if p.caching {
 		cached := 0
-		for _, p := range sys.Peers() {
-			cached += p.NumCached()
+		for _, pr := range sys.Peers() {
+			cached += pr.NumCached()
 		}
-		fmt.Printf("caching: %d surrogate copies, %d pushes, %d cache hits\n",
+		fmt.Fprintf(w, "caching: %d surrogate copies, %d pushes, %d cache hits\n",
 			cached, st.CachePushes, st.CacheHits)
 	}
 	ns := net.Stats()
-	fmt.Printf("\nprotocol counters: %+v\n", st)
-	fmt.Printf("network: sent=%d delivered=%d dropped=%d bytes=%d\n",
+	fmt.Fprintf(w, "\nprotocol counters: %+v\n", st)
+	fmt.Fprintf(w, "network: sent=%d delivered=%d dropped=%d bytes=%d\n",
 		ns.MessagesSent, ns.MessagesDelivered, ns.MessagesDropped, ns.BytesSent)
-	fmt.Printf("simulated time: %v; events: %d\n", eng.Now(), eng.Dispatched())
+	fmt.Fprintf(w, "simulated time: %v; events: %d\n", eng.Now(), eng.Dispatched())
+	return nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,11 @@
 //	paperexp -run Fig5a
 //	paperexp -run all -quick
 //	paperexp -run Table2 -n 1000 -lookups 10000 -seed 7
+//	paperexp -run Fig3a -workers 1
+//
+// Sweeps run their points on a worker pool sized to the machine; -workers
+// pins the pool size (1 forces the sequential path). Output is byte-identical
+// for any worker count.
 package main
 
 import (
@@ -28,6 +33,7 @@ func main() {
 		items   = flag.Int("items", 0, "data items injected")
 		lookups = flag.Int("lookups", 0, "lookups measured")
 		seed    = flag.Int64("seed", 42, "random seed")
+		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = sequential)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
 	flag.Parse()
@@ -48,6 +54,11 @@ func main() {
 		opts = exp.QuickOptions()
 	}
 	opts.Seed = *seed
+	if *seed == 0 {
+		// A literal -seed 0 means "seed zero", not "use the default".
+		opts.Seed = exp.SeedZero
+	}
+	opts.Workers = *workers
 	if *n > 0 {
 		opts.N = *n
 	}
@@ -71,7 +82,7 @@ func main() {
 	}
 
 	for _, e := range selected {
-		fmt.Printf("### %s — %s (N=%d items=%d lookups=%d seed=%d)\n\n", e.ID, e.Title, opts.N, opts.Items, opts.Lookups, opts.Seed)
+		fmt.Printf("### %s — %s (N=%d items=%d lookups=%d seed=%d)\n\n", e.ID, e.Title, opts.N, opts.Items, opts.Lookups, *seed)
 		start := time.Now()
 		res, err := e.Run(opts)
 		if err != nil {

@@ -128,7 +128,7 @@ type op struct {
 	start   sim.Time
 	fidx    int // finger index, for fixfinger ops
 	done    func(Result)
-	timeout *sim.Event
+	timeout sim.Handle
 }
 
 // Result reports the outcome of a lookup or store.
@@ -559,9 +559,7 @@ func (n *Node) finishOp(tag uint64, r Result) {
 		return
 	}
 	delete(n.pending, tag)
-	if o.timeout != nil {
-		n.net.Net.Eng.Cancel(o.timeout)
-	}
+	n.net.Net.Eng.Cancel(o.timeout)
 	r.Latency = n.net.Net.Eng.Now() - o.start
 	if o.done != nil {
 		o.done(r)

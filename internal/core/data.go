@@ -86,9 +86,7 @@ func (p *Peer) finishOp(qid uint64, r OpResult) {
 		return
 	}
 	delete(p.pending, qid)
-	if o.timer != nil {
-		p.sys.Eng.Cancel(o.timer)
-	}
+	p.sys.Eng.Cancel(o.timer)
 	r.Key = o.key
 	r.Latency = p.sys.Eng.Now() - o.start
 	r.Contacts = p.sys.takeContacts(qid)
@@ -105,7 +103,7 @@ func (p *Peer) opTimeout(qid uint64) {
 	if !ok {
 		return
 	}
-	o.timer = nil
+	o.timer = sim.Handle{}
 	if o.kind == "lookup" && o.attempt < p.sys.Cfg.Reflood && p.inLocalSegment(o.sid) && !p.sys.Cfg.TrackerMode {
 		o.attempt++
 		o.ttl++

@@ -48,9 +48,7 @@ func (p *Peer) handleServerJoinResp(m serverJoinResp) {
 // armJoinTimer retries the whole join through the server if the current
 // attempt stalls (e.g. the entry point crashed mid-protocol).
 func (p *Peer) armJoinTimer() {
-	if p.joinTimer != nil {
-		p.sys.Eng.Cancel(p.joinTimer)
-	}
+	p.sys.Eng.Cancel(p.joinTimer)
 	p.joinTimer = p.sys.Eng.After(p.sys.Cfg.JoinTimeout, func() {
 		if !p.alive || p.joined {
 			return

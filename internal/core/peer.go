@@ -75,7 +75,7 @@ type Peer struct {
 	// --- pending join ---
 	joinStart    sim.Time
 	joinDone     func(*Peer, JoinStats)
-	joinTimer    *sim.Event
+	joinTimer    sim.Handle
 	joinAttempts int
 	// joined flips once the peer is a full member; retries and duplicate
 	// handshake suppression key off it (joinDone may legitimately be nil).
@@ -103,7 +103,7 @@ type op struct {
 	fidx    int // finger index (fixfinger ops)
 	attempt int
 	done    func(OpResult)
-	timer   *sim.Event
+	timer   sim.Handle
 }
 
 // OpResult reports the outcome of a store or lookup.
@@ -424,21 +424,15 @@ func (p *Peer) stop() {
 		t.Stop()
 	}
 	p.watchdog = make(map[simnet.Addr]*sim.Timer)
-	if p.joinTimer != nil {
-		p.sys.Eng.Cancel(p.joinTimer)
-	}
+	p.sys.Eng.Cancel(p.joinTimer)
 	for _, o := range p.pending {
-		if o.timer != nil {
-			p.sys.Eng.Cancel(o.timer)
-		}
+		p.sys.Eng.Cancel(o.timer)
 	}
 	for _, e := range p.cache {
 		e.timer.Stop()
 	}
 	for _, so := range p.searches {
-		if so.timer != nil {
-			p.sys.Eng.Cancel(so.timer)
-		}
+		p.sys.Eng.Cancel(so.timer)
 	}
 	p.sys.Net.Detach(p.Addr)
 	delete(p.sys.peers, p.Addr)
@@ -460,10 +454,8 @@ func (p *Peer) completeJoin(hops int) {
 		return
 	}
 	p.joined = true
-	if p.joinTimer != nil {
-		p.sys.Eng.Cancel(p.joinTimer)
-		p.joinTimer = nil
-	}
+	p.sys.Eng.Cancel(p.joinTimer)
+	p.joinTimer = sim.Handle{}
 	p.startMaintenance()
 	if p.joinDone != nil {
 		done := p.joinDone

@@ -59,7 +59,7 @@ type searchOp struct {
 	seen    map[string]bool
 	max     int
 	done    func(SearchResult)
-	timer   *sim.Event
+	timer   sim.Handle
 	expired bool
 }
 
@@ -185,9 +185,7 @@ func (p *Peer) finishSearch(qid uint64) {
 	}
 	op.expired = true
 	delete(p.searches, qid)
-	if op.timer != nil {
-		p.sys.Eng.Cancel(op.timer)
-	}
+	p.sys.Eng.Cancel(op.timer)
 	res := SearchResult{
 		Prefix:   op.prefix,
 		Items:    op.items,

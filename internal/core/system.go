@@ -391,7 +391,7 @@ func (s *System) DebugPendingOps() map[simnet.Addr][]string {
 			if o.kind == "fixfinger" {
 				continue
 			}
-			out[addr] = append(out[addr], fmt.Sprintf("%s %s timer=%v", o.kind, o.key, o.timer != nil))
+			out[addr] = append(out[addr], fmt.Sprintf("%s %s timer=%v", o.kind, o.key, o.timer.Pending()))
 		}
 	}
 	return out

@@ -17,70 +17,89 @@ func RunAblationTree(o Options) (*Result, error) {
 	o = o.normalize()
 	res := newResult("AblationTree")
 
-	topo, err := expTopology(o, o.Seed+700)
-	if err != nil {
-		return nil, err
-	}
-	eng := sim.New(o.Seed + 700)
-	net := simnet.New(eng, topo, simnet.DefaultConfig())
-	gcfg := gnutella.DefaultConfig()
-	gcfg.DegreeTarget = 4
-	gnet := gnutella.NewNetwork(net, gcfg)
-
-	stubs := topo.StubNodes()
-	peers := make([]*gnutella.Peer, o.N)
-	for i := range peers {
-		peers[i] = gnet.Join(stubs[eng.Rand().Intn(len(stubs))], 1)
-	}
 	keys := keysN(o.Items / 2)
-	for i, key := range keys {
-		peers[(i*13)%len(peers)].StoreLocal(key, "v")
-	}
-
 	queries := o.Lookups / 2
-	hits := 0
-	for i := 0; i < queries; i++ {
-		var done bool
-		ok := false
-		peers[(i*29)%len(peers)].Lookup(keys[i%len(keys)], 5, func(r gnutella.Result) {
-			done = true
-			ok = r.OK
-		})
-		for !done && eng.Step() {
-		}
-		if ok {
-			hits++
-		}
+
+	// Both arms flood the same workload over the shared topology; each is
+	// an independent simulation, so they run as two worker-pool tasks.
+	type arm struct {
+		delPerQuery, dupPerQuery, success float64
 	}
+	arms, err := sweep(o, 2, func(i int) (arm, error) {
+		if i == 1 {
+			// The hybrid tree: same scale at p_s = 0.9 so floods dominate.
+			cfg := expConfig(0.9)
+			sc, err := buildScenario(o, cfg, o.Seed+701, nil, nil)
+			if err != nil {
+				return arm{}, err
+			}
+			if _, err := sc.storeItems(keys); err != nil {
+				return arm{}, err
+			}
+			rs, err := sc.lookupBatch(queries, 4, keys, func(k int) int { return k })
+			if err != nil {
+				return arm{}, err
+			}
+			return arm{
+				delPerQuery: float64(totalContacts(rs)) / float64(len(rs)),
+				success:     1 - failureRatio(rs),
+			}, nil
+		}
 
-	dupPerQuery := float64(gnet.DuplicateDeliveries) / float64(queries)
-	delPerQuery := float64(gnet.QueryDeliveries) / float64(queries)
+		topo, err := expTopology(o, o.topoSeed())
+		if err != nil {
+			return arm{}, err
+		}
+		eng := sim.New(o.Seed + 700)
+		net := simnet.New(eng, topo, simnet.DefaultConfig())
+		gcfg := gnutella.DefaultConfig()
+		gcfg.DegreeTarget = 4
+		gnet := gnutella.NewNetwork(net, gcfg)
 
-	// The hybrid tree: same scale at p_s = 0.9 so floods dominate.
-	cfg := expConfig(0.9)
-	sc, err := buildScenario(o, cfg, o.Seed+701, nil, nil)
+		stubs := topo.StubNodes()
+		peers := make([]*gnutella.Peer, o.N)
+		for i := range peers {
+			peers[i] = gnet.Join(stubs[eng.Rand().Intn(len(stubs))], 1)
+		}
+		for i, key := range keys {
+			peers[(i*13)%len(peers)].StoreLocal(key, "v")
+		}
+
+		hits := 0
+		for i := 0; i < queries; i++ {
+			var done bool
+			ok := false
+			peers[(i*29)%len(peers)].Lookup(keys[i%len(keys)], 5, func(r gnutella.Result) {
+				done = true
+				ok = r.OK
+			})
+			for !done && eng.Step() {
+			}
+			if ok {
+				hits++
+			}
+		}
+		return arm{
+			delPerQuery: float64(gnet.QueryDeliveries) / float64(queries),
+			dupPerQuery: float64(gnet.DuplicateDeliveries) / float64(queries),
+			success:     float64(hits) / float64(queries),
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if _, err := sc.storeItems(keys); err != nil {
-		return nil, err
-	}
-	rs, err := sc.lookupBatch(queries, 4, keys, func(k int) int { return k })
-	if err != nil {
-		return nil, err
-	}
-	treeContacts := float64(totalContacts(rs)) / float64(len(rs))
+	mesh, tree := arms[0], arms[1]
 
 	t := metrics.NewTable("Ablation: mesh flooding vs tree s-networks",
 		"topology", "deliveries/query", "duplicates/query", "success")
-	t.AddRow("gnutella mesh (deg 4, TTL 5)", delPerQuery, dupPerQuery, float64(hits)/float64(queries))
-	t.AddRow("hybrid tree (p_s=0.9, TTL 4)", treeContacts, 0.0, 1-failureRatio(rs))
+	t.AddRow("gnutella mesh (deg 4, TTL 5)", mesh.delPerQuery, mesh.dupPerQuery, mesh.success)
+	t.AddRow("hybrid tree (p_s=0.9, TTL 4)", tree.delPerQuery, 0.0, tree.success)
 	res.Tables = append(res.Tables, t)
 
-	res.Values["mesh_duplicates_per_query"] = dupPerQuery
+	res.Values["mesh_duplicates_per_query"] = mesh.dupPerQuery
 	res.Values["tree_duplicates_per_query"] = 0
-	res.Values["mesh_deliveries_per_query"] = delPerQuery
-	res.Values["tree_contacts_per_query"] = treeContacts
+	res.Values["mesh_deliveries_per_query"] = mesh.delPerQuery
+	res.Values["tree_contacts_per_query"] = tree.delPerQuery
 	res.Notes = append(res.Notes,
 		"a tree guarantees each peer receives the query exactly once; the mesh pays extra bandwidth for duplicates")
 	return res, nil
@@ -103,17 +122,20 @@ func RunAblationBypass(o Options) (*Result, error) {
 		{"bypass links", true},
 	}
 
-	t := metrics.NewTable("Ablation: bypass links (p_s=0.7, hot keys, 10 heavy consumers)",
-		"mode", "ring-forwards/lookup", "mean latency ms", "bypass uses", "success")
-	for _, mode := range modes {
+	type bypassArm struct {
+		ringPer, latency, success float64
+		uses                      uint64
+	}
+	arms, err := sweep(o, len(modes), func(i int) (bypassArm, error) {
+		mode := modes[i]
 		cfg := expConfig(0.7)
 		cfg.Bypass = mode.bypass
 		sc, err := buildScenario(o, cfg, o.Seed+720, nil, nil)
 		if err != nil {
-			return nil, err
+			return bypassArm{}, err
 		}
 		if _, err := sc.storeItems(keys); err != nil {
-			return nil, err
+			return bypassArm{}, err
 		}
 		// Bypass links live per peer, so they only pay off for peers that
 		// repeatedly reach the same remote s-networks: route the workload
@@ -134,18 +156,32 @@ func RunAblationBypass(o Options) (*Result, error) {
 		before := sc.Sys.Stats().RingForwards
 		rs, err := sc.lookupFrom(origins, o.Lookups/2, 4, keys, func(k int) int { return k % len(keys) })
 		if err != nil {
-			return nil, err
+			return bypassArm{}, err
 		}
 		after := sc.Sys.Stats()
-		ringPer := float64(after.RingForwards-before) / float64(len(rs))
-		t.AddRow(mode.name, ringPer, meanLatencyMs(rs), after.BypassUses, 1-failureRatio(rs))
+		return bypassArm{
+			ringPer: float64(after.RingForwards-before) / float64(len(rs)),
+			latency: meanLatencyMs(rs),
+			success: 1 - failureRatio(rs),
+			uses:    after.BypassUses,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable("Ablation: bypass links (p_s=0.7, hot keys, 10 heavy consumers)",
+		"mode", "ring-forwards/lookup", "mean latency ms", "bypass uses", "success")
+	for i, mode := range modes {
+		a := arms[i]
+		t.AddRow(mode.name, a.ringPer, a.latency, a.uses, a.success)
 		key := "nobypass"
 		if mode.bypass {
 			key = "bypass"
 		}
-		res.Values["ringforwards_"+key] = ringPer
-		res.Values["latency_"+key] = meanLatencyMs(rs)
-		res.Values["uses_"+key] = float64(after.BypassUses)
+		res.Values["ringforwards_"+key] = a.ringPer
+		res.Values["latency_"+key] = a.latency
+		res.Values["uses_"+key] = float64(a.uses)
 	}
 	res.Tables = append(res.Tables, t)
 	res.Notes = append(res.Notes,

@@ -14,134 +14,152 @@ import (
 // workload: mean lookup hops, latency and failure ratio. This is the
 // "compared to structured / unstructured peer-to-peer networks" framing of
 // the paper's conclusions, with the pure systems implemented outright rather
-// than taken as the hybrid's degenerate ends.
+// than taken as the hybrid's degenerate ends. Each system is an independent
+// simulation, so the four arms run as worker-pool tasks.
 func RunBaselines(o Options) (*Result, error) {
 	o = o.normalize()
 	res := newResult("Baselines")
 	keys := keysN(o.Items / 2)
 	queries := o.Lookups / 2
 
+	type row struct {
+		name                   string
+		tag                    string // value-key prefix; latency omitted when empty for that metric
+		hops, latency, failure float64
+		noLatencyValue         bool
+	}
+	arms, err := sweep(o, 4, func(i int) (row, error) {
+		switch i {
+		case 0: // Chord
+			topo, err := expTopology(o, o.topoSeed())
+			if err != nil {
+				return row{}, err
+			}
+			eng := sim.New(o.Seed + 800)
+			net := simnet.New(eng, topo, simnet.DefaultConfig())
+			cnet := chord.NewNetwork(net, chord.DefaultConfig())
+			stubs := topo.StubNodes()
+			var nodes []*chord.Node
+			boot := simnet.None
+			for i := 0; i < o.N; i++ {
+				n := cnet.CreateNode(idspace.ID(eng.Rand().Uint64()), stubs[eng.Rand().Intn(len(stubs))], 1, boot)
+				if boot == simnet.None {
+					boot = n.Addr
+				}
+				// Give each join a slice of stabilization time.
+				eng.RunUntil(eng.Now() + 600*sim.Millisecond)
+				nodes = append(nodes, n)
+			}
+			eng.RunUntil(eng.Now() + 30*sim.Second)
+
+			for i, key := range keys {
+				var done bool
+				nodes[(i*11)%len(nodes)].Store(key, "v", func(chord.Result) { done = true })
+				for !done && eng.Step() {
+				}
+			}
+			var hops, lat metrics.Summary
+			fails := 0
+			for i := 0; i < queries; i++ {
+				var done bool
+				var r chord.Result
+				nodes[(i*17)%len(nodes)].Lookup(keys[i%len(keys)], func(res chord.Result) {
+					done = true
+					r = res
+				})
+				for !done && eng.Step() {
+				}
+				if r.OK {
+					hops.Add(float64(r.Hops))
+					lat.Add(float64(r.Latency) / float64(sim.Millisecond))
+				} else {
+					fails++
+				}
+			}
+			return row{
+				name: "chord (pure structured)", tag: "chord",
+				hops: hops.Mean(), latency: lat.Mean(),
+				failure: float64(fails) / float64(queries),
+			}, nil
+
+		case 1: // Gnutella
+			topo, err := expTopology(o, o.topoSeed())
+			if err != nil {
+				return row{}, err
+			}
+			eng := sim.New(o.Seed + 810)
+			net := simnet.New(eng, topo, simnet.DefaultConfig())
+			gnet := gnutella.NewNetwork(net, gnutella.DefaultConfig())
+			stubs := topo.StubNodes()
+			peers := make([]*gnutella.Peer, o.N)
+			for i := range peers {
+				peers[i] = gnet.Join(stubs[eng.Rand().Intn(len(stubs))], 1)
+			}
+			for i, key := range keys {
+				peers[(i*13)%len(peers)].StoreLocal(key, "v")
+			}
+			var hops, lat metrics.Summary
+			fails := 0
+			for i := 0; i < queries; i++ {
+				var done bool
+				var r gnutella.Result
+				peers[(i*19)%len(peers)].Lookup(keys[i%len(keys)], 5, func(res gnutella.Result) {
+					done = true
+					r = res
+				})
+				for !done && eng.Step() {
+				}
+				if r.OK {
+					hops.Add(float64(r.Hops))
+					lat.Add(float64(r.Latency) / float64(sim.Millisecond))
+				} else {
+					fails++
+				}
+			}
+			return row{
+				name: "gnutella (pure unstructured, TTL 5)", tag: "gnutella",
+				hops: hops.Mean(), latency: lat.Mean(),
+				failure:        float64(fails) / float64(queries),
+				noLatencyValue: true,
+			}, nil
+
+		default: // Hybrid at p_s = 0.3 and 0.7
+			ps := 0.3
+			name, tag := "hybrid p_s=0.3", "hybrid_ps0.3"
+			if i == 3 {
+				ps, name, tag = 0.7, "hybrid p_s=0.7", "hybrid_ps0.7"
+			}
+			cfg := expConfig(ps)
+			sc, err := buildScenario(o, cfg, o.Seed+820+int64(ps*100), nil, nil)
+			if err != nil {
+				return row{}, err
+			}
+			if _, err := sc.storeItems(keys); err != nil {
+				return row{}, err
+			}
+			rs, err := sc.lookupBatch(queries, 4, keys, func(k int) int { return k })
+			if err != nil {
+				return row{}, err
+			}
+			return row{
+				name: name, tag: tag,
+				hops: meanHops(rs), latency: meanLatencyMs(rs), failure: failureRatio(rs),
+			}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := metrics.NewTable("Baselines vs hybrid",
 		"system", "mean hops", "mean latency ms", "failure ratio")
-
-	// --- Chord ---
-	{
-		topo, err := expTopology(o, o.Seed+800)
-		if err != nil {
-			return nil, err
+	for _, r := range arms {
+		t.AddRow(r.name, r.hops, r.latency, r.failure)
+		res.Values[r.tag+"_hops"] = r.hops
+		if !r.noLatencyValue {
+			res.Values[r.tag+"_latency_ms"] = r.latency
 		}
-		eng := sim.New(o.Seed + 800)
-		net := simnet.New(eng, topo, simnet.DefaultConfig())
-		cnet := chord.NewNetwork(net, chord.DefaultConfig())
-		stubs := topo.StubNodes()
-		var nodes []*chord.Node
-		boot := simnet.None
-		for i := 0; i < o.N; i++ {
-			n := cnet.CreateNode(idspace.ID(eng.Rand().Uint64()), stubs[eng.Rand().Intn(len(stubs))], 1, boot)
-			if boot == simnet.None {
-				boot = n.Addr
-			}
-			// Give each join a slice of stabilization time.
-			eng.RunUntil(eng.Now() + 600*sim.Millisecond)
-			nodes = append(nodes, n)
-		}
-		eng.RunUntil(eng.Now() + 30*sim.Second)
-
-		for i, key := range keys {
-			var done bool
-			nodes[(i*11)%len(nodes)].Store(key, "v", func(chord.Result) { done = true })
-			for !done && eng.Step() {
-			}
-		}
-		var hops, lat metrics.Summary
-		fails := 0
-		for i := 0; i < queries; i++ {
-			var done bool
-			var r chord.Result
-			nodes[(i*17)%len(nodes)].Lookup(keys[i%len(keys)], func(res chord.Result) {
-				done = true
-				r = res
-			})
-			for !done && eng.Step() {
-			}
-			if r.OK {
-				hops.Add(float64(r.Hops))
-				lat.Add(float64(r.Latency) / float64(sim.Millisecond))
-			} else {
-				fails++
-			}
-		}
-		fr := float64(fails) / float64(queries)
-		t.AddRow("chord (pure structured)", hops.Mean(), lat.Mean(), fr)
-		res.Values["chord_hops"] = hops.Mean()
-		res.Values["chord_latency_ms"] = lat.Mean()
-		res.Values["chord_failure"] = fr
-	}
-
-	// --- Gnutella ---
-	{
-		topo, err := expTopology(o, o.Seed+810)
-		if err != nil {
-			return nil, err
-		}
-		eng := sim.New(o.Seed + 810)
-		net := simnet.New(eng, topo, simnet.DefaultConfig())
-		gnet := gnutella.NewNetwork(net, gnutella.DefaultConfig())
-		stubs := topo.StubNodes()
-		peers := make([]*gnutella.Peer, o.N)
-		for i := range peers {
-			peers[i] = gnet.Join(stubs[eng.Rand().Intn(len(stubs))], 1)
-		}
-		for i, key := range keys {
-			peers[(i*13)%len(peers)].StoreLocal(key, "v")
-		}
-		var hops, lat metrics.Summary
-		fails := 0
-		for i := 0; i < queries; i++ {
-			var done bool
-			var r gnutella.Result
-			peers[(i*19)%len(peers)].Lookup(keys[i%len(keys)], 5, func(res gnutella.Result) {
-				done = true
-				r = res
-			})
-			for !done && eng.Step() {
-			}
-			if r.OK {
-				hops.Add(float64(r.Hops))
-				lat.Add(float64(r.Latency) / float64(sim.Millisecond))
-			} else {
-				fails++
-			}
-		}
-		fr := float64(fails) / float64(queries)
-		t.AddRow("gnutella (pure unstructured, TTL 5)", hops.Mean(), lat.Mean(), fr)
-		res.Values["gnutella_hops"] = hops.Mean()
-		res.Values["gnutella_failure"] = fr
-	}
-
-	// --- Hybrid at several p_s ---
-	for _, ps := range []float64{0.3, 0.7} {
-		cfg := expConfig(ps)
-		sc, err := buildScenario(o, cfg, o.Seed+820+int64(ps*100), nil, nil)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := sc.storeItems(keys); err != nil {
-			return nil, err
-		}
-		rs, err := sc.lookupBatch(queries, 4, keys, func(k int) int { return k })
-		if err != nil {
-			return nil, err
-		}
-		name := "hybrid p_s=0.3"
-		tag := "hybrid_ps0.3"
-		if ps > 0.5 {
-			name, tag = "hybrid p_s=0.7", "hybrid_ps0.7"
-		}
-		t.AddRow(name, meanHops(rs), meanLatencyMs(rs), failureRatio(rs))
-		res.Values[tag+"_hops"] = meanHops(rs)
-		res.Values[tag+"_latency_ms"] = meanLatencyMs(rs)
-		res.Values[tag+"_failure"] = failureRatio(rs)
+		res.Values[r.tag+"_failure"] = r.failure
 	}
 
 	res.Tables = append(res.Tables, t)

@@ -20,9 +20,15 @@ func RunExtCaching(o Options) (*Result, error) {
 	res := newResult("ExtCaching")
 
 	keys := keysN(o.Items / 4) // small universe so Zipf repeats bite
-	t := metrics.NewTable("Extension: future-work caching under Zipf lookups (p_s=0.8)",
-		"mode", "max serves", "serve gini", "mean ms", "cache pushes", "cache hits")
-	for _, caching := range []bool{false, true} {
+	modes := []bool{false, true}
+
+	type cacheArm struct {
+		maxServes     uint64
+		gini, latency float64
+		pushes, hits  uint64
+	}
+	arms, err := sweep(o, len(modes), func(i int) (cacheArm, error) {
+		caching := modes[i]
 		cfg := expConfig(0.8)
 		cfg.Caching = caching
 		cfg.CacheHotThreshold = 8
@@ -30,37 +36,49 @@ func RunExtCaching(o Options) (*Result, error) {
 		cfg.CacheTTL = 600 * sim.Second
 		sc, err := buildScenario(o, cfg, o.Seed+900, nil, nil)
 		if err != nil {
-			return nil, err
+			return cacheArm{}, err
 		}
 		if _, err := sc.storeItems(keys); err != nil {
-			return nil, err
+			return cacheArm{}, err
 		}
 		zipf, err := workload.NewZipfPicker(sc.Sys.Eng.Rand(), 1.3, 1, len(keys))
 		if err != nil {
-			return nil, err
+			return cacheArm{}, err
 		}
 		rs, err := sc.lookupBatch(o.Lookups, 4, keys, func(int) int { return zipf.Pick() })
 		if err != nil {
-			return nil, err
+			return cacheArm{}, err
 		}
-		var maxServes uint64
+		var a cacheArm
 		var serves []int
 		for _, p := range sc.Sys.Peers() {
 			serves = append(serves, int(p.ServeCount()))
-			if p.ServeCount() > maxServes {
-				maxServes = p.ServeCount()
+			if p.ServeCount() > a.maxServes {
+				a.maxServes = p.ServeCount()
 			}
 		}
 		st := sc.Sys.Stats()
-		g := gini(serves)
-		t.AddRow(modeName(caching), maxServes, g, meanLatencyMs(rs), st.CachePushes, st.CacheHits)
+		a.gini = gini(serves)
+		a.latency = meanLatencyMs(rs)
+		a.pushes, a.hits = st.CachePushes, st.CacheHits
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable("Extension: future-work caching under Zipf lookups (p_s=0.8)",
+		"mode", "max serves", "serve gini", "mean ms", "cache pushes", "cache hits")
+	for i, caching := range modes {
+		a := arms[i]
+		t.AddRow(modeName(caching), a.maxServes, a.gini, a.latency, a.pushes, a.hits)
 		tag := "nocache"
 		if caching {
 			tag = "cache"
 		}
-		res.Values["maxserves_"+tag] = float64(maxServes)
-		res.Values["gini_"+tag] = g
-		res.Values["latency_"+tag] = meanLatencyMs(rs)
+		res.Values["maxserves_"+tag] = float64(a.maxServes)
+		res.Values["gini_"+tag] = a.gini
+		res.Values["latency_"+tag] = a.latency
 	}
 	res.Tables = append(res.Tables, t)
 	res.Notes = append(res.Notes,
@@ -82,32 +100,49 @@ func RunExtWalk(o Options) (*Result, error) {
 	res := newResult("ExtWalk")
 
 	keys := keysFor(o)
-	t := metrics.NewTable("Extension: flooding vs k-walker random walks (p_s=0.9)",
-		"search", "contacts/lookup", "failure", "mean ms")
-	for _, walk := range []bool{false, true} {
+	modes := []bool{false, true}
+
+	type walkArm struct {
+		contacts, failure, latency float64
+	}
+	arms, err := sweep(o, len(modes), func(i int) (walkArm, error) {
+		walk := modes[i]
 		cfg := expConfig(0.9)
 		cfg.RandomWalk = walk
 		cfg.WalkCount = 3
 		cfg.WalkTTL = 12
 		sc, err := buildScenario(o, cfg, o.Seed+910, nil, nil)
 		if err != nil {
-			return nil, err
+			return walkArm{}, err
 		}
 		if _, err := sc.storeItems(keys); err != nil {
-			return nil, err
+			return walkArm{}, err
 		}
 		rs, err := sc.lookupBatch(o.Lookups/2, 4, keys, func(k int) int { return k })
 		if err != nil {
-			return nil, err
+			return walkArm{}, err
 		}
+		return walkArm{
+			contacts: float64(totalContacts(rs)) / float64(len(rs)),
+			failure:  failureRatio(rs),
+			latency:  meanLatencyMs(rs),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable("Extension: flooding vs k-walker random walks (p_s=0.9)",
+		"search", "contacts/lookup", "failure", "mean ms")
+	for i, walk := range modes {
+		a := arms[i]
 		name, tag := "flood (TTL 4)", "flood"
 		if walk {
 			name, tag = "3 walkers, TTL 12", "walk"
 		}
-		contacts := float64(totalContacts(rs)) / float64(len(rs))
-		t.AddRow(name, contacts, failureRatio(rs), meanLatencyMs(rs))
-		res.Values["contacts_"+tag] = contacts
-		res.Values["failure_"+tag] = failureRatio(rs)
+		t.AddRow(name, a.contacts, a.failure, a.latency)
+		res.Values["contacts_"+tag] = a.contacts
+		res.Values["failure_"+tag] = a.failure
 	}
 	res.Tables = append(res.Tables, t)
 	res.Notes = append(res.Notes,
@@ -123,12 +158,18 @@ func RunLinkStress(o Options) (*Result, error) {
 	res := newResult("LinkStress")
 
 	keys := keysN(o.Items / 2)
-	t := metrics.NewTable("Extension: physical link stress with/without topology awareness (p_s=0.7)",
-		"mode", "max link stress", "mean ms")
-	for _, aware := range []bool{false, true} {
-		topoGraph, err := expTopology(o, o.Seed+920)
+	modes := []bool{false, true}
+
+	type stressArm struct {
+		maxStress, latency float64
+	}
+	arms, err := sweep(o, len(modes), func(i int) (stressArm, error) {
+		aware := modes[i]
+		// The simnet tracks per-link stress, so each arm builds its own net
+		// over the shared immutable topology graph.
+		topoGraph, err := expTopology(o, o.topoSeed())
 		if err != nil {
-			return nil, err
+			return stressArm{}, err
 		}
 		eng := sim.New(o.Seed + 920)
 		ncfg := simnet.DefaultConfig()
@@ -142,28 +183,40 @@ func RunLinkStress(o Options) (*Result, error) {
 		}
 		sys, err := core.NewSystem(eng, net, topoGraph, cfg, topoGraph.StubNodes()[0])
 		if err != nil {
-			return nil, err
+			return stressArm{}, err
 		}
 		peers, joins, err := sys.BuildPopulation(core.PopulationOpts{N: o.N})
 		if err != nil {
-			return nil, err
+			return stressArm{}, err
 		}
 		sys.Settle(2 * cfg.HelloEvery)
 		sc := &scenario{Sys: sys, Peers: peers, Joins: joins}
 		if _, err := sc.storeItems(keys); err != nil {
-			return nil, err
+			return stressArm{}, err
 		}
 		rs, err := sc.lookupBatch(o.Lookups/2, 4, keys, func(k int) int { return k })
 		if err != nil {
-			return nil, err
+			return stressArm{}, err
 		}
+		return stressArm{
+			maxStress: float64(net.MaxLinkStress()),
+			latency:   meanLatencyMs(rs),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable("Extension: physical link stress with/without topology awareness (p_s=0.7)",
+		"mode", "max link stress", "mean ms")
+	for i, aware := range modes {
+		a := arms[i]
 		name, tag := "basic", "basic"
 		if aware {
 			name, tag = "topology-aware (8 landmarks)", "aware"
 		}
-		maxStress := float64(net.MaxLinkStress())
-		t.AddRow(name, maxStress, meanLatencyMs(rs))
-		res.Values["maxstress_"+tag] = maxStress
+		t.AddRow(name, a.maxStress, a.latency)
+		res.Values["maxstress_"+tag] = a.maxStress
 	}
 	res.Tables = append(res.Tables, t)
 	res.Notes = append(res.Notes,
@@ -188,16 +241,21 @@ func RunChurn(o Options) (*Result, error) {
 		{"storm (4/s)", 2, 1, 1},
 	}
 	keys := keysN(o.Items / 2)
-	t := metrics.NewTable("Extension: lookups under live churn (p_s=0.7)",
-		"churn", "failure", "mean ms", "promotions", "rejoins", "peers end")
-	for i, in := range intensities {
+
+	type churnArm struct {
+		failure, latency    float64
+		promotions, rejoins int
+		peersEnd            int
+	}
+	arms, err := sweep(o, len(intensities), func(i int) (churnArm, error) {
+		in := intensities[i]
 		cfg := expConfig(0.7)
 		sc, err := buildScenario(o, cfg, o.Seed+930+int64(i), nil, nil)
 		if err != nil {
-			return nil, err
+			return churnArm{}, err
 		}
 		if _, err := sc.storeItems(keys); err != nil {
-			return nil, err
+			return churnArm{}, err
 		}
 		schedule := workload.PoissonSchedule(sc.Sys.Eng.Rand(), workload.ChurnConfig{
 			Duration:  120 * sim.Second,
@@ -209,18 +267,33 @@ func RunChurn(o Options) (*Result, error) {
 
 		rs, err := sc.lookupBatch(o.Lookups/3, 4, keys, func(k int) int { return k })
 		if err != nil {
-			return nil, err
+			return churnArm{}, err
 		}
-		st := sc.Sys.Stats()
-		t.AddRow(in.name, failureRatio(rs), meanLatencyMs(rs), st.Promotions, st.Rejoins, sc.Sys.NumPeers())
-		res.Values[fmt.Sprintf("churnfail_%d", i)] = failureRatio(rs)
-
 		if err := sc.Sys.CheckRing(); err != nil {
-			return nil, fmt.Errorf("ring broken after churn %q: %w", in.name, err)
+			return churnArm{}, fmt.Errorf("ring broken after churn %q: %w", in.name, err)
 		}
 		if err := sc.Sys.CheckTrees(); err != nil {
-			return nil, fmt.Errorf("trees broken after churn %q: %w", in.name, err)
+			return churnArm{}, fmt.Errorf("trees broken after churn %q: %w", in.name, err)
 		}
+		st := sc.Sys.Stats()
+		return churnArm{
+			failure:    failureRatio(rs),
+			latency:    meanLatencyMs(rs),
+			promotions: st.Promotions,
+			rejoins:    st.Rejoins,
+			peersEnd:   sc.Sys.NumPeers(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable("Extension: lookups under live churn (p_s=0.7)",
+		"churn", "failure", "mean ms", "promotions", "rejoins", "peers end")
+	for i, in := range intensities {
+		a := arms[i]
+		t.AddRow(in.name, a.failure, a.latency, a.promotions, a.rejoins, a.peersEnd)
+		res.Values[fmt.Sprintf("churnfail_%d", i)] = a.failure
 	}
 	res.Tables = append(res.Tables, t)
 	res.Notes = append(res.Notes,

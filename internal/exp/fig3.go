@@ -27,18 +27,24 @@ func RunFig3a(o Options) (*Result, error) {
 		curves = append(curves, s)
 	}
 
-	simSeries := &metrics.Series{Name: "simulated δ=3"}
-	for _, ps := range points {
+	simHops, err := sweepPoints(o, points, func(_ int, ps float64) (float64, error) {
 		cfg := expConfig(ps)
 		sc, err := buildScenario(o, cfg, o.Seed+int64(ps*100), nil, nil)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		total := 0.0
 		for _, js := range sc.Joins {
 			total += float64(js.Hops)
 		}
-		simSeries.Add(ps, total/float64(len(sc.Joins)))
+		return total / float64(len(sc.Joins)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	simSeries := &metrics.Series{Name: "simulated δ=3"}
+	for i, ps := range points {
+		simSeries.Add(ps, simHops[i])
 	}
 	curves = append(curves, simSeries)
 
@@ -83,23 +89,29 @@ func RunFig3b(o Options) (*Result, error) {
 		curves = append(curves, s)
 	}
 
-	simSeries := &metrics.Series{Name: "simulated δ=3"}
 	keys := keysFor(o)
-	for _, ps := range points {
+	simHops, err := sweepPoints(o, points, func(_ int, ps float64) (float64, error) {
 		cfg := expConfig(ps)
 		cfg.TTL = ttl
 		sc, err := buildScenario(o, cfg, o.Seed+100+int64(ps*100), nil, nil)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		if _, err := sc.storeItems(keys); err != nil {
-			return nil, err
+			return 0, err
 		}
 		rs, err := sc.lookupBatch(o.Lookups, ttl, keys, func(i int) int { return i })
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		simSeries.Add(ps, meanHops(rs))
+		return meanHops(rs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	simSeries := &metrics.Series{Name: "simulated δ=3"}
+	for i, ps := range points {
+		simSeries.Add(ps, simHops[i])
 	}
 	curves = append(curves, simSeries)
 

@@ -21,41 +21,61 @@ func RunFig4(o Options) (*Result, error) {
 	schemes := []core.Placement{core.PlaceAtTPeer, core.PlaceSpread}
 	keys := keysFor(o)
 
+	// One worker-pool task per (scheme, p_s) cell; each returns its summary
+	// row plus the PDF panel, assembled below in grid order.
+	type fig4Cell struct {
+		peers         int
+		zero, g       float64
+		med, p90, max int
+		pdf           *metrics.Table
+	}
+	cells, err := sweep(o, len(schemes)*len(psValues), func(i int) (fig4Cell, error) {
+		scheme := schemes[i/len(psValues)]
+		ps := psValues[i%len(psValues)]
+		cfg := expConfig(ps)
+		cfg.Placement = scheme
+		sc, err := buildScenario(o, cfg, o.Seed+int64(ps*1000)+int64(scheme), nil, nil)
+		if err != nil {
+			return fig4Cell{}, err
+		}
+		if _, err := sc.storeItems(keys); err != nil {
+			return fig4Cell{}, err
+		}
+		counts := sc.Sys.ItemsPerPeer()
+		var c fig4Cell
+		c.peers = len(counts)
+		c.zero, c.med, c.p90, c.max = distStats(counts)
+		c.g = gini(counts)
+
+		// Full PDF for the three panels the paper shows per scheme.
+		hist := metrics.NewHistogram(bucketWidth(c.max))
+		for _, n := range counts {
+			hist.Add(n)
+		}
+		c.pdf = metrics.NewTable(
+			fmt.Sprintf("Fig 4 PDF: scheme=%s p_s=%.1f (bucket width %d)", scheme, ps, hist.Width),
+			"items-per-peer", "probability")
+		bounds, probs := hist.PDF()
+		for i := range bounds {
+			c.pdf.AddRow(bounds[i], probs[i])
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	summary := metrics.NewTable("Fig 4: data distribution summary per (scheme, p_s)",
 		"scheme", "p_s", "peers", "zero-frac", "median", "p90", "max", "gini")
-	for _, scheme := range schemes {
-		for _, ps := range psValues {
-			cfg := expConfig(ps)
-			cfg.Placement = scheme
-			sc, err := buildScenario(o, cfg, o.Seed+int64(ps*1000)+int64(scheme), nil, nil)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := sc.storeItems(keys); err != nil {
-				return nil, err
-			}
-			counts := sc.Sys.ItemsPerPeer()
-			zero, med, p90, max := distStats(counts)
-			g := gini(counts)
-			summary.AddRow(scheme.String(), fmt.Sprintf("%.1f", ps), len(counts), zero, med, p90, max, g)
+	for si, scheme := range schemes {
+		for pi, ps := range psValues {
+			c := cells[si*len(psValues)+pi]
+			summary.AddRow(scheme.String(), fmt.Sprintf("%.1f", ps), c.peers, c.zero, c.med, c.p90, c.max, c.g)
 			tag := fmt.Sprintf("%s_ps%.1f", scheme, ps)
-			res.Values["zerofrac_"+tag] = zero
-			res.Values["max_"+tag] = float64(max)
-			res.Values["gini_"+tag] = g
-
-			// Full PDF for the three panels the paper shows per scheme.
-			hist := metrics.NewHistogram(bucketWidth(max))
-			for _, c := range counts {
-				hist.Add(c)
-			}
-			pdf := metrics.NewTable(
-				fmt.Sprintf("Fig 4 PDF: scheme=%s p_s=%.1f (bucket width %d)", scheme, ps, hist.Width),
-				"items-per-peer", "probability")
-			bounds, probs := hist.PDF()
-			for i := range bounds {
-				pdf.AddRow(bounds[i], probs[i])
-			}
-			res.Tables = append(res.Tables, pdf)
+			res.Values["zerofrac_"+tag] = c.zero
+			res.Values["max_"+tag] = float64(c.max)
+			res.Values["gini_"+tag] = c.g
+			res.Tables = append(res.Tables, c.pdf)
 		}
 	}
 	res.Tables = append([]*metrics.Table{summary}, res.Tables...)

@@ -22,7 +22,7 @@ func RunFig5a(o Options) (*Result, error) {
 	for i, ttl := range ttls {
 		curves[i] = &metrics.Series{Name: fmt.Sprintf("TTL=%d", ttl)}
 	}
-	for _, ps := range points {
+	fails, err := sweepPoints(o, points, func(_ int, ps float64) ([]float64, error) {
 		cfg := expConfig(ps)
 		sc, err := buildScenario(o, cfg, o.Seed+200+int64(ps*100), nil, nil)
 		if err != nil {
@@ -31,12 +31,22 @@ func RunFig5a(o Options) (*Result, error) {
 		if _, err := sc.storeItems(keys); err != nil {
 			return nil, err
 		}
+		out := make([]float64, len(ttls))
 		for i, ttl := range ttls {
 			rs, err := sc.lookupBatch(o.Lookups/len(ttls), ttl, keys, func(k int) int { return k*7 + i })
 			if err != nil {
 				return nil, err
 			}
-			curves[i].Add(ps, failureRatio(rs))
+			out[i] = failureRatio(rs)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, ps := range points {
+		for i := range ttls {
+			curves[i].Add(ps, fails[pi][i])
 		}
 	}
 
@@ -77,24 +87,34 @@ func RunFig5b(o Options) (*Result, error) {
 	}
 	keys := keysFor(o)
 
+	// The sweep grid is (p_s, crashed fraction); flatten it so every cell
+	// is one independent worker-pool task.
+	fails, err := sweep(o, len(psValues)*len(fractions), func(i int) (float64, error) {
+		ps := psValues[i/len(fractions)]
+		f := fractions[i%len(fractions)]
+		cfg := expConfig(ps)
+		sc, err := buildScenario(o, cfg, o.Seed+300+int64(ps*100)+int64(f*1000), nil, nil)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := sc.storeItems(keys); err != nil {
+			return 0, err
+		}
+		sc.crashFraction(f)
+		rs, err := sc.lookupBatch(o.Lookups/len(fractions), 4, keys, func(k int) int { return k })
+		if err != nil {
+			return 0, err
+		}
+		return failureRatio(rs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	curves := make([]*metrics.Series, len(psValues))
 	for i, ps := range psValues {
 		curves[i] = &metrics.Series{Name: fmt.Sprintf("p_s=%.1f", ps)}
-		for _, f := range fractions {
-			cfg := expConfig(ps)
-			sc, err := buildScenario(o, cfg, o.Seed+300+int64(ps*100)+int64(f*1000), nil, nil)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := sc.storeItems(keys); err != nil {
-				return nil, err
-			}
-			sc.crashFraction(f)
-			rs, err := sc.lookupBatch(o.Lookups/len(fractions), 4, keys, func(k int) int { return k })
-			if err != nil {
-				return nil, err
-			}
-			curves[i].Add(f, failureRatio(rs))
+		for j, f := range fractions {
+			curves[i].Add(f, fails[i*len(fractions)+j])
 		}
 	}
 

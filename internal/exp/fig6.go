@@ -26,24 +26,32 @@ func RunFig6a(o Options) (*Result, error) {
 		{"heterogeneity", true},
 	}
 
+	lats, err := sweep(o, len(modes)*len(points), func(i int) (float64, error) {
+		mode := modes[i/len(points)]
+		ps := points[i%len(points)]
+		cfg := paperRoutingConfig(ps)
+		cfg.Heterogeneity = mode.hetero
+		sc, err := buildScenario(o, cfg, o.Seed+400+int64(ps*100), capacities13(o.N), nil)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := sc.storeItems(keys); err != nil {
+			return 0, err
+		}
+		rs, err := sc.lookupBatch(o.Lookups/2, 4, keys, func(k int) int { return k })
+		if err != nil {
+			return 0, err
+		}
+		return meanLatencyMs(rs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	curves := make([]*metrics.Series, len(modes))
 	for i, mode := range modes {
 		curves[i] = &metrics.Series{Name: mode.name}
-		for _, ps := range points {
-			cfg := paperRoutingConfig(ps)
-			cfg.Heterogeneity = mode.hetero
-			sc, err := buildScenario(o, cfg, o.Seed+400+int64(ps*100), capacities13(o.N), nil)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := sc.storeItems(keys); err != nil {
-				return nil, err
-			}
-			rs, err := sc.lookupBatch(o.Lookups/2, 4, keys, func(k int) int { return k })
-			if err != nil {
-				return nil, err
-			}
-			curves[i].Add(ps, meanLatencyMs(rs))
+		for pi, ps := range points {
+			curves[i].Add(ps, lats[i*len(points)+pi])
 		}
 	}
 
@@ -91,28 +99,36 @@ func RunFig6b(o Options) (*Result, error) {
 		{"topo-aware L=12", true, 12},
 	}
 
+	lats, err := sweep(o, len(modes)*len(points), func(i int) (float64, error) {
+		mode := modes[i/len(points)]
+		ps := points[i%len(points)]
+		cfg := paperRoutingConfig(ps)
+		if mode.aware {
+			cfg.TopologyAware = true
+			cfg.Landmarks = mode.landmarks
+			cfg.Assignment = core.AssignCluster
+		}
+		sc, err := buildScenario(o, cfg, o.Seed+500+int64(ps*100), nil, nil)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := sc.storeItems(keys); err != nil {
+			return 0, err
+		}
+		rs, err := sc.lookupBatch(o.Lookups/3, 4, keys, func(k int) int { return k })
+		if err != nil {
+			return 0, err
+		}
+		return meanLatencyMs(rs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	curves := make([]*metrics.Series, len(modes))
 	for i, mode := range modes {
 		curves[i] = &metrics.Series{Name: mode.name}
-		for _, ps := range points {
-			cfg := paperRoutingConfig(ps)
-			if mode.aware {
-				cfg.TopologyAware = true
-				cfg.Landmarks = mode.landmarks
-				cfg.Assignment = core.AssignCluster
-			}
-			sc, err := buildScenario(o, cfg, o.Seed+500+int64(ps*100), nil, nil)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := sc.storeItems(keys); err != nil {
-				return nil, err
-			}
-			rs, err := sc.lookupBatch(o.Lookups/3, 4, keys, func(k int) int { return k })
-			if err != nil {
-				return nil, err
-			}
-			curves[i].Add(ps, meanLatencyMs(rs))
+		for pi, ps := range points {
+			curves[i].Add(ps, lats[i*len(points)+pi])
 		}
 	}
 

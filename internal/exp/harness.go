@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -15,7 +16,9 @@ import (
 
 // Options controls experiment scale.
 type Options struct {
-	// Seed drives every random choice; same seed, same output.
+	// Seed drives every random choice; same seed, same output. A zero
+	// Seed means "use the default"; to actually run with seed 0, pass
+	// SeedZero.
 	Seed int64
 	// N is the system size (the paper uses 1,000).
 	N int
@@ -25,7 +28,16 @@ type Options struct {
 	Lookups int
 	// Quick shrinks the sweep (fewer ps points) for tests and benches.
 	Quick bool
+	// Workers is the sweep worker-pool size: how many sweep points run
+	// concurrently, each on its own simulation engine. 0 means one worker
+	// per available CPU; 1 forces a sequential sweep. The rendered output
+	// is byte-identical for any value.
+	Workers int
 }
+
+// SeedZero is a sentinel requesting the literal random seed 0, which would
+// otherwise be indistinguishable from an unset Seed field.
+const SeedZero int64 = math.MinInt64
 
 // DefaultOptions mirrors the paper's scale.
 func DefaultOptions() Options {
@@ -40,7 +52,9 @@ func QuickOptions() Options {
 // normalize fills unset fields from the defaults.
 func (o Options) normalize() Options {
 	d := DefaultOptions()
-	if o.Seed == 0 {
+	if o.Seed == SeedZero {
+		o.Seed = 0
+	} else if o.Seed == 0 {
 		o.Seed = d.Seed
 	}
 	if o.N == 0 {

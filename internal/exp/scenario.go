@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/sim"
@@ -10,9 +11,9 @@ import (
 	"repro/internal/workload"
 )
 
-// expTopology returns the paper-scale transit-stub topology (or a compact
-// one in quick mode).
-func expTopology(o Options, seed int64) (*topology.Graph, error) {
+// expTopoConfig returns the paper-scale transit-stub generator configuration
+// (or a compact one in quick mode).
+func expTopoConfig(o Options) topology.Config {
 	cfg := topology.DefaultConfig()
 	if o.Quick {
 		cfg.TransitDomains = 2
@@ -20,8 +21,67 @@ func expTopology(o Options, seed int64) (*topology.Graph, error) {
 		cfg.StubDomainsPerTransit = 2
 		cfg.StubNodesPerDomain = 12
 	}
-	return topology.GenerateTransitStub(cfg, seed)
+	return cfg
 }
+
+// topoCache shares generated graphs across sweep points and experiments.
+// Graphs are immutable after generation and safe for concurrent routing, so
+// every sweep point of an experiment reads the same one instead of
+// regenerating ~1,000 nodes of topology per point. Each (config, seed) pair
+// is generated exactly once per process.
+var topoCache struct {
+	mu sync.Mutex
+	m  map[topoKey]*topoEntry
+}
+
+type topoKey struct {
+	cfg  topology.Config
+	seed int64
+	// matrix records whether the dense stub latency table was requested,
+	// so quick runs without it don't alias full-scale runs with it.
+	matrix bool
+}
+
+type topoEntry struct {
+	once sync.Once
+	g    *topology.Graph
+	err  error
+}
+
+// expTopology returns the shared transit-stub topology for the experiment
+// scale and seed. At full scale it also precomputes the stub-to-stub latency
+// matrix, built once and amortized over every sweep point that shares the
+// graph.
+func expTopology(o Options, seed int64) (*topology.Graph, error) {
+	cfg := expTopoConfig(o)
+	wantMatrix := !o.Quick
+	key := topoKey{cfg: cfg, seed: seed, matrix: wantMatrix}
+
+	topoCache.mu.Lock()
+	if topoCache.m == nil {
+		topoCache.m = make(map[topoKey]*topoEntry)
+	}
+	e, ok := topoCache.m[key]
+	if !ok {
+		e = &topoEntry{}
+		topoCache.m[key] = e
+	}
+	topoCache.mu.Unlock()
+
+	e.once.Do(func() {
+		e.g, e.err = topology.GenerateTransitStub(cfg, seed)
+		if e.err == nil && wantMatrix {
+			e.g.PrecomputeStubMatrix(o.workers())
+		}
+	})
+	return e.g, e.err
+}
+
+// topoSeed is the topology seed shared by every point of one experiment
+// sweep. Points keep distinct engine seeds (protocol randomness differs per
+// point) but route over the same physical network, exactly as the paper's
+// evaluation holds the GT-ITM topology fixed while varying p_s.
+func (o Options) topoSeed() int64 { return o.Seed }
 
 // expConfig returns the core configuration shared by all experiments,
 // tightened so that long sweeps spend little simulated time on maintenance
@@ -57,8 +117,11 @@ type scenario struct {
 }
 
 // buildScenario creates a system with the given config and joins N peers.
+// seed drives the simulation engine only; the topology is the experiment's
+// shared graph (see topoSeed), so concurrent sweep points build their
+// populations over one immutable physical network.
 func buildScenario(o Options, cfg core.Config, seed int64, capacities []float64, interests []int) (*scenario, error) {
-	topo, err := expTopology(o, seed)
+	topo, err := expTopology(o, o.topoSeed())
 	if err != nil {
 		return nil, err
 	}

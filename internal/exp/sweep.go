@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sweep runs fn for every index in [0, n) on a pool of o.workers()
+// goroutines and returns the results in index order.
+//
+// This is the harness behind every experiment's parameter sweep: each sweep
+// point is an independent simulation (its own engine, its own seed, its own
+// population), so points parallelize perfectly. Determinism is preserved by
+// construction: fn must derive all randomness from per-point seeds, results
+// are collected by index, and the caller assembles tables in index order, so
+// the rendered output is byte-identical for any worker count.
+//
+// If any point fails, the error of the lowest-indexed failing point is
+// returned (matching what a sequential run would have reported first); the
+// remaining points still run to completion.
+func sweep[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+
+	workers := o.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// sweepPoints is sweep over an explicit slice of p_s (or other sweep-axis)
+// values, handing fn both the index and the value.
+func sweepPoints[T any](o Options, points []float64, fn func(i int, ps float64) (T, error)) ([]T, error) {
+	return sweep(o, len(points), func(i int) (T, error) {
+		return fn(i, points[i])
+	})
+}
+
+// workers resolves the worker-pool size: Options.Workers if set, otherwise
+// one worker per available CPU.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -22,8 +22,7 @@ func RunTable2(o Options) (*Result, error) {
 	t := metrics.NewTable(
 		fmt.Sprintf("Table 2: total connum over %d lookups per cell", perTTL),
 		"p_s", "TTL=1", "TTL=2", "TTL=4")
-	totals := make(map[string]int)
-	for _, ps := range points {
+	rows, err := sweepPoints(o, points, func(_ int, ps float64) ([]int, error) {
 		cfg := paperRoutingConfig(ps)
 		sc, err := buildScenario(o, cfg, o.Seed+600+int64(ps*100), nil, nil)
 		if err != nil {
@@ -32,13 +31,24 @@ func RunTable2(o Options) (*Result, error) {
 		if _, err := sc.storeItems(keys); err != nil {
 			return nil, err
 		}
-		row := []any{fmt.Sprintf("%.2f", ps)}
-		for _, ttl := range ttls {
+		out := make([]int, len(ttls))
+		for i, ttl := range ttls {
 			rs, err := sc.lookupBatch(perTTL, ttl, keys, func(k int) int { return k*3 + ttl })
 			if err != nil {
 				return nil, err
 			}
-			c := totalContacts(rs)
+			out[i] = totalContacts(rs)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	totals := make(map[string]int)
+	for pi, ps := range points {
+		row := []any{fmt.Sprintf("%.2f", ps)}
+		for i, ttl := range ttls {
+			c := rows[pi][i]
 			totals[fmt.Sprintf("%.1f/%d", ps, ttl)] = c
 			row = append(row, c)
 		}

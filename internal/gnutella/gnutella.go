@@ -110,7 +110,7 @@ type Item struct {
 type query struct {
 	start   sim.Time
 	done    func(Result)
-	timeout *sim.Event
+	timeout sim.Handle
 	found   bool
 }
 
@@ -333,9 +333,7 @@ func (p *Peer) finish(qid uint64, r Result) {
 	}
 	q.found = true
 	delete(p.pending, qid)
-	if q.timeout != nil {
-		p.net.Net.Eng.Cancel(q.timeout)
-	}
+	p.net.Net.Eng.Cancel(q.timeout)
 	r.Latency = p.net.Net.Eng.Now() - q.start
 	if q.done != nil {
 		q.done(r)

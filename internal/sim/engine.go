@@ -9,7 +9,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -32,31 +31,51 @@ func (t Time) String() string {
 // Seconds converts the timestamp to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Event is a scheduled callback slot. Event structs are pooled: once an
+// event fires or is cancelled, its struct is recycled for a later schedule.
+// Protocol code therefore never holds a *Event directly; it holds a Handle,
+// whose epoch check makes operations on an already-recycled event no-ops.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index, -1 once removed
-	fn       func()
-	canceled bool
+	at    Time
+	seq   uint64
+	index int // heap index, -1 once removed
+	epoch uint32
+	fn    func()
 }
 
-// At reports the time the event is scheduled to fire.
-func (e *Event) At() Time { return e.at }
+// Handle refers to one scheduled firing of an event. The zero Handle is
+// valid and refers to nothing: Cancel, Pending and At on it are no-ops.
+// Handles are cheap values; store them instead of pointers.
+type Handle struct {
+	ev    *Event
+	epoch uint32
+}
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Pending reports whether the firing this handle refers to is still
+// scheduled (not yet dispatched or cancelled).
+func (h Handle) Pending() bool { return h.ev != nil && h.ev.epoch == h.epoch }
+
+// At reports the time the firing is scheduled for, or 0 if the handle is
+// stale or zero.
+func (h Handle) At() Time {
+	if h.Pending() {
+		return h.ev.at
+	}
+	return 0
+}
 
 // Engine is a single-threaded discrete-event scheduler.
 //
 // An Engine is not safe for concurrent use; all protocol code in this
 // repository runs inside event callbacks, which the engine dispatches one at
 // a time. This mirrors the run-to-completion semantics of NS2 and keeps the
-// simulations deterministic without any locking.
+// simulations deterministic without any locking. Parallel experiment sweeps
+// run one Engine per sweep point, never sharing an Engine across goroutines.
 type Engine struct {
 	now        Time
 	seq        uint64
-	queue      eventHeap
+	queue      eventQueue
+	free       []*Event // recycled Event structs
 	rng        *rand.Rand
 	dispatched uint64
 }
@@ -76,54 +95,75 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 func (e *Engine) Dispatched() uint64 { return e.dispatched }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.queue.items) }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it is always a protocol bug, never a recoverable condition.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.queue.push(ev)
+	return Handle{ev: ev, epoch: ev.epoch}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Handle {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.At(e.now+d, fn)
 }
 
-// Cancel prevents a scheduled event from firing. Cancelling an event that
-// already fired (or was already cancelled) is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
-		return
+// Cancel prevents a scheduled firing. Cancelling a zero handle, or one whose
+// event already fired or was already cancelled, is a no-op; it reports
+// whether this call actually removed a pending event.
+func (e *Engine) Cancel(h Handle) bool {
+	if !h.Pending() {
+		return false
 	}
-	ev.canceled = true
-	heap.Remove(&e.queue, ev.index)
+	ev := h.ev
+	e.queue.remove(ev.index)
+	e.recycle(ev)
+	return true
+}
+
+// recycle retires an event struct: the epoch bump invalidates every
+// outstanding handle to it, and the callback reference is dropped so the
+// closure can be collected.
+func (e *Engine) recycle(ev *Event) {
+	ev.epoch++
+	ev.fn = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
 }
 
 // Step dispatches the next event, if any, and reports whether one ran.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.dispatched++
-		ev.fn()
-		return true
+	if len(e.queue.items) == 0 {
+		return false
 	}
-	return false
+	ev := e.queue.pop()
+	e.now = ev.at
+	e.dispatched++
+	fn := ev.fn
+	// Recycle before running: fn may schedule new events and reuse the
+	// struct immediately; stale handles are fenced off by the epoch bump.
+	e.recycle(ev)
+	fn()
+	return true
 }
 
 // Run dispatches events until the queue is empty.
@@ -134,15 +174,7 @@ func (e *Engine) Run() {
 
 // RunUntil dispatches events with timestamps <= t, then sets the clock to t.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.canceled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		if next.at > t {
-			break
-		}
+	for len(e.queue.items) > 0 && e.queue.items[0].at <= t {
 		e.Step()
 	}
 	if e.now < t {
@@ -159,36 +191,92 @@ func (e *Engine) RunSteps(n int) int {
 	return ran
 }
 
-// eventHeap orders events by (time, seq) for deterministic dispatch.
-type eventHeap []*Event
+// eventQueue is a binary min-heap over (time, seq), implemented inline
+// (mirroring topology's distHeap) so scheduling involves no interface
+// boxing or indirect Less/Swap calls.
+type eventQueue struct {
+	items []*Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (q *eventQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+func (q *eventQueue) push(ev *Event) {
+	ev.index = len(q.items)
+	q.items = append(q.items, ev)
+	q.up(ev.index)
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+func (q *eventQueue) pop() *Event {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.swap(0, last)
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	top.index = -1
+	return top
+}
+
+// remove deletes the item at heap index i.
+func (q *eventQueue) remove(i int) {
+	last := len(q.items) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.items[last].index = -1
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if i < last {
+		if !q.up(i) {
+			q.down(i)
+		}
+	}
+}
+
+// up sifts the item at i toward the root; reports whether it moved.
+func (q *eventQueue) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// down sifts the item at i toward the leaves.
+func (q *eventQueue) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q.items) && q.less(l, small) {
+			small = l
+		}
+		if r < len(q.items) && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		q.swap(i, small)
+		i = small
+	}
 }

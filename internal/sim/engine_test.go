@@ -58,23 +58,32 @@ func TestEngineCancel(t *testing.T) {
 	eng := New(1)
 	fired := false
 	ev := eng.At(10, func() { fired = true })
-	eng.Cancel(ev)
+	if !ev.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	if !eng.Cancel(ev) {
+		t.Fatal("cancel of a pending event reported false")
+	}
 	eng.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Canceled() {
-		t.Fatal("event not marked cancelled")
+	if ev.Pending() {
+		t.Fatal("cancelled handle still pending")
 	}
-	// Double-cancel is a no-op.
-	eng.Cancel(ev)
-	eng.Cancel(nil)
+	// Double-cancel and zero-handle cancel are no-ops.
+	if eng.Cancel(ev) {
+		t.Fatal("double-cancel reported true")
+	}
+	if eng.Cancel(Handle{}) {
+		t.Fatal("zero-handle cancel reported true")
+	}
 }
 
 func TestEngineCancelOneOfMany(t *testing.T) {
 	eng := New(1)
 	var got []int
-	var evs []*Event
+	var evs []Handle
 	for i := 0; i < 10; i++ {
 		i := i
 		evs = append(evs, eng.At(Time(i), func() { got = append(got, i) }))
@@ -87,6 +96,75 @@ func TestEngineCancelOneOfMany(t *testing.T) {
 	}
 	for _, v := range got {
 		if v == 3 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+// TestStaleHandleCancelIsHarmless pins the pooling contract: once an event
+// fires, its struct may be reused by a later schedule, and cancelling the old
+// handle must not touch the new event.
+func TestStaleHandleCancelIsHarmless(t *testing.T) {
+	eng := New(1)
+	first := eng.At(1, func() {})
+	eng.Run()
+	if first.Pending() {
+		t.Fatal("fired handle still pending")
+	}
+	fired := false
+	second := eng.At(10, func() { fired = true })
+	if eng.Cancel(first) {
+		t.Fatal("stale cancel reported success")
+	}
+	eng.Run()
+	if !fired {
+		t.Fatal("stale cancel killed a recycled event")
+	}
+	if second.Pending() {
+		t.Fatal("fired second handle still pending")
+	}
+}
+
+// TestEventPoolReuse verifies fired events are recycled instead of
+// reallocated.
+func TestEventPoolReuse(t *testing.T) {
+	eng := New(1)
+	for i := 0; i < 100; i++ {
+		eng.After(1, func() {})
+		eng.Run()
+	}
+	if len(eng.free) == 0 {
+		t.Fatal("free list empty after 100 fired events")
+	}
+	if got := len(eng.free); got > 2 {
+		t.Fatalf("free list grew to %d; events are not being reused", got)
+	}
+}
+
+// TestCancelMiddleOfHeap exercises heap removal from interior positions.
+func TestCancelMiddleOfHeap(t *testing.T) {
+	eng := New(1)
+	var fired []int
+	var hs []Handle
+	for i := 0; i < 64; i++ {
+		i := i
+		hs = append(hs, eng.At(Time((i*37)%64), func() { fired = append(fired, i) }))
+	}
+	for i := 0; i < 64; i += 3 {
+		eng.Cancel(hs[i])
+	}
+	eng.Run()
+	want := 0
+	for i := 0; i < 64; i++ {
+		if i%3 != 0 {
+			want++
+		}
+	}
+	if len(fired) != want {
+		t.Fatalf("fired %d events, want %d", len(fired), want)
+	}
+	for _, v := range fired {
+		if v%3 == 0 {
 			t.Fatalf("cancelled event %d fired", v)
 		}
 	}

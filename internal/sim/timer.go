@@ -10,7 +10,7 @@ type Timer struct {
 	eng    *Engine
 	d      Time
 	fn     func()
-	ev     *Event
+	ev     Handle
 	active bool
 	fires  int
 	resets int
@@ -33,7 +33,7 @@ func (t *Timer) StartAfter(d Time) {
 	t.active = true
 	t.ev = t.eng.After(d, func() {
 		t.active = false
-		t.ev = nil
+		t.ev = Handle{}
 		t.fires++
 		t.fn()
 	})
@@ -49,10 +49,8 @@ func (t *Timer) Reset() {
 
 // Stop disarms the timer if it is armed.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Handle{}
 	t.active = false
 }
 
@@ -77,7 +75,7 @@ type Ticker struct {
 	eng    *Engine
 	period Time
 	fn     func()
-	ev     *Event
+	ev     Handle
 	ticks  int
 }
 
@@ -102,10 +100,8 @@ func (t *Ticker) schedule() {
 
 // Stop halts the ticker.
 func (t *Ticker) Stop() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = Handle{}
 }
 
 // Ticks returns the number of completed firings.

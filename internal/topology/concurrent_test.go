@@ -1,0 +1,105 @@
+package topology
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLatencyConcurrent exercises the lazily-built shortest-path cache from
+// many goroutines at once, all hitting overlapping sources. Run under
+// -race this is the regression test for the pathCache data race: the old
+// map-based cache was populated without synchronization.
+func TestLatencyConcurrent(t *testing.T) {
+	g, err := GenerateTransitStub(DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stubs := g.StubNodes()
+
+	// Sequential reference pass on a second, identical graph.
+	ref, err := GenerateTransitStub(DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const pairs = 400
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < pairs; i++ {
+				a := stubs[(i*7+gi)%len(stubs)]
+				b := stubs[(i*13+gi*5)%len(stubs)]
+				got, err := g.Latency(a, b)
+				if err != nil {
+					errs[gi] = err
+					return
+				}
+				want, err := ref.Latency(a, b)
+				if err != nil {
+					errs[gi] = err
+					return
+				}
+				if got != want {
+					t.Errorf("goroutine %d: Latency(%d,%d) = %d, want %d", gi, a, b, got, want)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStubMatrixMatchesDijkstra checks that the precomputed stub-to-stub
+// latency matrix returns exactly the distances the on-demand Dijkstra cache
+// computes, for every stub pair.
+func TestStubMatrixMatchesDijkstra(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.StubNodesPerDomain = 6 // keep the all-pairs check fast
+	withMatrix, err := GenerateTransitStub(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := GenerateTransitStub(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withMatrix.HasStubMatrix() {
+		t.Fatal("fresh graph claims a stub matrix")
+	}
+	withMatrix.PrecomputeStubMatrix(4)
+	if !withMatrix.HasStubMatrix() {
+		t.Fatal("PrecomputeStubMatrix did not publish the matrix")
+	}
+
+	stubs := withMatrix.StubNodes()
+	for _, a := range stubs {
+		for _, b := range stubs {
+			got, err := withMatrix.Latency(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := plain.Latency(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("matrix Latency(%d,%d) = %d, Dijkstra says %d", a, b, got, want)
+			}
+		}
+	}
+
+	// Non-stub endpoints must still work (they fall back to the tree cache).
+	tr := withMatrix.TransitNodes()
+	if _, err := withMatrix.Latency(tr[0], stubs[0]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeKind classifies a physical node.
@@ -48,12 +50,28 @@ type Edge struct {
 }
 
 // Graph is a physical network topology.
+//
+// Once generated, a Graph is immutable and safe for concurrent use: multiple
+// simulation engines (e.g. parallel sweep points) may share one Graph and
+// call Latency, Path and Diameter from different goroutines. A Graph must not
+// be copied after first use.
 type Graph struct {
 	Nodes []Node
 	Adj   [][]Edge
 
-	// pathCache memoizes single-source shortest-path trees on demand.
-	pathCache map[int]*spTree
+	// sp memoizes single-source shortest-path trees, one slot per source
+	// node, each computed at most once even under concurrent access.
+	sp     []spSlot
+	spInit sync.Once
+	// stubMatrix, when precomputed, holds a dense stub-to-stub latency
+	// table consulted by Latency before falling back to Dijkstra.
+	stubMatrix atomic.Pointer[latencyMatrix]
+}
+
+// spSlot guards lazy computation of one source's shortest-path tree.
+type spSlot struct {
+	once sync.Once
+	t    *spTree
 }
 
 // NumNodes returns the node count.
@@ -136,14 +154,17 @@ type spTree struct {
 	prev []int
 }
 
-// shortestPaths runs Dijkstra from src, memoizing the result.
+// shortestPaths returns the memoized Dijkstra tree from src, computing it at
+// most once per source even when multiple goroutines race on the same source.
 func (g *Graph) shortestPaths(src int) *spTree {
-	if g.pathCache == nil {
-		g.pathCache = make(map[int]*spTree)
-	}
-	if t, ok := g.pathCache[src]; ok {
-		return t
-	}
+	g.spInit.Do(func() { g.sp = make([]spSlot, len(g.Nodes)) })
+	slot := &g.sp[src]
+	slot.once.Do(func() { slot.t = g.dijkstra(src) })
+	return slot.t
+}
+
+// dijkstra computes a fresh single-source shortest-path tree.
+func (g *Graph) dijkstra(src int) *spTree {
 	n := len(g.Nodes)
 	t := &spTree{dist: make([]int64, n), prev: make([]int, n)}
 	for i := range t.dist {
@@ -167,7 +188,6 @@ func (g *Graph) shortestPaths(src int) *spTree {
 			}
 		}
 	}
-	g.pathCache[src] = t
 	return t
 }
 
@@ -177,12 +197,91 @@ func (g *Graph) Latency(a, b int) (int64, error) {
 	if a == b {
 		return 0, nil
 	}
+	if m := g.stubMatrix.Load(); m != nil {
+		if d, ok := m.lookup(a, b); ok {
+			if d == math.MaxInt64 {
+				return 0, fmt.Errorf("topology: nodes %d and %d are disconnected", a, b)
+			}
+			return d, nil
+		}
+	}
 	t := g.shortestPaths(a)
 	if t.dist[b] == math.MaxInt64 {
 		return 0, fmt.Errorf("topology: nodes %d and %d are disconnected", a, b)
 	}
 	return t.dist[b], nil
 }
+
+// latencyMatrix is a dense latency table over the stub nodes, where overlay
+// peers live. Row/column order follows StubNodes().
+type latencyMatrix struct {
+	index []int32 // node id -> compact stub index, -1 for transit nodes
+	n     int
+	dist  []int64 // n*n, MaxInt64 for disconnected pairs
+}
+
+// lookup returns the latency between two nodes if both are covered.
+func (m *latencyMatrix) lookup(a, b int) (int64, bool) {
+	ia, ib := m.index[a], m.index[b]
+	if ia < 0 || ib < 0 {
+		return 0, false
+	}
+	return m.dist[int(ia)*m.n+int(ib)], true
+}
+
+// PrecomputeStubMatrix builds the dense stub-to-stub latency table, running
+// up to workers Dijkstra computations in parallel. It is optional: without it
+// Latency falls back to per-source shortest-path trees. Intended for
+// full-scale sweeps where every pair of the ~1,000 stub nodes is exercised.
+// Safe to call while other goroutines read the graph; the table is published
+// atomically and at most one build runs per call.
+func (g *Graph) PrecomputeStubMatrix(workers int) {
+	if g.stubMatrix.Load() != nil {
+		return
+	}
+	stubs := g.StubNodes()
+	m := &latencyMatrix{index: make([]int32, len(g.Nodes)), n: len(stubs)}
+	for i := range m.index {
+		m.index[i] = -1
+	}
+	for i, id := range stubs {
+		m.index[id] = int32(i)
+	}
+	m.dist = make([]int64, len(stubs)*len(stubs))
+
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(stubs) {
+		workers = len(stubs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(stubs) {
+					return
+				}
+				// A throwaway tree per row: rows only need distances
+				// to stubs, so the prev arrays are not retained.
+				t := g.dijkstra(stubs[i])
+				row := m.dist[i*m.n : (i+1)*m.n]
+				for j, id := range stubs {
+					row[j] = t.dist[id]
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	g.stubMatrix.Store(m)
+}
+
+// HasStubMatrix reports whether the dense latency table is available.
+func (g *Graph) HasStubMatrix() bool { return g.stubMatrix.Load() != nil }
 
 // Path returns the node sequence of the shortest path from a to b, inclusive
 // of both endpoints. Used for link-stress accounting.

@@ -1,0 +1,21 @@
+#!/bin/sh
+# The repo's verify loop: build, vet, tests, then the race detector over the
+# full suite (the parallel sweep runner and the shared topology cache are
+# exercised concurrently by the exp tests, so -race is load-bearing here).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
