@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet test race bench bench-json
+.PHONY: all build check vet staticcheck test race bench bench-json bench-guard
 
 all: check
 
@@ -10,8 +10,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Runs staticcheck when installed; falls back to a note otherwise (the
+# container may not ship it, and go vet already ran as part of check).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 # The verify loop: everything a change must pass before it lands.
-check: build vet test race
+# Set SKIP_BENCH_GUARD=1 to skip the benchmark regression guard.
+check: build vet staticcheck test race bench-guard
 
 test:
 	$(GO) test ./...
@@ -25,3 +35,13 @@ bench:
 # Re-record the benchmark baseline (see BENCH_PR1.json).
 bench-json:
 	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x | $(GO) run ./cmd/benchjson
+
+# Fail if BenchmarkEventEngine regresses >20% against the recorded baseline
+# (best of 3 runs, so a loaded machine does not read as a regression).
+bench-guard:
+	@if [ "$${SKIP_BENCH_GUARD:-0}" = "1" ]; then \
+		echo "bench guard skipped (SKIP_BENCH_GUARD=1)"; \
+	else \
+		$(GO) test -run='^$$' -bench='^BenchmarkEventEngine$$' -benchtime=2s -count=3 . \
+			| $(GO) run ./cmd/benchjson -baseline BENCH_PR1.json -bench BenchmarkEventEngine -tolerance 0.2; \
+	fi

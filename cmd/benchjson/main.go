@@ -5,12 +5,22 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem -benchtime=1x | go run ./cmd/benchjson > BENCH_PR1.json
+//
+// With -baseline it instead acts as a regression guard: it parses the current
+// run from stdin, compares the named benchmark's ns/op against the baseline
+// file, and exits non-zero if the current value exceeds the baseline by more
+// than -tolerance (a fraction; 0.2 = 20%).
+//
+//	go test -run='^$' -bench=BenchmarkEventEngine ./internal/sim/ | \
+//	    go run ./cmd/benchjson -baseline BENCH_PR1.json -bench BenchmarkEventEngine -tolerance 0.2
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -36,8 +46,39 @@ type Report struct {
 }
 
 func main() {
+	var (
+		baseline  = flag.String("baseline", "", "baseline JSON file (from a previous benchjson run) to compare against")
+		benchName = flag.String("bench", "", "benchmark name to compare (with -baseline); empty compares every shared name")
+		tolerance = flag.Float64("tolerance", 0.2, "allowed ns/op regression as a fraction (with -baseline)")
+	)
+	flag.Parse()
+
+	rep, err := parseRun(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		if err := compare(rep, *baseline, *benchName, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseRun reads `go test -bench` output and returns the parsed report.
+func parseRun(r io.Reader) (*Report, error) {
 	var rep Report
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -57,19 +98,69 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, err
 	}
 	if len(rep.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return &rep, nil
+}
+
+// compare checks the current run against a recorded baseline and returns an
+// error describing the first benchmark whose ns/op regressed past tolerance.
+// When the run repeats a benchmark (go test -count=N), the best (minimum)
+// ns/op per name is compared, so scheduler noise on a loaded machine does not
+// read as a regression.
+func compare(cur *Report, baselinePath, benchName string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
 	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+
+	best := make(map[string]float64)
+	var order []string
+	for _, c := range cur.Benchmarks {
+		if benchName != "" && c.Name != benchName {
+			continue
+		}
+		if v, ok := best[c.Name]; !ok || c.NsPerOp < v {
+			if !ok {
+				order = append(order, c.Name)
+			}
+			best[c.Name] = c.NsPerOp
+		}
+	}
+
+	checked := 0
+	for _, name := range order {
+		b, ok := baseBy[name]
+		if !ok {
+			continue // new benchmark, nothing to regress against
+		}
+		checked++
+		limit := b.NsPerOp * (1 + tolerance)
+		if best[name] > limit {
+			return fmt.Errorf("%s regressed: %.2f ns/op vs baseline %.2f ns/op (limit %.2f, tolerance %.0f%%)",
+				name, best[name], b.NsPerOp, limit, tolerance*100)
+		}
+		fmt.Printf("benchjson: %s ok: %.2f ns/op vs baseline %.2f ns/op (limit %.2f)\n",
+			name, best[name], b.NsPerOp, limit)
+	}
+	if checked == 0 {
+		if benchName != "" {
+			return fmt.Errorf("benchmark %q not found in both current run and %s", benchName, baselinePath)
+		}
+		return fmt.Errorf("no shared benchmarks between current run and %s", baselinePath)
+	}
+	return nil
 }
 
 // parseLine parses one benchmark result line. Fields appear as

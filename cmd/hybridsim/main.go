@@ -10,9 +10,16 @@
 //	hybridsim -ps 0.7 -hetero -topoaware -landmarks 12 -bypass
 //	hybridsim -ps 0.8 -crash 0.2
 //	hybridsim -ps 0.1,0.3,0.5,0.7,0.9 -workers 4
+//	hybridsim -ps 0.7 -trace run.jsonl -manifest run.json -progress
 //
 // -ps accepts a comma-separated list; the points run concurrently on a
 // worker pool over one shared topology and the reports print in list order.
+//
+// Observability: -trace writes a JSONL event log (one tracer per sweep point,
+// concatenated in point order), -manifest writes a machine-readable run
+// manifest with per-point metric snapshots, -progress streams per-point
+// completion lines to stderr, and -cpuprofile/-memprofile capture pprof
+// profiles. None of these change the report output.
 package main
 
 import (
@@ -25,9 +32,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/topology"
@@ -54,7 +63,9 @@ type simParams struct {
 	linear         bool
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		n         = flag.Int("n", 1000, "number of peers")
 		psList    = flag.String("ps", "0.7", "proportion of s-peers (0..1); comma-separated list sweeps")
@@ -76,6 +87,13 @@ func main() {
 		walk      = flag.Bool("walk", false, "random-walk s-network search instead of flooding")
 		caching   = flag.Bool("caching", false, "enable the future-work hot-data caching scheme")
 		linear    = flag.Bool("linear", false, "successor-only ring routing (the paper's simulated behavior)")
+
+		tracePath    = flag.String("trace", "", "write a JSONL structured event trace to this file")
+		traceCap     = flag.Int("tracecap", obs.DefaultTraceCap, "ring-buffer capacity per sweep point (with -trace)")
+		manifestPath = flag.String("manifest", "", "write a machine-readable run manifest (JSON) to this file")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		progress     = flag.Bool("progress", false, "stream per-point completion lines to stderr")
 	)
 	flag.Parse()
 
@@ -84,10 +102,21 @@ func main() {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hybridsim: bad -ps value %q: %v\n", f, err)
-			os.Exit(2)
+			return 2
 		}
 		points = append(points, v)
 	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		}
+	}()
 
 	params := make([]simParams, len(points))
 	for i, ps := range points {
@@ -106,7 +135,10 @@ func main() {
 	// after generation, and a single graph keeps a multi-point sweep from
 	// paying N Dijkstra caches.
 	topo, err := topology.GenerateTransitStub(topology.DefaultConfig(), *seed)
-	fatal(err)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		return 1
+	}
 
 	w := *workers
 	if w <= 0 {
@@ -115,11 +147,36 @@ func main() {
 	if w > len(params) {
 		w = len(params)
 	}
+
+	// One tracer per sweep point so concurrent points never interleave in the
+	// ring; the JSONL file is written sequentially in point order afterwards.
+	tracers := make([]*obs.Tracer, len(params))
+	if *tracePath != "" {
+		for i := range tracers {
+			tracers[i] = obs.NewTracer(*traceCap)
+			tracers[i].SetLabel(fmt.Sprintf("ps=%.2f", params[i].ps))
+		}
+	}
+	var rec *obs.Recorder
+	if *manifestPath != "" || *progress {
+		rec = obs.NewRecorder("hybridsim", *seed, w, map[string]any{
+			"n": *n, "ps": *psList, "delta": *delta, "ttl": *ttl,
+			"items": *items, "lookups": *lookups, "placement": *placement,
+			"hetero": *hetero, "topoaware": *topoaware, "landmarks": *landmarks,
+			"bypass": *bypass, "tracker": *tracker, "interests": *interests,
+			"crash": *crash, "zipf": *zipf, "walk": *walk, "caching": *caching,
+			"linear": *linear,
+		})
+		if *progress {
+			rec.SetProgress(os.Stderr)
+		}
+	}
+
 	outs := make([]strings.Builder, len(params))
 	errs := make([]error, len(params))
 	if w <= 1 {
 		for i := range params {
-			errs[i] = runSim(&outs[i], topo, params[i])
+			errs[i] = runSim(&outs[i], topo, params[i], tracers[i], rec)
 		}
 	} else {
 		var next atomic.Int64
@@ -133,7 +190,7 @@ func main() {
 					if i >= len(params) {
 						return
 					}
-					errs[i] = runSim(&outs[i], topo, params[i])
+					errs[i] = runSim(&outs[i], topo, params[i], tracers[i], rec)
 				}
 			}()
 		}
@@ -145,17 +202,48 @@ func main() {
 			fmt.Printf("===== ps=%.2f =====\n", params[i].ps)
 		}
 		os.Stdout.WriteString(outs[i].String())
-		fatal(errs[i])
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, "hybridsim:", errs[i])
+			return 1
+		}
 		if len(params) > 1 {
 			fmt.Println()
 		}
 	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hybridsim:", err)
+			return 1
+		}
+		for _, tr := range tracers {
+			if err := tr.WriteJSONL(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "hybridsim:", err)
+				return 1
+			}
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hybridsim:", err)
+			return 1
+		}
+	}
+	if *manifestPath != "" {
+		if err := rec.WriteManifest(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "hybridsim:", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 // runSim executes one full simulation and writes the report to w. It only
 // touches its own engine and system, so several runSims may execute
-// concurrently over the same topology graph.
-func runSim(w io.Writer, topo *topology.Graph, p simParams) error {
+// concurrently over the same topology graph. tr and rec may be nil; neither
+// affects the report.
+func runSim(w io.Writer, topo *topology.Graph, p simParams, tr *obs.Tracer, rec *obs.Recorder) error {
+	wallStart := time.Now()
 	cfg := core.DefaultConfig()
 	cfg.Ps = p.ps
 	cfg.Delta = p.delta
@@ -193,6 +281,10 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams) error {
 	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
 	if err != nil {
 		return err
+	}
+	if tr.Enabled() {
+		net.SetTracer(tr)
+		sys.SetTracer(tr)
 	}
 
 	fmt.Fprintf(w, "building %d peers (ps=%.2f δ=%d ttl=%d placement=%s)...\n", p.n, p.ps, p.delta, p.ttl, cfg.Placement)
@@ -273,6 +365,7 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams) error {
 		pick = zp
 	}
 	var hops, lat, contacts metrics.Summary
+	var latSamples []float64
 	fails := 0
 	for i := 0; i < p.lookups; i++ {
 		origin := peers[(i*53)%len(peers)]
@@ -284,8 +377,12 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams) error {
 			return err
 		}
 		if r.OK {
+			ms := float64(r.Latency) / float64(sim.Millisecond)
 			hops.Add(float64(r.Hops))
-			lat.Add(float64(r.Latency) / float64(sim.Millisecond))
+			lat.Add(ms)
+			if rec != nil {
+				latSamples = append(latSamples, ms)
+			}
 		} else {
 			fails++
 		}
@@ -310,12 +407,27 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams) error {
 	fmt.Fprintf(w, "network: sent=%d delivered=%d dropped=%d bytes=%d\n",
 		ns.MessagesSent, ns.MessagesDelivered, ns.MessagesDropped, ns.BytesSent)
 	fmt.Fprintf(w, "simulated time: %v; events: %d\n", eng.Now(), eng.Dispatched())
-	return nil
-}
 
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hybridsim:", err)
-		os.Exit(1)
+	if rec != nil {
+		reg := obs.NewRegistry()
+		reg.Counter("sim.events").Add(int64(eng.Dispatched()))
+		reg.Gauge("sim.time_s").Set(float64(eng.Now()) / float64(sim.Second))
+		reg.Counter("net.sent").Add(int64(ns.MessagesSent))
+		reg.Counter("net.delivered").Add(int64(ns.MessagesDelivered))
+		reg.Counter("net.dropped").Add(int64(ns.MessagesDropped))
+		reg.Counter("net.local_sent").Add(int64(ns.LocalSent))
+		reg.Counter("net.bytes").Add(int64(ns.BytesSent))
+		reg.Counter("core.floods").Add(int64(st.FloodsSent))
+		reg.Counter("core.ring_forwards").Add(int64(st.RingForwards))
+		reg.Counter("core.bypass_uses").Add(int64(st.BypassUses))
+		reg.Counter("core.cache_hits").Add(int64(st.CacheHits))
+		reg.Gauge("core.peers").Set(float64(sys.NumPeers()))
+		reg.Gauge("lookup.failed").Set(float64(fails))
+		lt := reg.Timer("lookup.latency_ms")
+		for _, v := range latSamples {
+			lt.Observe(v)
+		}
+		rec.Point(fmt.Sprintf("ps=%.2f", p.ps), time.Since(wallStart), reg.Snapshot())
 	}
+	return nil
 }

@@ -9,24 +9,35 @@
 //	paperexp -run all -quick
 //	paperexp -run Table2 -n 1000 -lookups 10000 -seed 7
 //	paperexp -run Fig3a -workers 1
+//	paperexp -run Fig5b -quick -trace fig5b.jsonl -manifest fig5b.json -progress
 //
 // Sweeps run their points on a worker pool sized to the machine; -workers
 // pins the pool size (1 forces the sequential path). Output is byte-identical
 // for any worker count.
+//
+// Observability: -trace writes a JSONL structured event log shared by every
+// selected experiment, -manifest writes a machine-readable run manifest with
+// one metric snapshot per sweep point, -progress streams per-point completion
+// lines to stderr, and -cpuprofile/-memprofile capture pprof profiles. None
+// of these change the rendered tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
-		run     = flag.String("run", "", "experiment id (see -list) or 'all'")
+		runID   = flag.String("run", "", "experiment id (see -list) or 'all'")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		quick   = flag.Bool("quick", false, "scaled-down sweep (fast, coarse)")
 		n       = flag.Int("n", 0, "system size (default 1000, or 200 with -quick)")
@@ -35,18 +46,25 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = sequential)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+		tracePath    = flag.String("trace", "", "write a JSONL structured event trace to this file")
+		traceCap     = flag.Int("tracecap", obs.DefaultTraceCap, "trace ring-buffer capacity (with -trace)")
+		manifestPath = flag.String("manifest", "", "write a machine-readable run manifest (JSON) to this file")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		progress     = flag.Bool("progress", false, "stream per-point completion lines to stderr")
 	)
 	flag.Parse()
 
-	if *list || *run == "" {
+	if *list || *runID == "" {
 		fmt.Println("experiments:")
 		for _, e := range exp.Registry() {
 			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
 		}
-		if *run == "" {
+		if *runID == "" {
 			fmt.Println("\nrun one with -run <id>, or -run all")
 		}
-		return
+		return 0
 	}
 
 	opts := exp.DefaultOptions()
@@ -70,24 +88,64 @@ func main() {
 	}
 
 	var selected []exp.Experiment
-	if *run == "all" {
+	if *runID == "all" {
 		selected = exp.Registry()
 	} else {
-		e, ok := exp.ByID(*run)
+		e, ok := exp.ByID(*runID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "paperexp: unknown experiment %q (use -list)\n", *run)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "paperexp: unknown experiment %q (use -list)\n", *runID)
+			return 2
 		}
 		selected = []exp.Experiment{e}
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperexp:", err)
+		return 1
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperexp:", err)
+		}
+	}()
+
+	// One tracer per experiment (fresh ring, labeled with the experiment ID),
+	// appended to a single JSONL file as each experiment finishes.
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperexp:", err)
+			return 1
+		}
+		defer traceFile.Close()
+	}
+	if *manifestPath != "" || *progress {
+		w := opts.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		opts.Obs = obs.NewRecorder("paperexp", opts.Seed, w, map[string]any{
+			"run": *runID, "quick": *quick,
+			"n": opts.N, "items": opts.Items, "lookups": opts.Lookups,
+		})
+		if *progress {
+			opts.Obs.SetProgress(os.Stderr)
+		}
 	}
 
 	for _, e := range selected {
 		fmt.Printf("### %s — %s (N=%d items=%d lookups=%d seed=%d)\n\n", e.ID, e.Title, opts.N, opts.Items, opts.Lookups, *seed)
 		start := time.Now()
+		if traceFile != nil {
+			opts.Trace = obs.NewTracer(*traceCap)
+			opts.Trace.SetLabel(e.ID)
+		}
 		res, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperexp: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		if *csv {
 			fmt.Print(res.CSV())
@@ -95,5 +153,19 @@ func main() {
 			fmt.Print(res.String())
 		}
 		fmt.Printf("(%s in %.1fs wall)\n\n", e.ID, time.Since(start).Seconds())
+		if traceFile != nil {
+			if err := opts.Trace.WriteJSONL(traceFile); err != nil {
+				fmt.Fprintln(os.Stderr, "paperexp:", err)
+				return 1
+			}
+		}
 	}
+
+	if *manifestPath != "" {
+		if err := opts.Obs.WriteManifest(*manifestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "paperexp:", err)
+			return 1
+		}
+	}
+	return 0
 }

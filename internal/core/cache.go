@@ -15,6 +15,7 @@ package core
 
 import (
 	"repro/internal/idspace"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -132,6 +133,7 @@ func (p *Peer) ServeCount() uint64 { return p.served }
 // shared by every hit path (flood, routed lookup, walk, fetch).
 func (p *Peer) answer(origin Ref, qid uint64, it Item, hops int) {
 	p.served++
+	p.sys.trace(obs.EvLookupHit, qid, p.Addr, origin.Addr, hops, "")
 	p.send(origin.Addr, foundMsg{QID: qid, Item: it, Holder: p.Ref(), HolderSegLo: p.segLo, Hops: hops})
 	p.recordServe(it)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/idspace"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -75,6 +76,9 @@ func (p *Peer) newOp(kind, key string, done func(OpResult)) (*op, uint64) {
 		p.opTimeout(qid)
 	})
 	tracef("t=%v NEWOP peer=%d qid=%d kind=%s key=%s timerAt=%v", p.sys.Eng.Now(), p.Addr, qid, kind, key, o.timer.At())
+	if kind == "lookup" {
+		p.sys.trace(obs.EvLookupStart, qid, p.Addr, simnet.None, 0, key)
+	}
 	return o, qid
 }
 
@@ -90,6 +94,9 @@ func (p *Peer) finishOp(qid uint64, r OpResult) {
 	r.Key = o.key
 	r.Latency = p.sys.Eng.Now() - o.start
 	r.Contacts = p.sys.takeContacts(qid)
+	if !r.OK {
+		p.sys.trace(obs.EvLookupFail, qid, p.Addr, simnet.None, r.Hops, o.kind)
+	}
 	if o.done != nil {
 		o.done(r)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/idspace"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -295,6 +296,7 @@ func (p *Peer) Leave() {
 	if !p.alive || p.leaving {
 		return
 	}
+	p.sys.trace(obs.EvPeerLeave, 0, p.Addr, simnet.None, 0, p.Role.String())
 	if p.Role == SPeer {
 		p.leaveSPeer()
 		return

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/idspace"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -76,10 +77,12 @@ func (p *Peer) lookupRemote(o *op, qid uint64) {
 	if p.sys.Cfg.Bypass {
 		if link := p.bypassFor(o.sid); link != nil {
 			p.sys.stats.BypassUses++
+			p.sys.trace(obs.EvLookupForward, qid, p.Addr, link.peer.Addr, 1, "bypass")
 			p.send(link.peer.Addr, m)
 			return
 		}
 	}
+	p.sys.trace(obs.EvLookupForward, qid, p.Addr, simnet.None, 1, "ring")
 	p.forwardTowardSegment(o.sid, m, simnet.None)
 }
 
@@ -98,6 +101,7 @@ func (p *Peer) floodOut(qid uint64, did idspace.ID, ttl int, origin Ref) {
 // segment while remote, into a flood (or tracker resolution) on arrival.
 func (p *Peer) handleLookupReq(from simnet.Addr, m lookupReq) {
 	p.sys.contact(m.QID)
+	p.sys.trace(obs.EvLookupHop, m.QID, from, p.Addr, m.Hops, "route")
 	p.maybeAck(from)
 	if it, ok := p.findLocal(m.DID); ok {
 		p.answer(m.Origin, m.QID, it, m.Hops+1)
@@ -153,6 +157,7 @@ func (p *Peer) handleLookupReq(from simnet.Addr, m lookupReq) {
 // duplicate-suppression state is needed (§3.2.2).
 func (p *Peer) handleFlood(from simnet.Addr, m floodReq) {
 	p.sys.contact(m.QID)
+	p.sys.trace(obs.EvLookupHop, m.QID, from, p.Addr, m.Hops, "flood")
 	p.maybeAck(from)
 	if it, ok := p.findLocal(m.DID); ok {
 		// "The peer will stop flooding and send the data item to the

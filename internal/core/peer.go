@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/idspace"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -444,6 +445,7 @@ func (p *Peer) Crash() {
 	if !p.alive {
 		return
 	}
+	p.sys.trace(obs.EvPeerCrash, 0, p.Addr, simnet.None, 0, p.Role.String())
 	p.sys.stats.Crashes++
 	p.stop()
 }
@@ -456,6 +458,7 @@ func (p *Peer) completeJoin(hops int) {
 	p.joined = true
 	p.sys.Eng.Cancel(p.joinTimer)
 	p.joinTimer = sim.Handle{}
+	p.sys.trace(obs.EvPeerJoin, 0, p.Addr, simnet.None, hops, p.Role.String())
 	p.startMaintenance()
 	if p.joinDone != nil {
 		done := p.joinDone

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/idspace"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/topology"
@@ -44,7 +45,8 @@ type System struct {
 	// contacts counts peers contacted per in-flight query (connum).
 	contacts map[uint64]int
 
-	stats SystemStats
+	stats  SystemStats
+	tracer *obs.Tracer
 }
 
 // SystemStats aggregates protocol-level counters for a run.
@@ -91,6 +93,18 @@ func NewSystem(eng *sim.Engine, net *simnet.Network, topo *topology.Graph, cfg C
 
 // Server returns the bootstrap server.
 func (s *System) Server() *Server { return s.server }
+
+// SetTracer attaches a structured trace sink for peer lifecycle and lookup
+// events. A nil tracer (the default) disables tracing; every emission is
+// guarded by a single pointer check.
+func (s *System) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// trace emits one structured trace event when a tracer is attached.
+func (s *System) trace(kind obs.Kind, qid uint64, from, to simnet.Addr, hops int, note string) {
+	if s.tracer.Enabled() {
+		s.tracer.Emit(kind, s.Eng.Now(), qid, int(from), int(to), hops, note)
+	}
+}
 
 // Stats returns a copy of the protocol counters.
 func (s *System) Stats() SystemStats { return s.stats }

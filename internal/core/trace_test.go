@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// TestLookupTraceReconstruction attaches a tracer, runs lookups, and checks
+// that a single lookup's full event chain (start, hops, hit or fail) can be
+// reconstructed from the trace by lookup id.
+func TestLookupTraceReconstruction(t *testing.T) {
+	sys := newTestSystem(t, 3, func(c *Config) { c.Ps = 0.5 })
+	tr := obs.NewTracer(1 << 18)
+	sys.SetTracer(tr)
+	sys.Net.SetTracer(tr)
+
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 60})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys.Settle(10 * sim.Second)
+
+	for i, p := range peers {
+		if _, err := sys.StoreSync(p, keyf("trace-%03d", i), "v"); err != nil {
+			t.Fatalf("store: %v", err)
+		}
+	}
+
+	// Peer lifecycle events must have been traced during the build.
+	joins := 0
+	for _, e := range tr.Events() {
+		if e.Kind == obs.EvPeerJoin {
+			joins++
+		}
+	}
+	if joins != 60 {
+		t.Errorf("peer_join events = %d, want 60", joins)
+	}
+
+	// Run lookups from distant peers until at least one traced chain has a
+	// routed (cross-segment) portion.
+	reconstructed := 0
+	for i := range peers {
+		origin := peers[(i+23)%len(peers)]
+		r, err := sys.LookupSync(origin, keyf("trace-%03d", i))
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		if r.Hops == 0 {
+			continue // local hit: single-event chain, not interesting here
+		}
+		// Reconstruct this lookup from the trace. The qid is not returned
+		// by the public API, so find it via the start event carrying the key.
+		var qid uint64
+		for _, e := range tr.Events() {
+			if e.Kind == obs.EvLookupStart && e.Note == r.Key && e.From == int(origin.Addr) {
+				qid = e.Lookup
+			}
+		}
+		if qid == 0 {
+			t.Fatalf("no lookup_start event for key %s", r.Key)
+		}
+		chain := tr.LookupEvents(qid)
+		if len(chain) < 2 {
+			t.Fatalf("lookup %d chain has %d events, want >= 2", qid, len(chain))
+		}
+		if chain[0].Kind != obs.EvLookupStart {
+			t.Fatalf("chain does not begin with lookup_start: %v", chain[0].Kind)
+		}
+		last := chain[len(chain)-1].Kind
+		terminal := last == obs.EvLookupHit || last == obs.EvLookupFail
+		// A hit answer may race with a parallel flood hop; accept a hit
+		// anywhere after the start as terminal evidence.
+		for _, e := range chain[1:] {
+			if e.Kind == obs.EvLookupHit || e.Kind == obs.EvLookupFail {
+				terminal = true
+			}
+		}
+		if r.OK && !terminal {
+			t.Fatalf("successful lookup %d has no hit event in chain: %v", qid, chain)
+		}
+		// Hop events must carry monotonically consistent timestamps.
+		for j := 1; j < len(chain); j++ {
+			if chain[j].At < chain[j-1].At {
+				t.Fatalf("lookup %d events out of order: %v then %v", qid, chain[j-1], chain[j])
+			}
+		}
+		hops := 0
+		for _, e := range chain {
+			if e.Kind == obs.EvLookupHop || e.Kind == obs.EvLookupForward {
+				hops++
+			}
+		}
+		if r.OK && hops == 0 {
+			t.Fatalf("multi-hop lookup %d traced no hop events", qid)
+		}
+		reconstructed++
+	}
+	if reconstructed == 0 {
+		t.Fatal("no multi-hop lookup was reconstructed from the trace")
+	}
+
+	// Message-level events from simnet must be interleaved in the same trace.
+	msgs := 0
+	for _, e := range tr.Events() {
+		if e.Kind == obs.EvMsgSend {
+			msgs++
+		}
+	}
+	if msgs == 0 {
+		t.Fatal("no msg_send events traced")
+	}
+}
+
+// TestTracerOffIsInert checks the nil-tracer fast path end to end: a run with
+// no tracer attached behaves identically (this is also implicitly covered by
+// every other core test, which run untraced).
+func TestTracerOffIsInert(t *testing.T) {
+	sys := newTestSystem(t, 4, nil)
+	if sys.tracer.Enabled() {
+		t.Fatal("fresh system has tracing enabled")
+	}
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 20})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys.Settle(5 * sim.Second)
+	if _, err := sys.StoreSync(peers[0], "k", "v"); err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	r, err := sys.LookupSync(peers[len(peers)-1], "k")
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if !r.OK {
+		t.Fatal("lookup failed without tracer")
+	}
+	// trace() on a nil tracer must be a no-op, not a panic.
+	sys.trace(obs.EvLookupStart, 1, 1, simnet.None, 0, "x")
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/idspace"
+	"repro/internal/obs"
 	"repro/internal/simnet"
 )
 
@@ -42,6 +43,7 @@ func (p *Peer) startWalks(qid uint64, did idspace.ID, origin Ref) {
 // neighbor (preferring not to bounce straight back).
 func (p *Peer) handleWalk(m walkReq) {
 	p.sys.contact(m.QID)
+	p.sys.trace(obs.EvLookupHop, m.QID, m.From, p.Addr, m.Hops, "walk")
 	p.maybeAck(m.From)
 	if it, ok := p.findLocal(m.DID); ok {
 		p.answer(m.Origin, m.QID, it, m.Hops+1)

@@ -40,6 +40,7 @@ func RunAblationTree(o Options) (*Result, error) {
 			if err != nil {
 				return arm{}, err
 			}
+			sc.observe(o, "AblationTree hybrid")
 			return arm{
 				delPerQuery: float64(totalContacts(rs)) / float64(len(rs)),
 				success:     1 - failureRatio(rs),
@@ -159,6 +160,7 @@ func RunAblationBypass(o Options) (*Result, error) {
 			return bypassArm{}, err
 		}
 		after := sc.Sys.Stats()
+		sc.observe(o, "AblationBypass "+mode.name)
 		return bypassArm{
 			ringPer: float64(after.RingForwards-before) / float64(len(rs)),
 			latency: meanLatencyMs(rs),

@@ -141,6 +141,7 @@ func RunBaselines(o Options) (*Result, error) {
 			if err != nil {
 				return row{}, err
 			}
+			sc.observe(o, "Baselines "+name)
 			return row{
 				name: name, tag: tag,
 				hops: meanHops(rs), latency: meanLatencyMs(rs), failure: failureRatio(rs),

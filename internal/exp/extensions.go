@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -61,6 +62,7 @@ func RunExtCaching(o Options) (*Result, error) {
 		a.gini = gini(serves)
 		a.latency = meanLatencyMs(rs)
 		a.pushes, a.hits = st.CachePushes, st.CacheHits
+		sc.observe(o, "ExtCaching "+modeName(caching))
 		return a, nil
 	})
 	if err != nil {
@@ -122,6 +124,11 @@ func RunExtWalk(o Options) (*Result, error) {
 		if err != nil {
 			return walkArm{}, err
 		}
+		if walk {
+			sc.observe(o, "ExtWalk walk")
+		} else {
+			sc.observe(o, "ExtWalk flood")
+		}
 		return walkArm{
 			contacts: float64(totalContacts(rs)) / float64(len(rs)),
 			failure:  failureRatio(rs),
@@ -171,10 +178,14 @@ func RunLinkStress(o Options) (*Result, error) {
 		if err != nil {
 			return stressArm{}, err
 		}
+		armStart := time.Now()
 		eng := sim.New(o.Seed + 920)
 		ncfg := simnet.DefaultConfig()
 		ncfg.TrackLinkStress = true
 		net := simnet.New(eng, topoGraph, ncfg)
+		if o.Trace != nil {
+			net.SetTracer(o.Trace)
+		}
 		cfg := expConfig(0.7)
 		if aware {
 			cfg.TopologyAware = true
@@ -189,14 +200,22 @@ func RunLinkStress(o Options) (*Result, error) {
 		if err != nil {
 			return stressArm{}, err
 		}
+		if o.Trace != nil {
+			sys.SetTracer(o.Trace)
+		}
 		sys.Settle(2 * cfg.HelloEvery)
-		sc := &scenario{Sys: sys, Peers: peers, Joins: joins}
+		sc := &scenario{Sys: sys, Peers: peers, Joins: joins, wallStart: armStart}
 		if _, err := sc.storeItems(keys); err != nil {
 			return stressArm{}, err
 		}
 		rs, err := sc.lookupBatch(o.Lookups/2, 4, keys, func(k int) int { return k })
 		if err != nil {
 			return stressArm{}, err
+		}
+		if aware {
+			sc.observe(o, "LinkStress aware")
+		} else {
+			sc.observe(o, "LinkStress basic")
 		}
 		return stressArm{
 			maxStress: float64(net.MaxLinkStress()),
@@ -276,6 +295,7 @@ func RunChurn(o Options) (*Result, error) {
 			return churnArm{}, fmt.Errorf("trees broken after churn %q: %w", in.name, err)
 		}
 		st := sc.Sys.Stats()
+		sc.observe(o, "Churn "+in.name)
 		return churnArm{
 			failure:    failureRatio(rs),
 			latency:    meanLatencyMs(rs),

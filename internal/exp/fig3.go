@@ -37,6 +37,7 @@ func RunFig3a(o Options) (*Result, error) {
 		for _, js := range sc.Joins {
 			total += float64(js.Hops)
 		}
+		sc.observe(o, fmt.Sprintf("Fig3a ps=%.2f", ps))
 		return total / float64(len(sc.Joins)), nil
 	})
 	if err != nil {
@@ -104,6 +105,7 @@ func RunFig3b(o Options) (*Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		sc.observe(o, fmt.Sprintf("Fig3b ps=%.2f", ps))
 		return meanHops(rs), nil
 	})
 	if err != nil {

@@ -41,6 +41,7 @@ func RunFig4(o Options) (*Result, error) {
 		if _, err := sc.storeItems(keys); err != nil {
 			return fig4Cell{}, err
 		}
+		sc.observe(o, fmt.Sprintf("Fig4 %s ps=%.1f", scheme, ps))
 		counts := sc.Sys.ItemsPerPeer()
 		var c fig4Cell
 		c.peers = len(counts)

@@ -39,6 +39,7 @@ func RunFig5a(o Options) (*Result, error) {
 			}
 			out[i] = failureRatio(rs)
 		}
+		sc.observe(o, fmt.Sprintf("Fig5a ps=%.2f", ps))
 		return out, nil
 	})
 	if err != nil {
@@ -105,6 +106,7 @@ func RunFig5b(o Options) (*Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		sc.observe(o, fmt.Sprintf("Fig5b ps=%.1f crash=%.2f", ps, f))
 		return failureRatio(rs), nil
 	})
 	if err != nil {

@@ -42,6 +42,7 @@ func RunFig6a(o Options) (*Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		sc.observe(o, fmt.Sprintf("Fig6a %s ps=%.2f", mode.name, ps))
 		return meanLatencyMs(rs), nil
 	})
 	if err != nil {
@@ -119,6 +120,7 @@ func RunFig6b(o Options) (*Result, error) {
 		if err != nil {
 			return 0, err
 		}
+		sc.observe(o, fmt.Sprintf("Fig6b %s ps=%.2f", mode.name, ps))
 		return meanLatencyMs(rs), nil
 	})
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Options controls experiment scale.
@@ -33,6 +34,14 @@ type Options struct {
 	// per available CPU; 1 forces a sequential sweep. The rendered output
 	// is byte-identical for any value.
 	Workers int
+	// Trace, when non-nil, receives structured protocol/network events from
+	// every system the experiment builds. Tracing never alters results.
+	Trace *obs.Tracer
+	// Obs, when non-nil, records one PointRecord per sweep point (wall
+	// clock plus a metrics snapshot) into the run manifest. Progress and
+	// manifest output stay off the result path, so rendered tables remain
+	// byte-identical with or without a recorder.
+	Obs *obs.Recorder
 }
 
 // SeedZero is a sentinel requesting the literal random seed 0, which would

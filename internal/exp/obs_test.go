@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestObservabilityRecording runs a quick experiment with a Recorder and a
+// Tracer attached and checks that (a) per-point metric snapshots land in the
+// manifest, (b) the tracer captures events, and (c) neither changes the
+// experiment's rendered output.
+func TestObservabilityRecording(t *testing.T) {
+	o := testOptions()
+	plain, err := RunFig3b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var progress bytes.Buffer
+	rec := obs.NewRecorder("exp-test", o.Seed, 2, map[string]any{"n": o.N})
+	rec.SetProgress(&progress)
+	tr := obs.NewTracer(1 << 14)
+	o.Obs = rec
+	o.Trace = tr
+
+	observed, err := RunFig3b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CSV() != observed.CSV() {
+		t.Errorf("attaching observability changed the result:\n--- plain ---\n%s\n--- observed ---\n%s",
+			plain.CSV(), observed.CSV())
+	}
+
+	m := rec.Manifest()
+	pts := m.Points
+	if len(pts) != len(o.psPoints()) {
+		t.Fatalf("recorded %d points, want %d", len(pts), len(o.psPoints()))
+	}
+	for _, p := range pts {
+		if !strings.HasPrefix(p.Label, "Fig3b ps=") {
+			t.Errorf("unexpected point label %q", p.Label)
+		}
+		if p.WallSeconds < 0 {
+			t.Errorf("point %q has negative wall time", p.Label)
+		}
+		if p.Metrics["sim.events"] <= 0 {
+			t.Errorf("point %q missing sim.events metric: %v", p.Label, p.Metrics)
+		}
+		if p.Metrics["net.sent"] <= 0 {
+			t.Errorf("point %q missing net.sent metric", p.Label)
+		}
+		if p.Metrics["core.peers"] != float64(o.N) {
+			t.Errorf("point %q core.peers = %v, want %v", p.Label, p.Metrics["core.peers"], o.N)
+		}
+	}
+	if progress.Len() == 0 {
+		t.Error("no progress lines written")
+	}
+
+	if tr.Len() == 0 {
+		t.Error("tracer captured no events")
+	}
+	var sawLookup, sawMsg bool
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case obs.EvLookupStart:
+			sawLookup = true
+		case obs.EvMsgSend:
+			sawMsg = true
+		}
+	}
+	if !sawLookup || !sawMsg {
+		t.Errorf("trace missing event kinds: lookup_start=%v msg_send=%v", sawLookup, sawMsg)
+	}
+
+	if m.Schema != obs.ManifestSchema || m.Tool != "exp-test" || m.Seed != o.Seed {
+		t.Errorf("manifest header wrong: %+v", m)
+	}
+}
+
+// TestObserveNilRecorderIsNoOp makes sure every harness can run with Obs and
+// Trace unset (the default), i.e. observe() is nil-safe end to end.
+func TestObserveNilRecorderIsNoOp(t *testing.T) {
+	sc := &scenario{}
+	sc.observe(Options{}, "nothing") // must not panic with a nil Sys when Obs is nil
+}

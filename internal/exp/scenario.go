@@ -3,8 +3,11 @@ package exp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/topology"
@@ -48,6 +51,10 @@ type topoEntry struct {
 	err  error
 }
 
+// topoCacheHits/topoCacheMisses count shared-topology cache outcomes across
+// the process, surfaced per sweep point in the run manifest.
+var topoCacheHits, topoCacheMisses atomic.Int64
+
 // expTopology returns the shared transit-stub topology for the experiment
 // scale and seed. At full scale it also precomputes the stub-to-stub latency
 // matrix, built once and amortized over every sweep point that shares the
@@ -68,12 +75,18 @@ func expTopology(o Options, seed int64) (*topology.Graph, error) {
 	}
 	topoCache.mu.Unlock()
 
+	generated := false
 	e.once.Do(func() {
+		generated = true
+		topoCacheMisses.Add(1)
 		e.g, e.err = topology.GenerateTransitStub(cfg, seed)
 		if e.err == nil && wantMatrix {
 			e.g.PrecomputeStubMatrix(o.workers())
 		}
 	})
+	if !generated {
+		topoCacheHits.Add(1)
+	}
 	return e.g, e.err
 }
 
@@ -114,6 +127,9 @@ type scenario struct {
 	Sys   *core.System
 	Peers []*core.Peer
 	Joins []core.JoinStats
+	// wallStart is when the scenario build began; observe reports the
+	// point's wall-clock cost relative to it.
+	wallStart time.Time
 }
 
 // buildScenario creates a system with the given config and joins N peers.
@@ -121,6 +137,7 @@ type scenario struct {
 // shared graph (see topoSeed), so concurrent sweep points build their
 // populations over one immutable physical network.
 func buildScenario(o Options, cfg core.Config, seed int64, capacities []float64, interests []int) (*scenario, error) {
+	start := time.Now()
 	topo, err := expTopology(o, o.topoSeed())
 	if err != nil {
 		return nil, err
@@ -131,6 +148,10 @@ func buildScenario(o Options, cfg core.Config, seed int64, capacities []float64,
 	if err != nil {
 		return nil, err
 	}
+	if o.Trace != nil {
+		sys.SetTracer(o.Trace)
+		net.SetTracer(o.Trace)
+	}
 	peers, joins, err := sys.BuildPopulation(core.PopulationOpts{
 		N:          o.N,
 		Capacities: capacities,
@@ -140,7 +161,47 @@ func buildScenario(o Options, cfg core.Config, seed int64, capacities []float64,
 		return nil, err
 	}
 	sys.Settle(2 * cfg.HelloEvery)
-	return &scenario{Sys: sys, Peers: peers, Joins: joins}, nil
+	return &scenario{Sys: sys, Peers: peers, Joins: joins, wallStart: start}, nil
+}
+
+// observe snapshots the scenario's engine, network and protocol counters into
+// the run recorder as one labeled point. It is a no-op without a recorder, and
+// it never writes to the result path.
+func (s *scenario) observe(o Options, label string) {
+	if o.Obs == nil {
+		return
+	}
+	reg := obs.NewRegistry()
+	reg.Counter("sim.events").Add(int64(s.Sys.Eng.Dispatched()))
+	reg.Gauge("sim.time_s").Set(float64(s.Sys.Eng.Now()) / float64(sim.Second))
+
+	ns := s.Sys.Net.Stats()
+	reg.Counter("net.sent").Add(int64(ns.MessagesSent))
+	reg.Counter("net.delivered").Add(int64(ns.MessagesDelivered))
+	reg.Counter("net.dropped").Add(int64(ns.MessagesDropped))
+	reg.Counter("net.local_sent").Add(int64(ns.LocalSent))
+	reg.Counter("net.bytes").Add(int64(ns.BytesSent))
+
+	cs := s.Sys.Stats()
+	reg.Counter("core.floods").Add(int64(cs.FloodsSent))
+	reg.Counter("core.ring_forwards").Add(int64(cs.RingForwards))
+	reg.Counter("core.bypass_uses").Add(int64(cs.BypassUses))
+	reg.Counter("core.cache_hits").Add(int64(cs.CacheHits))
+	reg.Gauge("core.peers").Set(float64(s.Sys.NumPeers()))
+
+	items := reg.Timer("peer.items")
+	for _, n := range s.Sys.ItemsPerPeer() {
+		items.Observe(float64(n))
+	}
+
+	reg.Counter("exp.topo_cache_hits").Add(topoCacheHits.Load())
+	reg.Counter("exp.topo_cache_misses").Add(topoCacheMisses.Load())
+
+	wall := time.Duration(0)
+	if !s.wallStart.IsZero() {
+		wall = time.Since(s.wallStart)
+	}
+	o.Obs.Point(label, wall, reg.Snapshot())
 }
 
 // alivePeer returns the i-th peer if alive, else scans forward for a live

@@ -39,6 +39,7 @@ func RunTable2(o Options) (*Result, error) {
 			}
 			out[i] = totalContacts(rs)
 		}
+		sc.observe(o, fmt.Sprintf("Table2 ps=%.2f", ps))
 		return out, nil
 	})
 	if err != nil {

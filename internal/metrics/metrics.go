@@ -91,7 +91,9 @@ func (s *Sample) Mean() float64 {
 	return total / float64(len(s.xs))
 }
 
-// Quantile returns the q-th (0..1) quantile by nearest-rank.
+// Quantile returns the q-th (0..1) quantile by nearest-rank. The rank is
+// rounded to the nearest index rather than truncated, so p50/p95 are not
+// biased low on small samples.
 func (s *Sample) Quantile(q float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
@@ -100,7 +102,7 @@ func (s *Sample) Quantile(q float64) float64 {
 		sort.Float64s(s.xs)
 		s.sorted = true
 	}
-	idx := int(q * float64(len(s.xs)-1))
+	idx := int(q*float64(len(s.xs)-1) + 0.5)
 	if idx < 0 {
 		idx = 0
 	}

@@ -100,6 +100,95 @@ func TestSampleEmpty(t *testing.T) {
 	}
 }
 
+func TestSampleQuantileNearestRank(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single-q0", []float64{7}, 0, 7},
+		{"single-q50", []float64{7}, 0.5, 7},
+		{"single-q100", []float64{7}, 1, 7},
+		{"pair-median", []float64{1, 3}, 0.5, 3},       // rank 0.5 rounds up
+		{"four-p50", []float64{1, 2, 3, 4}, 0.5, 3},    // rank 1.5 rounds to 2
+		{"four-p95", []float64{1, 2, 3, 4}, 0.95, 4},   // rank 2.85 rounds to 3, not floor 2
+		{"five-p50", []float64{1, 2, 3, 4, 5}, 0.5, 3}, // exact middle
+		{"ten-p95", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 0.95, 10}, // rank 8.55 -> 9
+		{"negative-q", []float64{1, 2, 3}, -0.5, 1},
+		{"overflow-q", []float64{1, 2, 3}, 1.5, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sample
+			for _, x := range tc.xs {
+				s.Add(x)
+			}
+			if got := s.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%v) on %v = %v, want %v", tc.q, tc.xs, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSummaryAllNegative(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{-5, -1, -9, -3} {
+		s.Add(x)
+	}
+	if s.Min() != -9 {
+		t.Fatalf("Min = %v, want -9", s.Min())
+	}
+	if s.Max() != -1 {
+		t.Fatalf("Max = %v, want -1 (max must not stick at zero)", s.Max())
+	}
+	if math.Abs(s.Mean()-(-4.5)) > 1e-9 {
+		t.Fatalf("Mean = %v, want -4.5", s.Mean())
+	}
+}
+
+func TestHistogramMassAtOrBelowEmpty(t *testing.T) {
+	h := NewHistogram(5)
+	if got := h.MassAtOrBelow(100); got != 0 {
+		t.Fatalf("MassAtOrBelow on empty histogram = %v, want 0 (not NaN)", got)
+	}
+	if math.IsNaN(h.MassAtOrBelow(0)) {
+		t.Fatal("MassAtOrBelow on empty histogram is NaN")
+	}
+}
+
+func TestRatioZeroTrials(t *testing.T) {
+	var r Ratio
+	if got := r.Value(); got != 0 {
+		t.Fatalf("Value with zero trials = %v, want 0", got)
+	}
+	if math.IsNaN(r.Value()) {
+		t.Fatal("Value with zero trials is NaN")
+	}
+}
+
+func TestSeriesYAtTolerance(t *testing.T) {
+	s := &Series{Name: "tol"}
+	// An x accumulated by repeated float addition won't be bit-exact.
+	x := 0.0
+	for i := 0; i < 10; i++ {
+		x += 0.1
+	}
+	s.Add(x, 42) // x ≈ 1.0 but != 1.0 exactly
+	if x == 1.0 {
+		t.Skip("platform added 0.1 ten times exactly")
+	}
+	// Within the 1e-9 tolerance the stored x must still be found.
+	if v, ok := s.YAt(x + 1e-10); !ok || v != 42 {
+		t.Fatalf("YAt within tolerance = %v %v, want 42 true", v, ok)
+	}
+	// Outside the tolerance it must not match.
+	if _, ok := s.YAt(x + 1e-6); ok {
+		t.Fatal("YAt matched outside tolerance")
+	}
+}
+
 func TestHistogramPDFSumsToOne(t *testing.T) {
 	f := func(raw []uint8, width uint8) bool {
 		if len(raw) == 0 {

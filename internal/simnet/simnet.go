@@ -11,6 +11,7 @@ package simnet
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -46,12 +47,16 @@ func linkKey(a, b int) LinkKey {
 	return LinkKey{A: a, B: b}
 }
 
-// Stats aggregates network-level accounting for a run.
+// Stats aggregates network-level accounting for a run. MessagesSent counts
+// every send, including self-deliveries via SendLocal (which are additionally
+// broken out under LocalSent), so MessagesDelivered+MessagesDropped can never
+// exceed MessagesSent.
 type Stats struct {
 	MessagesSent      uint64
 	MessagesDelivered uint64
 	MessagesDropped   uint64
 	BytesSent         uint64
+	LocalSent         uint64
 }
 
 // Config tunes the message layer.
@@ -82,6 +87,7 @@ type Network struct {
 	capacity map[Addr]float64  // relative access-link capacity (>= 1)
 	stress   map[LinkKey]int64 // physical link -> messages carried
 	stats    Stats
+	tracer   *obs.Tracer
 }
 
 // New creates a network over the given engine and topology.
@@ -140,12 +146,24 @@ func (n *Network) Host(a Addr) int {
 // Capacity returns the peer's relative access-link capacity (0 if detached).
 func (n *Network) Capacity(a Addr) float64 { return n.capacity[a] }
 
-// Stats returns a copy of the accounting counters.
+// Stats returns a copy of the accounting counters; mutating the returned
+// value does not affect the network.
 func (n *Network) Stats() Stats { return n.stats }
 
-// LinkStress returns the per-link message counts (only populated when
-// TrackLinkStress is set).
-func (n *Network) LinkStress() map[LinkKey]int64 { return n.stress }
+// SetTracer attaches a trace event sink for message send/deliver/drop events.
+// A nil tracer (the default) disables tracing at the cost of one pointer
+// check per message.
+func (n *Network) SetTracer(t *obs.Tracer) { n.tracer = t }
+
+// LinkStress returns a copy of the per-link message counts (only populated
+// when TrackLinkStress is set); callers may freely mutate the returned map.
+func (n *Network) LinkStress() map[LinkKey]int64 {
+	out := make(map[LinkKey]int64, len(n.stress))
+	for k, v := range n.stress {
+		out[k] = v
+	}
+	return out
+}
 
 // MaxLinkStress returns the highest per-link message count.
 func (n *Network) MaxLinkStress() int64 {
@@ -190,10 +208,16 @@ func (n *Network) Delay(from, to Addr, size int) (sim.Time, error) {
 func (n *Network) Send(from, to Addr, size int, msg any) {
 	n.stats.MessagesSent++
 	n.stats.BytesSent += uint64(size)
+	var note string
+	if n.tracer.Enabled() {
+		note = fmt.Sprintf("%T", msg)
+		n.tracer.Emit(obs.EvMsgSend, n.Eng.Now(), 0, int(from), int(to), 0, note)
+	}
 
 	d, err := n.Delay(from, to, size)
 	if err != nil {
 		n.stats.MessagesDropped++
+		n.tracer.Emit(obs.EvMsgDrop, n.Eng.Now(), 0, int(from), int(to), 0, note)
 		return
 	}
 	if n.cfg.TrackLinkStress {
@@ -207,22 +231,30 @@ func (n *Network) Send(from, to Addr, size int, msg any) {
 		h, ok := n.handlers[to]
 		if !ok {
 			n.stats.MessagesDropped++
+			n.tracer.Emit(obs.EvMsgDrop, n.Eng.Now(), 0, int(from), int(to), 0, note)
 			return
 		}
 		n.stats.MessagesDelivered++
+		n.tracer.Emit(obs.EvMsgDeliver, n.Eng.Now(), 0, int(from), int(to), 0, note)
 		h.Recv(from, msg)
 	})
 }
 
 // SendLocal schedules a message from a peer to itself with negligible delay.
-// Protocols use it to defer work to a fresh event without network cost.
+// Protocols use it to defer work to a fresh event without network cost. Local
+// sends count toward MessagesSent (and are broken out under LocalSent) so the
+// delivered/dropped totals always have a matching send.
 func (n *Network) SendLocal(a Addr, msg any) {
+	n.stats.MessagesSent++
+	n.stats.LocalSent++
 	n.Eng.After(sim.Microsecond, func() {
 		if h, ok := n.handlers[a]; ok {
 			n.stats.MessagesDelivered++
+			n.tracer.Emit(obs.EvMsgDeliver, n.Eng.Now(), 0, int(a), int(a), 0, "local")
 			h.Recv(a, msg)
 		} else {
 			n.stats.MessagesDropped++
+			n.tracer.Emit(obs.EvMsgDrop, n.Eng.Now(), 0, int(a), int(a), 0, "local")
 		}
 	})
 }

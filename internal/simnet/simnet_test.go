@@ -3,6 +3,7 @@ package simnet
 import (
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -206,6 +207,112 @@ func TestLinkStress(t *testing.T) {
 	path, _ := topo.Path(stubs[0], stubs[len(stubs)-1])
 	if len(net.LinkStress()) != len(path)-1 {
 		t.Fatalf("stress tracked on %d links, path has %d", len(net.LinkStress()), len(path)-1)
+	}
+}
+
+func TestSendLocalAccounting(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	r := &recorder{eng: eng}
+	net.Attach(1, topo.StubNodes()[0], 1, r)
+
+	// Delivered local send.
+	net.SendLocal(1, "self")
+	eng.Run()
+	// Dropped local send: receiver detaches before delivery.
+	net.SendLocal(1, "late")
+	net.Detach(1)
+	eng.Run()
+
+	st := net.Stats()
+	if st.MessagesSent != 2 || st.LocalSent != 2 {
+		t.Fatalf("sent=%d local=%d, want 2/2 (SendLocal must count as sent)", st.MessagesSent, st.LocalSent)
+	}
+	if st.MessagesDelivered != 1 || st.MessagesDropped != 1 {
+		t.Fatalf("delivered=%d dropped=%d, want 1/1", st.MessagesDelivered, st.MessagesDropped)
+	}
+	if st.MessagesDelivered+st.MessagesDropped > st.MessagesSent {
+		t.Fatalf("delivered+dropped (%d) exceeds sent (%d)",
+			st.MessagesDelivered+st.MessagesDropped, st.MessagesSent)
+	}
+}
+
+func TestLinkStressReturnsCopy(t *testing.T) {
+	eng, net, topo := func() (*sim.Engine, *Network, *topology.Graph) {
+		tc := topology.Config{
+			TransitDomains: 2, TransitNodesPerDomain: 2,
+			StubDomainsPerTransit: 1, StubNodesPerDomain: 8,
+			TransitScale: 10, BaseLatency: 500, LatencyPerUnit: 20000,
+		}
+		topo, err := topology.GenerateTransitStub(tc, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.New(1)
+		cfg := DefaultConfig()
+		cfg.TrackLinkStress = true
+		return eng, New(eng, topo, cfg), topo
+	}()
+	stubs := topo.StubNodes()
+	net.Attach(1, stubs[0], 1, &recorder{eng: eng})
+	net.Attach(2, stubs[len(stubs)-1], 1, &recorder{eng: eng})
+	net.Send(1, 2, 10, "x")
+	eng.Run()
+
+	got := net.LinkStress()
+	if len(got) == 0 {
+		t.Fatal("no link stress recorded")
+	}
+	// Mutating the returned map must not corrupt the network's counters.
+	for k := range got {
+		got[k] = -999
+	}
+	delete(got, linkKey(0, 1))
+	for _, v := range net.LinkStress() {
+		if v <= 0 {
+			t.Fatal("LinkStress exposed internal map: external mutation visible")
+		}
+	}
+	if net.MaxLinkStress() != 1 {
+		t.Fatalf("MaxLinkStress = %d after external mutation, want 1", net.MaxLinkStress())
+	}
+}
+
+func TestSendEmitsTraceEvents(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	tr := obs.NewTracer(64)
+	net.SetTracer(tr)
+	stubs := topo.StubNodes()
+	r := &recorder{eng: eng}
+	net.Attach(1, stubs[0], 1, r)
+	net.Attach(2, stubs[5], 1, r)
+
+	net.Send(1, 2, 100, "hello")
+	net.SendLocal(1, "self")
+	net.Send(1, 3, 10, "nobody") // dropped: 3 never attached
+	eng.Run()
+
+	counts := map[obs.Kind]int{}
+	for _, e := range tr.Events() {
+		counts[e.Kind]++
+	}
+	if counts[obs.EvMsgSend] != 2 { // Send x2; SendLocal has no network send
+		t.Fatalf("msg_send events = %d, want 2", counts[obs.EvMsgSend])
+	}
+	if counts[obs.EvMsgDeliver] != 2 { // remote + local delivery
+		t.Fatalf("msg_deliver events = %d, want 2", counts[obs.EvMsgDeliver])
+	}
+	if counts[obs.EvMsgDrop] != 1 {
+		t.Fatalf("msg_drop events = %d, want 1", counts[obs.EvMsgDrop])
+	}
+	// Payload type travels in the note.
+	found := false
+	for _, e := range tr.Events() {
+		if e.Kind == obs.EvMsgSend && e.Note == "string" && e.From == 1 && e.To == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("send event missing payload type note")
 	}
 }
 

@@ -1,7 +1,12 @@
 #!/bin/sh
-# The repo's verify loop: build, vet, tests, then the race detector over the
-# full suite (the parallel sweep runner and the shared topology cache are
-# exercised concurrently by the exp tests, so -race is load-bearing here).
+# The repo's verify loop: build, vet (plus staticcheck when installed), tests,
+# the race detector over the full suite (the parallel sweep runner and the
+# shared topology cache are exercised concurrently by the exp tests, so -race
+# is load-bearing here), and finally a benchmark regression guard comparing
+# BenchmarkEventEngine against the recorded baseline in BENCH_PR1.json.
+#
+# Set SKIP_BENCH_GUARD=1 to skip the benchmark guard (e.g. on a loaded or
+# throttled machine where timings are meaningless).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,10 +17,25 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ./..."
+    staticcheck ./...
+else
+    echo "== staticcheck not installed; skipping (go vet already ran)"
+fi
+
 echo "== go test ./..."
 go test ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+if [ "${SKIP_BENCH_GUARD:-0}" = "1" ]; then
+    echo "== bench guard skipped (SKIP_BENCH_GUARD=1)"
+else
+    echo "== bench guard: BenchmarkEventEngine vs BENCH_PR1.json (best of 3, 20% tolerance)"
+    go test -run='^$' -bench='^BenchmarkEventEngine$' -benchtime=2s -count=3 . \
+        | go run ./cmd/benchjson -baseline BENCH_PR1.json -bench BenchmarkEventEngine -tolerance 0.2
+fi
 
 echo "check: OK"
