@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet staticcheck test race bench bench-json bench-guard
+.PHONY: all build check vet staticcheck test race faultcheck determinism bench bench-json bench-guard
 
 all: check
 
@@ -21,13 +21,26 @@ staticcheck:
 
 # The verify loop: everything a change must pass before it lands.
 # Set SKIP_BENCH_GUARD=1 to skip the benchmark regression guard.
-check: build vet staticcheck test race bench-guard
+check: build vet staticcheck test race faultcheck determinism bench-guard
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Crash-path gate: churn storms and recovery paths under injected message
+# faults, invariant-checked at every quiescence point (-count=1 defeats the
+# test cache so the gate always executes).
+faultcheck:
+	$(GO) test ./internal/core -count=1 \
+		-run '^(TestChurnStormUnderFaults|TestRecoveryPathsUnderFaults|TestSustainedChurnKeepsInvariants)$$'
+
+# Determinism gate: sweeps with the fault layer compiled in but disabled must
+# be byte-identical to ones that never touch it.
+determinism:
+	$(GO) test ./internal/exp -count=1 \
+		-run '^(TestFaultLayerOffIsByteIdentical|TestParallelSweepDeterminism)$$'
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -9,6 +9,8 @@
 //	hybridsim -ps 0.5 -tracker
 //	hybridsim -ps 0.7 -hetero -topoaware -landmarks 12 -bypass
 //	hybridsim -ps 0.8 -crash 0.2
+//	hybridsim -ps 0.7 -crash 0.2 -droprate 0.05 -duprate 0.05 -jitter 20ms
+//	hybridsim -ps 0.7 -partition 30,60
 //	hybridsim -ps 0.1,0.3,0.5,0.7,0.9 -workers 4
 //	hybridsim -ps 0.7 -trace run.jsonl -manifest run.json -progress
 //
@@ -61,6 +63,18 @@ type simParams struct {
 	walk           bool
 	caching        bool
 	linear         bool
+
+	// Fault injection (see internal/simnet.FaultConfig).
+	dropRate, dupRate  float64
+	jitter             sim.Time
+	partStart, partEnd sim.Time
+	hasPartition       bool
+	faultSeed          int64
+}
+
+// faultsEnabled reports whether any fault-injection flag is set.
+func (p simParams) faultsEnabled() bool {
+	return p.dropRate > 0 || p.dupRate > 0 || p.jitter > 0 || p.hasPartition
 }
 
 func main() { os.Exit(run()) }
@@ -88,6 +102,12 @@ func run() int {
 		caching   = flag.Bool("caching", false, "enable the future-work hot-data caching scheme")
 		linear    = flag.Bool("linear", false, "successor-only ring routing (the paper's simulated behavior)")
 
+		dropRate  = flag.Float64("droprate", 0, "fault injection: per-message drop probability (0..1)")
+		dupRate   = flag.Float64("duprate", 0, "fault injection: per-message duplication probability (0..1)")
+		jitter    = flag.Duration("jitter", 0, "fault injection: max extra delivery delay per message (e.g. 50ms)")
+		partition = flag.String("partition", "", "fault injection: \"start,end\" in simulated seconds; isolates the first half of the stub hosts for that window")
+		faultSeed = flag.Int64("faultseed", 1, "fault injection RNG seed (independent of -seed)")
+
 		tracePath    = flag.String("trace", "", "write a JSONL structured event trace to this file")
 		traceCap     = flag.Int("tracecap", obs.DefaultTraceCap, "ring-buffer capacity per sweep point (with -trace)")
 		manifestPath = flag.String("manifest", "", "write a machine-readable run manifest (JSON) to this file")
@@ -105,6 +125,21 @@ func run() int {
 			return 2
 		}
 		points = append(points, v)
+	}
+
+	var partStart, partEnd sim.Time
+	hasPartition := false
+	if *partition != "" {
+		lo, hi, ok := strings.Cut(*partition, ",")
+		a, errA := strconv.ParseFloat(strings.TrimSpace(lo), 64)
+		b, errB := strconv.ParseFloat(strings.TrimSpace(hi), 64)
+		if !ok || errA != nil || errB != nil || a < 0 || b <= a {
+			fmt.Fprintf(os.Stderr, "hybridsim: bad -partition %q: want \"start,end\" in seconds with end > start >= 0\n", *partition)
+			return 2
+		}
+		partStart = sim.Time(a * float64(sim.Second))
+		partEnd = sim.Time(b * float64(sim.Second))
+		hasPartition = true
 	}
 
 	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
@@ -127,7 +162,10 @@ func run() int {
 			hetero: *hetero, topoaware: *topoaware, landmarks: *landmarks,
 			bypass: *bypass, tracker: *tracker, interests: *interests,
 			crash: *crash, zipf: *zipf, walk: *walk, caching: *caching,
-			linear: *linear,
+			linear:   *linear,
+			dropRate: *dropRate, dupRate: *dupRate, jitter: sim.Time(jitter.Microseconds()),
+			partStart: partStart, partEnd: partEnd, hasPartition: hasPartition,
+			faultSeed: *faultSeed,
 		}
 	}
 
@@ -165,7 +203,9 @@ func run() int {
 			"hetero": *hetero, "topoaware": *topoaware, "landmarks": *landmarks,
 			"bypass": *bypass, "tracker": *tracker, "interests": *interests,
 			"crash": *crash, "zipf": *zipf, "walk": *walk, "caching": *caching,
-			"linear": *linear,
+			"linear":   *linear,
+			"droprate": *dropRate, "duprate": *dupRate, "jitter": jitter.String(),
+			"partition": *partition, "faultseed": *faultSeed,
 		})
 		if *progress {
 			rec.SetProgress(os.Stderr)
@@ -278,8 +318,44 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams, tr *obs.Tracer, rec 
 
 	eng := sim.New(p.seed)
 	net := simnet.New(eng, topo, simnet.DefaultConfig())
+	if p.faultsEnabled() {
+		f := simnet.NewFaults(simnet.FaultConfig{
+			DropRate:  p.dropRate,
+			DupRate:   p.dupRate,
+			JitterMax: p.jitter,
+			Seed:      p.faultSeed,
+		})
+		if p.hasPartition {
+			stubs := topo.StubNodes()
+			f.AddPartition(p.partStart, p.partEnd, stubs[:len(stubs)/2])
+		}
+		net.SetFaults(f)
+	}
 	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
 	if err != nil {
+		return err
+	}
+	// checkQuiesced verifies every system invariant at quiescence. Under
+	// armed faults some edge is always mid-repair (dropped HELLOs keep
+	// raising false crash alarms), so the check lifts the faults, lets the
+	// repairs converge, verifies, and re-arms the same layer (its counters
+	// keep accumulating).
+	checkQuiesced := func() error {
+		f := net.Faults()
+		if f != nil {
+			net.SetFaults(nil)
+			// Long enough for failure detection, repair, and one full
+			// join-retry cycle for any peer wedged mid-rejoin.
+			settle := 6 * cfg.HelloTimeout
+			if s := 2 * cfg.JoinTimeout; s > settle {
+				settle = s
+			}
+			sys.Settle(settle)
+		}
+		err := sys.CheckInvariants()
+		if f != nil {
+			net.SetFaults(f)
+		}
 		return err
 	}
 	if tr.Enabled() {
@@ -304,10 +380,7 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams, tr *obs.Tracer, rec 
 		return err
 	}
 	sys.Settle(10 * sim.Second)
-	if err := sys.CheckRing(); err != nil {
-		return err
-	}
-	if err := sys.CheckTrees(); err != nil {
+	if err := checkQuiesced(); err != nil {
 		return err
 	}
 
@@ -353,6 +426,10 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams, tr *obs.Tracer, rec 
 		fmt.Fprintf(w, "crashed %d of %d peers; %d survive; promotions=%d rejoins=%d\n",
 			before-sys.NumPeers(), before, sys.NumPeers(),
 			sys.Stats().Promotions, sys.Stats().Rejoins)
+		if err := checkQuiesced(); err != nil {
+			return fmt.Errorf("invariants after crash phase: %w", err)
+		}
+		fmt.Fprintf(w, "invariants: all hold after crash recovery\n")
 	}
 
 	// Lookups.
@@ -406,6 +483,11 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams, tr *obs.Tracer, rec 
 	fmt.Fprintf(w, "\nprotocol counters: %+v\n", st)
 	fmt.Fprintf(w, "network: sent=%d delivered=%d dropped=%d bytes=%d\n",
 		ns.MessagesSent, ns.MessagesDelivered, ns.MessagesDropped, ns.BytesSent)
+	if f := net.Faults(); f != nil {
+		fs := f.Stats()
+		fmt.Fprintf(w, "faults injected: dropped=%d duplicated=%d jittered=%d partition_dropped=%d\n",
+			fs.Dropped, fs.Duplicated, fs.Jittered, fs.PartitionDropped)
+	}
 	fmt.Fprintf(w, "simulated time: %v; events: %d\n", eng.Now(), eng.Dispatched())
 
 	if rec != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/idspace"
 	"repro/internal/obs"
@@ -169,6 +170,13 @@ func (p *Peer) forwardTowardSegment(sid idspace.ID, msg any, from simnet.Addr) {
 	if !next.Valid() || next.Addr == p.Addr {
 		next = p.succ
 	}
+	if len(p.suspect) != 0 && p.suspect[next.Addr] &&
+		p.succ2.Valid() && p.succ2.Addr != p.Addr && !p.suspect[p.succ2.Addr] {
+		// The chosen hop is suspected dead and its repair has not landed:
+		// detour via the successor's successor learned from stabilization
+		// instead of forwarding into the crash.
+		next = p.succ2
+	}
 	if !next.Valid() || next.Addr == p.Addr {
 		return // lone t-peer: nowhere to forward
 	}
@@ -176,9 +184,43 @@ func (p *Peer) forwardTowardSegment(sid idspace.ID, msg any, from simnet.Addr) {
 	p.send(next.Addr, msg)
 }
 
+// rehomeForeignItems re-routes stored items that this peer's s-network no
+// longer owns. A peer ends up holding foreign items when the segment moves
+// under its data: an s-peer re-attached into a different s-network after a
+// crash keeps its database, a t-peer re-anchored by the server can shrink its
+// arc. Such items are unreachable where they are — lookups route to the
+// owning segment and flood there, never here — so they are forwarded like
+// fresh insertions. Called whenever the root or segment bounds change.
+func (p *Peer) rehomeForeignItems() {
+	if len(p.data) == 0 {
+		return
+	}
+	var moved []Item
+	for _, it := range p.data {
+		if !p.inLocalSegment(p.segmentID(it.Key)) {
+			moved = append(moved, it)
+		}
+	}
+	if len(moved) == 0 {
+		return
+	}
+	// Deterministic send order: map iteration order must not leak into the
+	// event sequence.
+	sort.Slice(moved, func(i, j int) bool { return moved[i].DID < moved[j].DID })
+	for _, it := range moved {
+		delete(p.data, it.DID)
+		sid := p.segmentID(it.Key)
+		p.sys.stats.ItemsRehomed++
+		p.forwardTowardSegment(sid, storeReq{Item: it, SID: sid, Origin: p.Ref(), Hops: 1}, simnet.None)
+	}
+}
+
 // handleStoreReq advances an insertion toward the owning segment and places
 // the item once it arrives.
 func (p *Peer) handleStoreReq(from simnet.Addr, m storeReq) {
+	if m.Hops > routeHopLimit {
+		return // looping route; the op timer fails the store
+	}
 	p.maybeAck(from)
 	if !p.inLocalSegment(m.SID) || p.Role == SPeer {
 		m.Hops++

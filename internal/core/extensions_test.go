@@ -257,6 +257,21 @@ func TestCacheEntriesExpire(t *testing.T) {
 
 // --- Prefix search --------------------------------------------------------------
 
+// plantLocalKey returns the next numbered key with the given format whose
+// segment id falls inside m's own cached segment. Tests that plant items
+// directly into a peer's data map must use locally-owned keys: the periodic
+// rehome sweep (rehomeForeignItems) ships anything foreign to its owner
+// segment, which would move planted items away mid-test.
+func plantLocalKey(m *Peer, format string, n *int) string {
+	for {
+		key := fmt.Sprintf(format, *n)
+		*n++
+		if m.inLocalSegment(m.segmentID(key)) {
+			return key
+		}
+	}
+}
+
 func TestSearchPrefixCollectsMatches(t *testing.T) {
 	sys := newTestSystem(t, 85, func(c *Config) {
 		c.Ps = 0.85
@@ -277,12 +292,13 @@ func TestSearchPrefixCollectsMatches(t *testing.T) {
 		}
 	}
 	want := 0
-	for i, m := range members {
-		key := fmt.Sprintf("music/track%02d.ogg", i)
+	kn := 0
+	for _, m := range members {
+		key := plantLocalKey(m, "music/track%03d.ogg", &kn)
 		m.data[idHash(key)] = Item{Key: key, Value: "v", DID: idHash(key)}
 		want++
 		// Distractors must not match.
-		other := fmt.Sprintf("docs/file%02d", i)
+		other := plantLocalKey(m, "docs/file%03d", &kn)
 		m.data[idHash(other)] = Item{Key: other, Value: "v", DID: idHash(other)}
 	}
 	res, err := sys.SearchSync(origin, "music/", 0, 10*sim.Second)
@@ -314,9 +330,10 @@ func TestSearchPrefixMaxResults(t *testing.T) {
 	origin := sys.SPeers()[0]
 	root := snetOf(sys, origin)
 	n := 0
+	kn := 0
 	for _, p := range sys.Peers() {
 		if r := snetOf(sys, p); r != nil && r.Addr == root.Addr {
-			key := fmt.Sprintf("pics/img%03d", n)
+			key := plantLocalKey(p, "pics/img%03d", &kn)
 			p.data[idHash(key)] = Item{Key: key, Value: "v", DID: idHash(key)}
 			n++
 		}

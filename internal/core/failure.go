@@ -17,9 +17,14 @@ func (p *Peer) neighborTimeout(nb simnet.Addr) {
 	p.unwatch(nb)
 
 	// A crashed child: drop it from the tree. Its own subtree re-attaches
-	// itself when the grandchildren's watchdogs fire.
-	if child, ok := p.children[nb]; ok {
+	// itself when the grandchildren's watchdogs fire. The unregistration
+	// covers the crashed peer only — the subtree stays counted because its
+	// members stay in the s-network; any residual drift (a child that
+	// crashed along with its parent, a grandchild that rejoined elsewhere)
+	// is reconciled by the periodic absolute size sync (sSizeSync).
+	if _, ok := p.children[nb]; ok {
 		delete(p.children, nb)
+		delete(p.childSubtree, nb)
 		root := p.tpeer
 		if p.Role == TPeer {
 			root = p.Ref()
@@ -27,7 +32,6 @@ func (p *Peer) neighborTimeout(nb simnet.Addr) {
 		if root.Valid() {
 			p.send(ServerAddr, sUnregister{TPeer: root})
 		}
-		_ = child
 		return
 	}
 
@@ -36,6 +40,7 @@ func (p *Peer) neighborTimeout(nb simnet.Addr) {
 			// Our connect point was the t-peer itself: compete to
 			// replace it (§3.2.1).
 			p.send(ServerAddr, replaceReq{Crashed: p.tpeer, Self: p.Ref()})
+			p.armReplaceRetry(p.tpeer)
 			return
 		}
 		// An interior tree peer crashed; rejoin through the t-peer.
@@ -56,15 +61,53 @@ func (p *Peer) neighborTimeout(nb simnet.Addr) {
 			// segment bound (segLo) is kept until a real predecessor
 			// appears.
 			p.pred = NilRef
+			p.markSuspect(nb)
 		case p.succ.Addr:
 			crashed = p.succ
+			// The successor pointer is kept because the pending repair
+			// messages (ringRepair, conditional pointerUpdate) match on
+			// the stale value — but routing must stop forwarding into
+			// the crash. Mark it suspect so segment routing detours via
+			// the successor's successor until the repair lands.
+			p.markSuspect(nb)
 		default:
+			// The watchdog re-armed on a crashed neighbor that a repair
+			// has since replaced: it monitors nobody and the suspicion
+			// is obsolete.
+			delete(p.suspect, nb)
 			return
 		}
 		p.send(ServerAddr, ringDeadReq{Crashed: crashed, Self: p.Ref()})
 		// Keep watching: if recovery stalls we report again.
 		p.watch(nb)
 	}
+}
+
+// armReplaceRetry re-sends the crash-arbitration request if no outcome
+// arrived within one detection window: the server's replaceResp travels the
+// same lossy network as everything else, and an s-peer whose response is lost
+// would otherwise keep a dead connect point forever. Re-asking is safe — the
+// server is idempotent and steers late reporters to the winner.
+func (p *Peer) armReplaceRetry(crashed Ref) {
+	addr := p.Addr
+	p.sys.Eng.After(p.sys.Cfg.HelloTimeout, func() {
+		pp := p.sys.peers[addr]
+		if pp == nil || !pp.alive || pp.Role != SPeer || pp.cp.Addr != crashed.Addr {
+			return // arbitration concluded: promoted, re-homed, or gone
+		}
+		if _, watching := pp.watchdog[crashed.Addr]; watching {
+			// The connect point is back under active monitoring: the
+			// report was a false alarm (its HELLOs were lost) and the
+			// server steered us back under the same t-peer, so the cp
+			// address matches `crashed` even though arbitration is over.
+			// Without this check the retry and the steer-back
+			// re-attachment chase each other every detection window,
+			// forever.
+			return
+		}
+		pp.send(ServerAddr, replaceReq{Crashed: crashed, Self: pp.Ref()})
+		pp.armReplaceRetry(crashed)
+	})
 }
 
 // handleRingRepair swaps whichever of this peer's ring pointers still names
@@ -139,6 +182,16 @@ func (p *Peer) handleReplaceResp(m replaceResp) {
 	if !m.NewT.Valid() {
 		p.rejoinViaServer()
 		return
+	}
+	if p.cp.Valid() && p.cp.Addr == m.NewT.Addr {
+		if _, watching := p.watchdog[p.cp.Addr]; watching {
+			// Stale or duplicate arbitration response — typically the
+			// server's false-alarm steer-back racing a re-attachment that
+			// already completed. We hang off the target through a
+			// monitored connect point; tearing it down to rejoin the same
+			// tree would reopen the no-connect-point window for nothing.
+			return
+		}
 	}
 	p.cp = NilRef
 	p.tpeer = m.NewT

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/idspace"
+	"repro/internal/simnet"
+)
+
+// This file is the system-wide invariant checker: a white-box audit of every
+// structural property the protocol is supposed to re-establish after churn.
+// CheckInvariants is meant to be called at quiescence — after the failure
+// detectors, the crash arbitration and the stabilization rounds have had time
+// to run — and returns every violation it finds, joined into one error.
+//
+// The individual checks:
+//
+//   - CheckRing / CheckTrees (system.go): ring pointer consistency t-peer by
+//     t-peer, s-tree acyclicity and parent/child agreement.
+//   - CheckDegrees: the δ bound on s-network degrees.
+//   - CheckDataOwnership: every stored item lives in the s-network of the
+//     t-peer whose segment covers it.
+//   - CheckWatchdogs: no failure-detection timer keeps watching a dead peer.
+//   - CheckOpsDrained: no client operation is stuck in a pending table.
+//   - CheckServerAccounting: the server's soft state (ring registry,
+//     s-network sizes) matches the live system.
+
+// CheckInvariants runs every system invariant check and returns the joined
+// violations, or nil when the system is consistent.
+func (s *System) CheckInvariants() error {
+	return errors.Join(
+		s.CheckRing(),
+		s.CheckTrees(),
+		s.CheckDegrees(),
+		s.CheckDataOwnership(),
+		s.CheckWatchdogs(),
+		s.CheckOpsDrained(),
+		s.CheckServerAccounting(),
+	)
+}
+
+// CheckDegrees validates the δ bound (§3.2.2). S-peers are bounded strictly:
+// degree (children plus parent link) at most δ, enforced at join time by
+// acceptChild. T-peers are allowed up to 2δ children: a substitution or crash
+// promotion hands the promoted peer the departing t-peer's remaining children
+// on top of its own (handlePromote, handleReplaceResp), which is the paper's
+// trade — keep the tree connected now, let growth rebalance later — so the
+// checker flags only runaway accumulation beyond one inheritance.
+func (s *System) CheckDegrees() error {
+	delta := s.Cfg.Delta
+	for _, p := range s.Peers() {
+		if p.Role == SPeer {
+			if d := p.Degree(); d > delta {
+				return fmt.Errorf("core: s-peer %d degree %d exceeds delta %d", p.Addr, d, delta)
+			}
+			continue
+		}
+		if len(p.children) > 2*delta {
+			return fmt.Errorf("core: t-peer %d has %d children, above the 2*delta=%d inheritance bound", p.Addr, len(p.children), 2*delta)
+		}
+	}
+	return nil
+}
+
+// CheckDataOwnership validates data placement: every item stored at a live
+// peer must live in the s-network rooted at the t-peer whose ring segment
+// covers the item's segment id (its key hash, or its category id in
+// interest-based mode). Cached surrogate copies are exempt by construction —
+// they live in the separate cache map.
+func (s *System) CheckDataOwnership() error {
+	tps := s.TPeers()
+	if len(tps) == 0 {
+		return nil
+	}
+	owner := func(sid idspace.ID) simnet.Addr {
+		i := sort.Search(len(tps), func(i int) bool { return tps[i].ID >= sid })
+		if i == len(tps) {
+			i = 0 // wrap: the smallest id owns the arc past the largest
+		}
+		return tps[i].Addr
+	}
+	for _, p := range s.Peers() {
+		root := p.Addr
+		if p.Role == SPeer {
+			if !p.tpeer.Valid() {
+				continue // mid-rejoin; CheckTrees reports the structural issue
+			}
+			root = p.tpeer.Addr
+		}
+		for _, it := range p.data {
+			if own := owner(p.segmentID(it.Key)); own != root {
+				sid := p.segmentID(it.Key)
+				detail := fmt.Sprintf("sid=%s holder segLo=%s id=%s local=%v",
+					sid, p.segLo, p.ID, p.inLocalSegment(sid))
+				if rp := s.peers[root]; rp != nil && rp.Addr != p.Addr {
+					detail += fmt.Sprintf("; root segLo=%s id=%s pred=%d", rp.segLo, rp.ID, rp.pred.Addr)
+				}
+				return fmt.Errorf("core: item %q stored at peer %d (s-network %d) but segment owner is t-peer %d (%s)",
+					it.Key, p.Addr, root, own, detail)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWatchdogs validates failure-detector hygiene at quiescence: every armed
+// watchdog must monitor a live peer. A watchdog on a crashed neighbor is
+// legitimate only transiently — it is how the crash gets detected — so a
+// surviving one means a timeout handler leaked a timer on a dead address.
+func (s *System) CheckWatchdogs() error {
+	for _, p := range s.Peers() {
+		for nb := range p.watchdog {
+			if t := s.peers[nb]; t == nil || !t.alive {
+				return fmt.Errorf("core: peer %d still watches dead peer %d", p.Addr, nb)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckOpsDrained validates that no client operation outlives its protocol:
+// at quiescence every pending table is empty (finger-refresh probes are
+// exempt — the refresh ticker keeps a rolling window of them alive by
+// design), every search table is empty, and the system-wide contact counters
+// have all been consumed by finished operations.
+func (s *System) CheckOpsDrained() error {
+	for _, p := range s.Peers() {
+		for _, o := range p.pending {
+			if o.kind == "fixfinger" {
+				continue
+			}
+			return fmt.Errorf("core: peer %d has stuck %s op for key %q", p.Addr, o.kind, o.key)
+		}
+		if n := len(p.searches); n > 0 {
+			return fmt.Errorf("core: peer %d has %d stuck searches", p.Addr, n)
+		}
+	}
+	return nil
+}
+
+// CheckServerAccounting validates the server's soft state against the live
+// system: the ring registry names exactly the live t-peers, every s-network
+// size entry matches the actual live membership of that s-network, and no
+// crash report is still parked awaiting a replacement.
+func (s *System) CheckServerAccounting() error {
+	sv := s.server
+	tps := s.TPeers()
+	liveT := make(map[simnet.Addr]bool, len(tps))
+	for _, p := range tps {
+		liveT[p.Addr] = true
+	}
+	reg := make(map[simnet.Addr]bool, len(sv.ring))
+	for _, r := range sv.ring {
+		reg[r.Addr] = true
+		if !liveT[r.Addr] {
+			return fmt.Errorf("core: server registry lists dead t-peer %d", r.Addr)
+		}
+	}
+	for _, p := range tps {
+		if !reg[p.Addr] {
+			return fmt.Errorf("core: live t-peer %d missing from server registry", p.Addr)
+		}
+	}
+	actual := make(map[simnet.Addr]int)
+	for _, p := range s.SPeers() {
+		if p.tpeer.Valid() {
+			actual[p.tpeer.Addr]++
+		}
+	}
+	for addr, size := range sv.snetSize {
+		if !reg[addr] {
+			return fmt.Errorf("core: server tracks s-network size for unregistered t-peer %d", addr)
+		}
+		if size != actual[addr] {
+			return fmt.Errorf("core: server thinks s-network of t-peer %d has %d peers, actual %d", addr, size, actual[addr])
+		}
+	}
+	for addr, n := range actual {
+		if n > 0 {
+			if _, ok := sv.snetSize[addr]; !ok {
+				return fmt.Errorf("core: s-network of t-peer %d has %d peers but no server size entry", addr, n)
+			}
+		}
+	}
+	if n := len(sv.deadPending); n > 0 {
+		return fmt.Errorf("core: server has %d unresolved crash reports", n)
+	}
+	return nil
+}

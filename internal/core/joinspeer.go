@@ -11,6 +11,13 @@ import (
 // run-to-completion event processing: the first request to arrive takes the
 // last slot and later ones walk on.
 func (p *Peer) handleSJoinReq(m sJoinReq) {
+	if m.Joiner.Addr == p.Addr || m.Hops > routeHopLimit {
+		// A rejoin walk that reaches the joiner itself descended through a
+		// stale child edge into the joiner's own subtree; accepting would
+		// make the peer its own ancestor. Dropping the walk is safe — the
+		// rejoin retry goes through the server.
+		return
+	}
 	if p.acceptChild() {
 		joiner := Ref{ID: p.ID, Addr: m.Joiner.Addr}
 		p.children[joiner.Addr] = joiner
@@ -32,14 +39,23 @@ func (p *Peer) handleSJoinReq(m sJoinReq) {
 		return
 	}
 	// Degree (or link usage) exhausted: pass the request down a random
-	// branch.
+	// branch — but never into the joiner itself (a rejoining subtree root
+	// may still be listed as a stale child somewhere; descending through it
+	// would attach the root beneath its own subtree).
 	children := p.Children()
-	if len(children) == 0 {
+	eligible := children[:0:0]
+	for _, c := range children {
+		if c.Addr != m.Joiner.Addr {
+			eligible = append(eligible, c)
+		}
+	}
+	if len(eligible) == 0 {
 		// δ < 2 would make trees impossible; Validate prevents it, so a
-		// full peer always has a child to delegate to.
+		// full peer always has a live branch unless the only one is the
+		// joiner — then the walk dies and the rejoin retry covers it.
 		return
 	}
-	next := children[p.sys.Eng.Rand().Intn(len(children))]
+	next := eligible[p.sys.Eng.Rand().Intn(len(eligible))]
 	m.Hops++
 	p.send(next.Addr, m)
 }
@@ -69,6 +85,9 @@ func (p *Peer) handleSJoinAck(from simnet.Addr, m sJoinAck) {
 	}
 	if p.cp.Valid() {
 		return // duplicate ack from a retried join
+	}
+	if m.CP.Addr == p.Addr {
+		return // self-offer from a forked walk; wait for a real parent
 	}
 	p.Role = SPeer
 	p.ID = m.ID
@@ -110,6 +129,7 @@ func (p *Peer) leaveSPeer() {
 func (p *Peer) handleSLeave(from simnet.Addr) {
 	if _, isChild := p.children[from]; isChild {
 		delete(p.children, from)
+		delete(p.childSubtree, from)
 		p.unwatch(from)
 		return
 	}
@@ -157,8 +177,11 @@ func (p *Peer) rejoinViaServer() {
 	}
 	// Re-enter the join state machine: the completed-join guard must not
 	// swallow the server's response, and the fresh ack must be accepted.
+	// The retry timer covers a lost request or response.
 	p.cp = NilRef
 	p.joined = false
 	p.joinStart = p.sys.Eng.Now()
+	p.joinReq = req
+	p.armJoinTimer()
 	p.send(ServerAddr, req)
 }

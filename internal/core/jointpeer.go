@@ -11,6 +11,14 @@ import (
 // 64-bit id space).
 const FingerBits = 64
 
+// routeHopLimit caps how many hops any ring- or tree-routed request may
+// take. With consistent pointers a route needs O(log n) hops; while repairs
+// are in flight the pointer graph can transiently contain cycles that would
+// circulate a request forever (each hop is a fresh event, so one looping
+// message livelocks a simulation run). Capped messages are dropped: every
+// affected protocol has a timeout-driven retry or failure path.
+const routeHopLimit = 512
+
 // handleServerJoinResp reacts to the server's placement decision and starts
 // the role-specific join protocol.
 func (p *Peer) handleServerJoinResp(m serverJoinResp) {
@@ -47,23 +55,21 @@ func (p *Peer) handleServerJoinResp(m serverJoinResp) {
 }
 
 // armJoinTimer retries the whole join through the server if the current
-// attempt stalls (e.g. the entry point crashed mid-protocol).
+// attempt stalls (e.g. the entry point crashed mid-protocol, or any message
+// of the handshake was lost). The retry resends the original request — role
+// pin included — and re-arms itself, so a join survives losing any number of
+// individual messages.
 func (p *Peer) armJoinTimer() {
 	p.sys.Eng.Cancel(p.joinTimer)
 	p.joinTimer = p.sys.Eng.After(p.sys.Cfg.JoinTimeout, func() {
 		if !p.alive || p.joined {
 			return
 		}
-		req := serverJoinReq{
-			Capacity:  p.Capacity,
-			Interest:  p.Interest,
-			Host:      p.Host,
-			ForceRole: -1,
-		}
 		if p.sys.Cfg.TopologyAware {
-			req.Coord = p.sys.landmarkCoord(p.Host)
+			p.joinReq.Coord = p.sys.landmarkCoord(p.Host)
 		}
-		p.send(ServerAddr, req)
+		p.send(ServerAddr, p.joinReq)
+		p.armJoinTimer()
 	})
 }
 
@@ -82,6 +88,9 @@ func (p *Peer) ensureFingers() {
 // handleTJoinReq routes a t-join along the ring until it reaches the
 // predecessor-to-be, then runs the join triangle there.
 func (p *Peer) handleTJoinReq(m tJoinReq) {
+	if m.Hops > routeHopLimit {
+		return // looping route; the joiner's timer retries the whole join
+	}
 	if p.Role != TPeer || !p.succ.Valid() {
 		// Not a ring member (promotion in flight): bounce to our root.
 		if p.tpeer.Valid() && p.tpeer.Addr != p.Addr {
@@ -112,7 +121,9 @@ func (p *Peer) startJoinTriangle(m tJoinReq) {
 		return
 	}
 	p.joining = true
-	p.armMutexGuard()
+	p.triJoiner = m.Joiner.Addr
+	p.triEpoch = m.Epoch
+	p.armMutexGuard(p.sys.Cfg.HelloTimeout)
 	tracef("t=%v TRIANGLE pre=%d joiner=%d succ=%d", p.sys.Eng.Now(), p.Addr, m.Joiner.Addr, p.succ.Addr)
 	setup := tJoinSetup{Pred: p.Ref(), Succ: p.succ, Epoch: m.Epoch, Hops: m.Hops}
 	// pre.check: resolve id conflicts with the midpoint rule (Table 1).
@@ -127,10 +138,21 @@ func (p *Peer) startJoinTriangle(m tJoinReq) {
 // handleTJoinSetup is the joiner receiving its ring neighbors from pre.
 func (p *Peer) handleTJoinSetup(from simnet.Addr, m tJoinSetup) {
 	if m.Epoch != p.joinEpoch || p.Role != TPeer {
-		return // handshake of an abandoned join attempt
+		// Handshake of an abandoned join attempt: this triangle can never
+		// complete, so release pre's mutex right away.
+		p.send(from, tJoinCancel{Joiner: Ref{ID: p.ID, Addr: p.Addr}, Epoch: m.Epoch})
+		return
 	}
 	if p.joined && p.pred.Valid() {
-		return // duplicate setup (e.g. pre re-ran a triangle it had queued)
+		// Duplicate setup (e.g. pre re-ran a triangle it had queued, or the
+		// network duplicated the message). While our own insertion is still
+		// awaiting confirmation the triangle is live and will close through
+		// tJoinDone; once it has closed, tell pre to release — its copy of
+		// tJoinDone may have been lost.
+		if !p.insertPending {
+			p.send(from, tJoinCancel{Joiner: Ref{ID: p.ID, Addr: p.Addr}, Epoch: m.Epoch})
+		}
+		return
 	}
 	if m.HasNewID {
 		p.ID = m.NewID
@@ -150,19 +172,45 @@ func (p *Peer) handleTJoinSetup(from simnet.Addr, m tJoinSetup) {
 	// Hold our own joining mutex until succ confirms the insertion, so any
 	// triangle we anchor as pre cannot reach succ before our own did.
 	p.joining = true
-	p.armMutexGuard()
+	p.insertPending = true
+	p.armMutexGuard(p.sys.Cfg.JoinTimeout)
 	p.send(m.Succ.Addr, tJoinToSucc{Joiner: p.Ref(), Hops: m.Hops + 1})
+	p.armInsertRetry(m.Succ, 0)
 	p.send(ServerAddr, ringRegister{Self: p.Ref()})
 	p.sys.stats.TJoins++
 	p.completeJoin(m.Hops)
 }
 
+// armInsertRetry re-sends the joiner's second triangle edge until succ
+// confirms it. The insertion only becomes visible to the ring through succ,
+// so a lost tJoinToSucc leaves the joiner with correct pointers that nobody
+// reciprocates — and the joiner's own failure detector would then raise
+// false crash alarms on both neighbors before stabilization catches up.
+// tJoinToSucc is idempotent at succ, so re-sending is safe.
+func (p *Peer) armInsertRetry(succ Ref, attempt int) {
+	if attempt >= 5 {
+		return // give up; the stabilize/notify pair reconciles eventually
+	}
+	epoch := p.joinEpoch
+	p.sys.Eng.After(p.sys.Cfg.HelloEvery, func() {
+		if !p.alive || !p.insertPending || p.joinEpoch != epoch || p.succ.Addr != succ.Addr {
+			return
+		}
+		p.send(succ.Addr, tJoinToSucc{Joiner: p.Ref(), Hops: 1})
+		p.armInsertRetry(succ, attempt+1)
+	})
+}
+
 // armMutexGuard self-heals a joining mutex that a crashed counterparty would
-// otherwise leave set forever.
-func (p *Peer) armMutexGuard() {
+// otherwise leave set forever. The duration depends on the role holding the
+// mutex: a joiner keeps it through its armInsertRetry window (JoinTimeout
+// covers that), but pre's triangle needs only a few message hops, so pre's
+// guard is much shorter — a queue of triangles whose joiners crashed must
+// not wedge pre for minutes, one JoinTimeout each.
+func (p *Peer) armMutexGuard(d sim.Time) {
 	p.mutexEpoch++
 	epoch := p.mutexEpoch
-	p.sys.Eng.After(p.sys.Cfg.JoinTimeout, func() {
+	p.sys.Eng.After(d, func() {
 		if p.alive && p.joining && p.mutexEpoch == epoch {
 			p.joining = false
 			p.drainJoinQueue()
@@ -205,13 +253,46 @@ func (p *Peer) handleTJoinToSucc(m tJoinToSucc) {
 // handleTJoinDone is pre finishing the triangle: flip the successor pointer,
 // then drain the queued join requests (FIFO, §3.3).
 func (p *Peer) handleTJoinDone(m tJoinDone) {
+	if m.Joiner.Addr == p.Addr {
+		// A re-sent tJoinToSucc makes succ close the triangle toward its
+		// current pred — the joiner itself. Adopting ourselves as successor
+		// would detach us from the ring.
+		return
+	}
 	tracef("t=%v DONE at=%d joiner=%d oldsucc=%d", p.sys.Eng.Now(), p.Addr, m.Joiner.Addr, p.succ.Addr)
-	oldSucc := p.succ
-	p.succ = m.Joiner
-	p.watch(m.Joiner.Addr)
-	if oldSucc.Valid() && oldSucc.Addr != m.Joiner.Addr &&
-		oldSucc.Addr != p.pred.Addr && oldSucc.Addr != p.Addr {
-		p.unwatch(oldSucc.Addr)
+	// Pre may have released the triangle mutex already (cancel or guard)
+	// and moved on, so only flip the successor when the joiner is still an
+	// improvement: strictly between us and the current successor. A stale
+	// done for a joiner that no longer belongs there must not detach the
+	// successor pointer stabilization has since repaired.
+	if !p.succ.Valid() || p.succ.Addr == p.Addr ||
+		idspace.StrictBetween(p.ID, m.Joiner.ID, p.succ.ID) {
+		oldSucc := p.succ
+		p.succ = m.Joiner
+		p.watch(m.Joiner.Addr)
+		if oldSucc.Valid() && oldSucc.Addr != m.Joiner.Addr &&
+			oldSucc.Addr != p.pred.Addr && oldSucc.Addr != p.Addr {
+			p.unwatch(oldSucc.Addr)
+		}
+	}
+	// Release the mutex only for the triangle actually being closed; a
+	// stale done must not unlock a newer, still-open triangle.
+	if p.joining && !p.insertPending && p.triJoiner == m.Joiner.Addr {
+		p.joining = false
+		p.drainJoinQueue()
+	}
+}
+
+// handleTJoinCancel is pre learning its open triangle is dead: the joiner
+// refused the setup (stale epoch or already inserted elsewhere). Release the
+// mutex and move on to the queued requests instead of waiting out the mutex
+// guard's full JoinTimeout.
+func (p *Peer) handleTJoinCancel(m tJoinCancel) {
+	if !p.joining || p.insertPending {
+		return // not anchoring a triangle (the mutex is our own insertion's)
+	}
+	if p.triJoiner != m.Joiner.Addr || p.triEpoch != m.Epoch {
+		return // cancel for an older triangle than the one now open
 	}
 	p.joining = false
 	p.drainJoinQueue()
@@ -507,12 +588,21 @@ func (p *Peer) handleSubstitute(m substituteMsg) {
 	if p.Role != TPeer {
 		return
 	}
+	// A swapped-in ring neighbor needs a failure detector like any other:
+	// without it a substitute that later crashes is never detected and the
+	// dead pointer survives quiescence.
 	if p.pred.Addr == m.Old.Addr {
 		p.pred = m.New
 		p.segLo = m.New.ID
+		if m.New.Addr != p.Addr {
+			p.watch(m.New.Addr)
+		}
 	}
 	if p.succ.Addr == m.Old.Addr {
 		p.succ = m.New
+		if m.New.Addr != p.Addr {
+			p.watch(m.New.Addr)
+		}
 	}
 	for i := range p.finger {
 		if p.finger[i].Addr == m.Old.Addr {
@@ -532,9 +622,15 @@ func (p *Peer) handleSubstitute(m substituteMsg) {
 func (p *Peer) handlePointerUpdate(m pointerUpdate) {
 	if m.Pred.Valid() {
 		if !m.IfCurrent.Valid() || p.pred.Addr == m.IfCurrent.Addr || !p.pred.Valid() {
+			segChanged := p.segLo != m.Pred.ID
 			p.pred = m.Pred
 			p.segLo = m.Pred.ID
 			p.watch(m.Pred.Addr)
+			if segChanged {
+				// A re-anchor can shrink our arc; anything we no
+				// longer own must move to its owner.
+				p.rehomeForeignItems()
+			}
 		}
 	}
 	if m.Succ.Valid() {
@@ -547,11 +643,15 @@ func (p *Peer) handlePointerUpdate(m pointerUpdate) {
 
 // --- finger maintenance ---------------------------------------------------------
 
-// closestPreceding returns the known t-peer closest to target from below.
+// closestPreceding returns the known t-peer closest to target from below,
+// skipping suspected-dead entries while their repair is pending.
 func (p *Peer) closestPreceding(target idspace.ID) Ref {
 	for i := len(p.finger) - 1; i >= 0; i-- {
 		f := p.finger[i]
 		if f.Valid() && f.Addr != p.Addr && idspace.StrictBetween(p.ID, f.ID, target) {
+			if len(p.suspect) != 0 && p.suspect[f.Addr] {
+				continue
+			}
 			return f
 		}
 	}
@@ -598,6 +698,9 @@ func (p *Peer) refreshFingers() {
 
 // routeFindSucc forwards a successor query one step (or answers it).
 func (p *Peer) routeFindSucc(m findSuccReq) {
+	if m.Hops > routeHopLimit {
+		return // looping route; the refresh timeout clears the finger slot
+	}
 	if !p.succ.Valid() || p.succ.Addr == p.Addr {
 		p.send(m.Origin, findSuccResp{Succ: p.Ref(), Tag: m.Tag, Hops: m.Hops})
 		return

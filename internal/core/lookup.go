@@ -67,6 +67,7 @@ func (p *Peer) lookupLocal(o *op, qid uint64) {
 // answer without a ring round-trip.
 func (p *Peer) lookupRemote(o *op, qid uint64) {
 	if !p.sys.Cfg.TrackerMode && len(p.neighbors()) > 0 {
+		o.localFlood = true
 		if p.sys.Cfg.RandomWalk {
 			p.startWalks(qid, o.did, p.Ref())
 		} else {
@@ -100,6 +101,9 @@ func (p *Peer) floodOut(qid uint64, did idspace.ID, ttl int, origin Ref) {
 // handleLookupReq advances a routed lookup one step: toward the owning
 // segment while remote, into a flood (or tracker resolution) on arrival.
 func (p *Peer) handleLookupReq(from simnet.Addr, m lookupReq) {
+	if m.Hops > routeHopLimit {
+		return // looping route; the op timer fails the lookup
+	}
 	p.sys.contact(m.QID)
 	p.sys.trace(obs.EvLookupHop, m.QID, from, p.Addr, m.Hops, "route")
 	p.maybeAck(from)
@@ -192,7 +196,14 @@ func (p *Peer) handleFound(m foundMsg) {
 	p.finishOp(m.QID, OpResult{OK: true, Value: m.Item.Value, Hops: m.Hops, Holder: m.Holder})
 }
 
-// handleNotFound fails a lookup fast on a definitive miss.
+// handleNotFound fails a lookup fast on a definitive miss — unless the
+// lookup also flooded the local s-network in parallel (§3.1). The ring's
+// miss says nothing about spread or cached copies nearby, so in that case
+// the miss is recorded and the op concludes through foundMsg or its timer.
 func (p *Peer) handleNotFound(m notFoundMsg) {
+	if o, ok := p.pending[m.QID]; ok && o.localFlood {
+		o.ringMiss = true
+		return
+	}
 	p.finishOp(m.QID, OpResult{OK: false, Hops: m.Hops})
 }

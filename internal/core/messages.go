@@ -127,6 +127,18 @@ type tJoinDone struct {
 // successor.
 type tJoinConfirm struct{}
 
+// tJoinCancel is the joiner refusing a tJoinSetup: the triangle belongs to
+// an abandoned join attempt, or the joiner is already inserted and its own
+// triangle has fully closed. It releases pre's joining mutex immediately.
+// Without it, retried and duplicated join requests (common under message
+// faults) wedge pre in back-to-back JoinTimeout mutex-guard windows, and a
+// wedged pre neither stabilizes nor serves queued joins — the retrying
+// joiner and the mutex guard can phase-lock into a livelock.
+type tJoinCancel struct {
+	Joiner Ref
+	Epoch  int
+}
+
 // loadTransferReq asks every peer of succ's s-network to ship the items the
 // new t-peer now owns (Table 1, suc.loadtransfer).
 type loadTransferReq struct {
@@ -240,10 +252,13 @@ type sLeaveMsg struct{}
 
 // helloMsg is the periodic heartbeat. Heartbeats flowing down the tree
 // piggyback the s-network's identity and segment bounds so every s-peer
-// tracks them without extra traffic.
+// tracks them without extra traffic; heartbeats flowing up carry the
+// sender's subtree size so every ancestor (and ultimately the server's size
+// registry) tracks live membership.
 type helloMsg struct {
-	Root  Ref
-	SegLo idspace.ID
+	Root    Ref
+	SegLo   idspace.ID
+	Subtree int // size of the sender's subtree, itself included
 }
 
 // ackMsg acknowledges a data query, doubling as a liveness signal (§3.2.2).

@@ -26,6 +26,17 @@ type Peer struct {
 
 	// --- t-network state ---
 	pred, succ Ref
+	// succ2 is the successor's successor, learned from ring stabilization
+	// answers. It is a routing fallback only — never a ring pointer: when
+	// the successor is suspected dead and its repair has not landed yet,
+	// segment routing detours via succ2 instead of forwarding into the
+	// crash.
+	succ2 Ref
+	// suspect marks neighbors whose watchdog expired but whose repair is
+	// still pending; routing avoids them. Entries clear on any liveness
+	// signal or once the pointer heals. Lazily allocated: nil for the
+	// (common) peers that never see a neighbor crash.
+	suspect    map[simnet.Addr]bool
 	finger     []Ref // lazily sized to FingerBits
 	nextFinger int
 	// joining/leaving are the §3.3 mutex variables; joinQueue serializes
@@ -45,6 +56,12 @@ type Peer struct {
 	cp Ref
 	// children are downstream tree neighbors.
 	children map[simnet.Addr]Ref
+	// childSubtree holds the latest subtree-size report per child
+	// (piggybacked on HELLO). Summing them gives this peer's own subtree
+	// size, which t-peers report to the server so the s-network size
+	// registry self-corrects after cascaded crashes and cross-network
+	// rejoins that the event-by-event accounting cannot see.
+	childSubtree map[simnet.Addr]int
 
 	// --- failure detection ---
 	helloTicker *sim.Ticker
@@ -74,9 +91,12 @@ type Peer struct {
 	searches map[uint64]*searchOp
 
 	// --- pending join ---
-	joinStart    sim.Time
-	joinDone     func(*Peer, JoinStats)
-	joinTimer    sim.Handle
+	joinStart sim.Time
+	joinDone  func(*Peer, JoinStats)
+	joinTimer sim.Handle
+	// joinReq is the original server request, kept so join retries preserve
+	// the caller's role pin instead of letting the server re-decide.
+	joinReq      serverJoinReq
 	joinAttempts int
 	// joined flips once the peer is a full member; retries and duplicate
 	// handshake suppression key off it (joinDone may legitimately be nil).
@@ -84,6 +104,19 @@ type Peer struct {
 	// joinEpoch numbers join attempts; handshake messages echo it so a
 	// retried join cannot be completed by a stale earlier attempt.
 	joinEpoch int
+	// insertPending is true from sending tJoinToSucc until succ confirms
+	// the ring insertion; it gates the re-send loop (armInsertRetry).
+	insertPending bool
+	// triJoiner/triEpoch identify the join triangle this peer currently
+	// anchors as pre, so a tJoinCancel from the joiner can release the
+	// joining mutex without racing a different (newer) triangle.
+	triJoiner simnet.Addr
+	triEpoch  int
+	// cpLostTicks counts consecutive hello ticks a joined s-peer has spent
+	// without a connect point; past a small grace it forces a rejoin
+	// through the server (a wedged rejoin would otherwise strand the peer
+	// silently forever).
+	cpLostTicks int
 	// deferLeave marks a leave requested while a join triangle was in
 	// flight; it runs once the triangle closes (§3.3: a joining pre
 	// accepts no leave requests, including its own).
@@ -103,8 +136,15 @@ type op struct {
 	ttl     int
 	fidx    int // finger index (fixfinger ops)
 	attempt int
-	done    func(OpResult)
-	timer   sim.Handle
+	// localFlood records that a remote lookup also flooded the local
+	// s-network in parallel (§3.1); ringMiss records that the ring path
+	// answered with a definitive miss while that flood was outstanding.
+	// The op fails only when both paths have concluded (or the timer
+	// fires), so a spread or cached copy can still win the race.
+	localFlood bool
+	ringMiss   bool
+	done       func(OpResult)
+	timer      sim.Handle
 }
 
 // OpResult reports the outcome of a store or lookup.
@@ -204,7 +244,10 @@ func (p *Peer) recv(from simnet.Addr, msg any) {
 		p.handleTJoinDone(m)
 	case tJoinConfirm:
 		p.joining = false
+		p.insertPending = false
 		p.drainJoinQueue()
+	case tJoinCancel:
+		p.handleTJoinCancel(m)
 	case loadTransferReq:
 		p.handleLoadTransfer(from, m)
 	case itemsMsg:
@@ -276,7 +319,7 @@ func (p *Peer) recv(from simnet.Addr, msg any) {
 	case searchHit:
 		p.handleSearchHit(m)
 	case ringStabQ:
-		p.send(from, ringStabA{Pred: p.pred})
+		p.send(from, ringStabA{Pred: p.pred, Succ: p.succ})
 	case ringStabA:
 		p.handleRingStabA(from, m)
 	case ringNotify:
@@ -323,7 +366,39 @@ func (p *Peer) broadcastHello() {
 	if !p.alive {
 		return
 	}
-	hello := helloMsg{Root: p.tpeer, SegLo: p.segLo}
+	// Every child must stay under a failure detector: ring-pointer churn can
+	// unwatch an address that still sits in the children map (the watchdog
+	// entry is shared per address), which would leave a stale child edge
+	// unreapable. Re-arm; a real child's hellos refresh it, a stale one
+	// expires into the child-crash cleanup.
+	for _, c := range p.Children() {
+		if _, ok := p.watchdog[c.Addr]; !ok {
+			p.watch(c.Addr)
+		}
+	}
+	// Self-heal a wedged rejoin: an s-peer can lose its connect point and
+	// have every recovery message lost (e.g. a leaving t-peer's takeover
+	// notice), leaving it silent — no neighbors, so no hellos, so nobody
+	// ever detects it. After a grace of three ticks with no connect point,
+	// go back to the server.
+	if p.Role == SPeer && p.joined && !p.leaving && !p.cp.Valid() {
+		p.cpLostTicks++
+		if p.cpLostTicks >= 3 {
+			p.cpLostTicks = 0
+			p.rejoinViaServer()
+			return
+		}
+	} else {
+		p.cpLostTicks = 0
+	}
+	// Rehoming is otherwise edge-triggered (segment-change events), so a
+	// load-transfer shipment lost by the network would strand a foreign
+	// item forever. Sweep every tick as the backstop; it is a no-op scan
+	// when nothing is foreign.
+	if p.joined && !p.leaving && (p.Role == TPeer || p.cp.Valid()) {
+		p.rehomeForeignItems()
+	}
+	hello := helloMsg{Root: p.tpeer, SegLo: p.segLo, Subtree: p.subtreeSize()}
 	for _, nb := range p.neighbors() {
 		p.send(nb.Addr, hello)
 		p.sys.stats.HellosSent++
@@ -337,7 +412,32 @@ func (p *Peer) broadcastHello() {
 			p.send(p.succ.Addr, hello)
 			p.sys.stats.HellosSent++
 		}
+		if p.joined && !p.leaving {
+			// Absolute size report: the event-by-event sRegister and
+			// sUnregister accounting drifts whenever a departure goes
+			// unobserved (a parent and child crash together, an s-peer
+			// rejoins into a different s-network), so every hello tick the
+			// t-peer syncs the server with its aggregated subtree count.
+			// The sync also acts as the registry keep-alive, so a leaving
+			// peer must not send it — it could race its own unregistration.
+			p.send(ServerAddr, sSizeSync{Self: p.Ref(), Size: p.subtreeSize() - 1})
+		}
 	}
+}
+
+// subtreeSize returns the number of peers in this peer's subtree, itself
+// included, from the latest per-child HELLO reports (a child that has not
+// reported yet counts as a bare leaf).
+func (p *Peer) subtreeSize() int {
+	n := 1
+	for a := range p.children {
+		if r, ok := p.childSubtree[a]; ok {
+			n += r
+		} else {
+			n++
+		}
+	}
+	return n
 }
 
 // handleHello refreshes the sender's watchdog and, for heartbeats arriving
@@ -345,10 +445,24 @@ func (p *Peer) broadcastHello() {
 // reference, the segment lower bound and the s-network's shared p_id.
 func (p *Peer) handleHello(from simnet.Addr, m helloMsg) {
 	p.refreshWatchdog(from)
+	if _, isChild := p.children[from]; isChild {
+		if m.Root.Valid() && m.Root.Addr == from {
+			// The listed child announces itself as a root: a retried join
+			// re-assigned it as a t-peer, so the child edge is stale. (Its
+			// ring hellos would otherwise keep the stale edge's subtree
+			// count fresh forever.) The watchdog entry stays — it may be
+			// doing ring-neighbor duty for the same address.
+			delete(p.children, from)
+			delete(p.childSubtree, from)
+		} else if m.Subtree > 0 {
+			p.childSubtree[from] = m.Subtree
+		}
+	}
 	if p.Role != SPeer || p.cp.Addr != from || !m.Root.Valid() {
 		return
 	}
 	rootChanged := p.tpeer.Addr != m.Root.Addr
+	segChanged := p.segLo != m.SegLo
 	p.tpeer = m.Root
 	p.ID = m.Root.ID
 	p.segLo = m.SegLo
@@ -359,6 +473,12 @@ func (p *Peer) handleHello(from simnet.Addr, m helloMsg) {
 			items = append(items, it)
 		}
 		p.announceItems(items)
+	}
+	if rootChanged || segChanged {
+		// The segment under our data moved (rejoin into a different
+		// s-network, ring membership change): forward anything we no
+		// longer own to its owning segment.
+		p.rehomeForeignItems()
 	}
 }
 
@@ -393,6 +513,19 @@ func (p *Peer) refreshWatchdog(from simnet.Addr) {
 	if t, ok := p.watchdog[from]; ok {
 		t.Reset()
 	}
+	if len(p.suspect) != 0 {
+		// Any liveness signal clears the routing suspicion (a partition
+		// healing looks exactly like this).
+		delete(p.suspect, from)
+	}
+}
+
+// markSuspect flags a neighbor as suspected dead for routing purposes.
+func (p *Peer) markSuspect(nb simnet.Addr) {
+	if p.suspect == nil {
+		p.suspect = make(map[simnet.Addr]bool)
+	}
+	p.suspect[nb] = true
 }
 
 // maybeAck responds to a data query with an acknowledgment unless the

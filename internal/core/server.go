@@ -44,8 +44,11 @@ type Server struct {
 
 	// firstIssued flips when the very first t-peer role is handed out; it
 	// closes the window in which a second joiner could race the first
-	// peer's ringRegister and be crowned a second "first" ring.
+	// peer's ringRegister and be crowned a second "first" ring. firstAddr
+	// remembers who got that role so a lost response can be re-issued and a
+	// crashed first joiner does not park every later join forever.
 	firstIssued bool
+	firstAddr   simnet.Addr
 }
 
 // Server-bound registration messages.
@@ -58,6 +61,16 @@ type (
 	ringReplace struct{ Old, New Ref }
 	sRegister   struct{ TPeer Ref }
 	sUnregister struct{ TPeer Ref }
+	// sSizeSync carries a t-peer's authoritative count of its s-network
+	// (piggybacked on its HELLO tick). The incremental sRegister/sUnregister
+	// stream drifts under crashes — a parent that dies with its child causes
+	// one decrement for two losses, a subtree that rejoins elsewhere
+	// increments the new network but never decrements the old — so the
+	// absolute figure periodically overwrites the counter.
+	sSizeSync struct {
+		Self Ref
+		Size int
+	}
 )
 
 func newServer(sys *System, host int) *Server {
@@ -68,6 +81,7 @@ func newServer(sys *System, host int) *Server {
 		clusterRR:   make(map[string]int),
 		replaced:    make(map[simnet.Addr]Ref),
 		deadPending: make(map[simnet.Addr]bool),
+		firstAddr:   simnet.None,
 	}
 	sv.pickLandmarks()
 	sys.Net.Attach(ServerAddr, host, 10, simnet.HandlerFunc(sv.recv))
@@ -128,6 +142,8 @@ func (sv *Server) recv(from simnet.Addr, msg any) {
 		if sv.snetSize[m.TPeer.Addr] > 0 {
 			sv.snetSize[m.TPeer.Addr]--
 		}
+	case sSizeSync:
+		sv.handleSizeSync(m)
 	case replaceReq:
 		sv.handleReplace(from, m)
 	case ringLocate:
@@ -143,14 +159,116 @@ func (sv *Server) send(to simnet.Addr, msg any) {
 	sv.sys.Net.Send(ServerAddr, to, sv.sys.Cfg.MessageBytes, msg)
 }
 
+// handleSizeSync overwrites the incremental s-network counter with the
+// t-peer's own count. The sync doubles as a registry keep-alive: a live
+// t-peer that is missing from the ring registry (its ringRegister was lost,
+// or a false crash alarm evicted it) is re-registered and re-anchored, while
+// dead senders are ignored so a late sync cannot resurrect them.
+func (sv *Server) handleSizeSync(m sSizeSync) {
+	sv.sweepDead()
+	for _, e := range sv.ring {
+		if e.Addr == m.Self.Addr {
+			sv.snetSize[m.Self.Addr] = m.Size
+			return
+		}
+	}
+	if !sv.sys.Net.Attached(m.Self.Addr) {
+		return
+	}
+	sv.handleRingLocate(ringLocate{Self: m.Self})
+	sv.snetSize[m.Self.Addr] = m.Size
+}
+
+// sweepDead notices registered t-peers that crashed without a surviving
+// witness — both ring neighbors died in the same burst, or every crash
+// report was lost — and starts the normal repair for each. Piggybacked on
+// the periodic size sync, so the registry converges while at least one
+// t-peer is alive, without a dedicated server timer.
+func (sv *Server) sweepDead() {
+	var dead []Ref
+	for _, r := range sv.ring {
+		if !sv.sys.Net.Attached(r.Addr) {
+			dead = append(dead, r)
+		}
+	}
+	for _, r := range dead {
+		sv.noteDead(r)
+	}
+}
+
+// noteDead schedules repair for a registered, confirmed-dead t-peer:
+// immediate patch when its s-network is empty, one grace window otherwise so
+// the s-peers can drive replacement arbitration (replaceReq) first.
+func (sv *Server) noteDead(crashed Ref) {
+	if _, done := sv.replaced[crashed.Addr]; done {
+		return
+	}
+	if sv.sys.Net.Attached(crashed.Addr) {
+		return
+	}
+	if _, _, registered := sv.ringNeighbors(crashed.Addr); !registered {
+		return
+	}
+	if sv.snetSize[crashed.Addr] > 0 {
+		if !sv.deadPending[crashed.Addr] {
+			sv.deadPending[crashed.Addr] = true
+			c := crashed
+			sv.sys.Eng.After(2*sv.sys.Cfg.HelloTimeout, func() {
+				delete(sv.deadPending, c.Addr)
+				if _, done := sv.replaced[c.Addr]; done {
+					return
+				}
+				if _, _, still := sv.ringNeighbors(c.Addr); still {
+					sv.patchAround(c)
+				}
+			})
+		}
+		return
+	}
+	sv.patchAround(crashed)
+}
+
+// liveReplacement follows the replacement chain from a crashed t-peer until
+// it reaches one that is still attached: the recorded replacement may itself
+// have died since, and steering a reporter at a corpse would cost a full
+// detection cycle per dead link. Falls back to the registry's current owner
+// of the crashed peer's segment.
+func (sv *Server) liveReplacement(crashed Ref) Ref {
+	rep, ok := sv.replaced[crashed.Addr]
+	for hops := 0; ok && hops < len(sv.replaced)+1; hops++ {
+		if sv.sys.Net.Attached(rep.Addr) {
+			return rep
+		}
+		next, chained := sv.replaced[rep.Addr]
+		if !chained || next.Addr == rep.Addr {
+			break
+		}
+		rep = next
+	}
+	return sv.ringSuccessor(crashed.ID)
+}
+
 // handleJoin decides role, id and entry point for a joining peer.
 func (sv *Server) handleJoin(from simnet.Addr, m serverJoinReq) {
 	if len(sv.ring) == 0 && sv.firstIssued {
-		// The first t-peer was created but its registration is still in
-		// flight; park this join briefly instead of minting a second
-		// disconnected ring.
-		sv.sys.Eng.After(20*sim.Millisecond, func() { sv.handleJoin(from, m) })
-		return
+		if sv.firstAddr != simnet.None && !sv.sys.Net.Attached(sv.firstAddr) {
+			// The chosen first t-peer crashed before registering; unwind
+			// the reservation and let this joiner bootstrap the ring.
+			sv.firstIssued = false
+			sv.firstAddr = simnet.None
+		} else if from == sv.firstAddr {
+			// The first joiner is retrying — its response was lost. Re-issue
+			// the same role instead of parking it behind its own
+			// registration.
+			sv.send(from, serverJoinResp{Role: TPeer, ID: sv.generateID(from, m), First: true})
+			return
+		} else {
+			// The first t-peer was created but its registration is still in
+			// flight; park this join briefly instead of minting a second
+			// disconnected ring.
+			sv.sys.Eng.After(20*sim.Millisecond, func() { sv.handleJoin(from, m) })
+			return
+		}
 	}
 	role := sv.decideRole(m)
 	resp := serverJoinResp{Role: role}
@@ -160,6 +278,7 @@ func (sv *Server) handleJoin(from simnet.Addr, m serverJoinReq) {
 		resp.ID = sv.generateID(from, m)
 		if !sv.firstIssued {
 			sv.firstIssued = true
+			sv.firstAddr = from
 			resp.First = true
 		} else {
 			// An arbitrary existing t-peer is the entry point.
@@ -171,6 +290,7 @@ func (sv *Server) handleJoin(from simnet.Addr, m serverJoinReq) {
 			// No t-network yet: promote to first t-peer instead.
 			sv.tCount++
 			sv.firstIssued = true
+			sv.firstAddr = from
 			resp.Role = TPeer
 			resp.ID = sv.generateID(from, m)
 			resp.First = true
@@ -321,6 +441,7 @@ func (sv *Server) ringRemove(addr simnet.Addr) {
 				// The t-network died out entirely; the next t-join
 				// bootstraps a fresh ring.
 				sv.firstIssued = false
+				sv.firstAddr = simnet.None
 			}
 			return
 		}
@@ -395,8 +516,33 @@ func (sv *Server) handleRingLocate(m ringLocate) {
 // sending messages to the server"; the server picks one (the first reporter
 // here — any deterministic rule works) and points the rest at the winner.
 func (sv *Server) handleReplace(from simnet.Addr, m replaceReq) {
-	if rep, done := sv.replaced[m.Crashed.Addr]; done {
+	if _, done := sv.replaced[m.Crashed.Addr]; done {
+		rep := sv.liveReplacement(m.Crashed)
+		if rep.Addr == from {
+			// The recorded replacement itself is reporting the crash: its
+			// takeover notice (promoteMsg from a leaving t-peer, or an
+			// earlier replaceResp) was lost, so it is still an s-peer while
+			// the registry already lists it in the ring. Crown it with the
+			// position it was assigned instead of steering it at itself.
+			if pred, succ, ok := sv.ringNeighbors(rep.Addr); ok {
+				if pred.Addr == rep.Addr {
+					pred = rep
+				}
+				if succ.Addr == rep.Addr {
+					succ = rep
+				}
+				sv.send(from, replaceResp{Promote: true, ID: rep.ID, Pred: pred, Succ: succ})
+				return
+			}
+		}
 		sv.send(from, replaceResp{Promote: false, NewT: rep})
+		return
+	}
+	if sv.sys.Net.Attached(m.Crashed.Addr) {
+		// False alarm: the reported t-peer is alive (its HELLOs were lost).
+		// Promoting a replacement for a living peer would fork the ring, so
+		// steer the reporter back under its own t-peer instead.
+		sv.send(from, replaceResp{Promote: false, NewT: m.Crashed})
 		return
 	}
 	pred, succ, registered := sv.ringNeighbors(m.Crashed.Addr)
@@ -440,12 +586,18 @@ func (sv *Server) handleReplace(from simnet.Addr, m replaceReq) {
 // force-patches anyway. Either way the reporter gets a targeted ringRepair
 // so its own stale pointer heals.
 func (sv *Server) handleRingDead(m ringDeadReq) {
-	if rep, done := sv.replaced[m.Crashed.Addr]; done {
+	if _, done := sv.replaced[m.Crashed.Addr]; done {
+		rep := sv.liveReplacement(m.Crashed)
 		sv.send(m.Self.Addr, ringRepair{Crashed: m.Crashed, Pred: rep, Succ: rep})
 		return
 	}
-	pred, succ, registered := sv.ringNeighbors(m.Crashed.Addr)
-	if !registered {
+	if sv.sys.Net.Attached(m.Crashed.Addr) {
+		// False alarm — the reported peer is alive. Ignore the report: the
+		// reporter keeps watching and its suspicion clears when the next
+		// HELLO gets through; evicting a live peer would split the ring.
+		return
+	}
+	if _, _, registered := sv.ringNeighbors(m.Crashed.Addr); !registered {
 		sv.send(m.Self.Addr, ringRepair{
 			Crashed: m.Crashed,
 			Pred:    sv.ringPredecessor(m.Crashed.ID),
@@ -453,33 +605,20 @@ func (sv *Server) handleRingDead(m ringDeadReq) {
 		})
 		return
 	}
-	if sv.snetSize[m.Crashed.Addr] > 0 {
-		// The s-network should drive replacement through replaceReq; if
-		// it does not (the size accounting can drift, or the children
-		// crashed too), force-patch after one more detection window.
-		if !sv.deadPending[m.Crashed.Addr] {
-			sv.deadPending[m.Crashed.Addr] = true
-			crashed := m.Crashed
-			sv.sys.Eng.After(2*sv.sys.Cfg.HelloTimeout, func() {
-				delete(sv.deadPending, crashed.Addr)
-				if _, done := sv.replaced[crashed.Addr]; done {
-					return
-				}
-				if _, _, still := sv.ringNeighbors(crashed.Addr); still {
-					sv.patchAround(crashed)
-				}
-			})
-		}
-		return
-	}
-	sv.patchAround(m.Crashed)
-	_ = pred
-	_ = succ
+	// The s-network, if any, should drive replacement through replaceReq;
+	// when it does not (the size accounting drifted, or the children
+	// crashed too), noteDead force-patches after one detection window.
+	sv.noteDead(m.Crashed)
 }
 
 // patchAround removes a dead t-peer from the registry and splices its ring
-// neighbors together, folding its segment into the successor.
+// neighbors together, folding its segment into the successor. A peer that is
+// still attached is never patched around: force-patching a live peer on a
+// false alarm would split the ring permanently.
 func (sv *Server) patchAround(crashed Ref) {
+	if sv.sys.Net.Attached(crashed.Addr) {
+		return
+	}
 	pred, succ, registered := sv.ringNeighbors(crashed.Addr)
 	if !registered {
 		return

@@ -19,8 +19,11 @@ import (
 type (
 	// ringStabQ asks the successor for its current predecessor.
 	ringStabQ struct{}
-	// ringStabA is the answer.
-	ringStabA struct{ Pred Ref }
+	// ringStabA is the answer; it also carries the answerer's successor so
+	// the asker learns its successor's successor (a one-deep successor
+	// list used as a routing fallback while a crashed successor awaits
+	// repair).
+	ringStabA struct{ Pred, Succ Ref }
 	// ringNotify proposes the sender as the receiver's predecessor.
 	ringNotify struct{ Cand Ref }
 )
@@ -46,6 +49,7 @@ func (p *Peer) handleRingStabA(from simnet.Addr, m ringStabA) {
 	if from != p.succ.Addr {
 		return // stale answer from a replaced successor
 	}
+	p.succ2 = m.Succ
 	if m.Pred.Valid() && m.Pred.Addr != p.Addr &&
 		idspace.StrictBetween(p.ID, m.Pred.ID, p.succ.ID) {
 		p.succ = m.Pred

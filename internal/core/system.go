@@ -69,6 +69,7 @@ type SystemStats struct {
 	CacheHits          uint64
 	WalksSent          uint64
 	SearchesSent       uint64
+	ItemsRehomed       uint64 // foreign items re-routed to their owning segment
 }
 
 // NewSystem creates an empty hybrid system. The server is attached at
@@ -203,15 +204,17 @@ func (s *System) Join(opts JoinOpts, done func(*Peer, JoinStats)) *Peer {
 		sys:      s,
 		alive:    true,
 
-		pred:     NilRef,
-		succ:     NilRef,
-		tpeer:    NilRef,
-		cp:       NilRef,
-		children: make(map[simnet.Addr]Ref),
-		data:     make(map[idspace.ID]Item),
-		pending:  make(map[uint64]*op),
-		watchdog: make(map[simnet.Addr]*sim.Timer),
-		lastAck:  make(map[simnet.Addr]sim.Time),
+		pred:         NilRef,
+		succ:         NilRef,
+		succ2:        NilRef,
+		tpeer:        NilRef,
+		cp:           NilRef,
+		children:     make(map[simnet.Addr]Ref),
+		childSubtree: make(map[simnet.Addr]int),
+		data:         make(map[idspace.ID]Item),
+		pending:      make(map[uint64]*op),
+		watchdog:     make(map[simnet.Addr]*sim.Timer),
+		lastAck:      make(map[simnet.Addr]sim.Time),
 	}
 	s.nextAddr++
 	s.peers[p.Addr] = p
@@ -231,6 +234,11 @@ func (s *System) Join(opts JoinOpts, done func(*Peer, JoinStats)) *Peer {
 	if s.Cfg.TopologyAware {
 		req.Coord = s.landmarkCoord(opts.Host)
 	}
+	// Keep the request and arm the retry timer before the first send: with
+	// faults injected even this initial message can be lost, and without a
+	// pending response there is no watchdog to notice.
+	p.joinReq = req
+	p.armJoinTimer()
 	p.send(ServerAddr, req)
 	return p
 }
@@ -324,7 +332,16 @@ func (s *System) CheckRing() error {
 			return fmt.Errorf("core: t-peer %d points at dead successor %d", cur.Addr, cur.succ.Addr)
 		}
 		if next.pred.Addr != cur.Addr {
-			return fmt.Errorf("core: t-peer %d predecessor is %d, want %d", next.Addr, next.pred.Addr, cur.Addr)
+			state := "dead"
+			if pp, ok := byAddr[next.pred.Addr]; ok {
+				state = fmt.Sprintf("live, id=%s pred=%d succ=%d joining=%v leaving=%v",
+					pp.ID, pp.pred.Addr, pp.succ.Addr, pp.joining, pp.leaving)
+			}
+			state += fmt.Sprintf("; cur id=%s joining=%v leaving=%v; next id=%s joining=%v leaving=%v",
+				cur.ID, cur.joining, cur.leaving, next.ID, next.joining, next.leaving)
+			_, watched := next.watchdog[next.pred.Addr]
+			return fmt.Errorf("core: t-peer %d predecessor is %d (%s, watched=%v, suspect=%v), want %d",
+				next.Addr, next.pred.Addr, state, watched, next.suspect[next.pred.Addr], cur.Addr)
 		}
 		cur = next
 		if cur == start {
@@ -344,7 +361,8 @@ func (s *System) CheckRing() error {
 func (s *System) CheckTrees() error {
 	for _, p := range s.SPeers() {
 		if !p.cp.Valid() {
-			return fmt.Errorf("core: s-peer %d has no connect point", p.Addr)
+			return fmt.Errorf("core: s-peer %d has no connect point (joined=%v joining=%v leaving=%v epoch=%d ticks=%d ticker=%v tpeer=%d)",
+				p.Addr, p.joined, p.joining, p.leaving, p.joinEpoch, p.cpLostTicks, p.helloTicker != nil, p.tpeer.Addr)
 		}
 		parent := s.peers[p.cp.Addr]
 		if parent == nil || !parent.alive {

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// TestFaultLayerOffIsByteIdentical is the determinism guard for the fault
+// injection layer: running an experiment with no fault layer at all and
+// running it with the layer attached but configured to all-zero rates must
+// render byte-identical CSV. The layer may not perturb delivery order, timing
+// or RNG consumption when it has nothing to inject.
+func TestFaultLayerOffIsByteIdentical(t *testing.T) {
+	e, ok := ByID("Churn")
+	if !ok {
+		t.Fatal("unknown experiment Churn")
+	}
+
+	off := testOptions() // Faults == nil: layer never attached
+	rOff, err := e.Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zero := testOptions()
+	zero.Faults = &simnet.FaultConfig{Seed: 99} // attached, all rates zero
+	rZero, err := e.Run(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rOff.CSV() != rZero.CSV() {
+		t.Errorf("zero-rate fault layer changed the sweep output\n--- no layer ---\n%s\n--- zero-rate layer ---\n%s",
+			rOff.CSV(), rZero.CSV())
+	}
+}
+
+// TestChurnStormQuick runs the ChurnStorm experiment at test scale: every arm
+// must finish with all invariants intact (violations surface as errors) and
+// the lossy arms must actually have injected faults.
+func TestChurnStormQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn storm is minutes of simulated time per arm")
+	}
+	o := testOptions()
+	o.N = 100
+	o.Items = 300
+	o.Lookups = 150
+	res, err := RunChurnStorm(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["storm_epochs"] < 6 {
+		t.Fatalf("expected at least 6 epochs, got %v", res.Values["storm_epochs"])
+	}
+	if res.Values["stormdrop_0"] != 0 {
+		t.Errorf("zero-rate arm dropped %v messages", res.Values["stormdrop_0"])
+	}
+	for _, k := range []string{"stormdrop_1", "stormdrop_2"} {
+		if res.Values[k] == 0 {
+			t.Errorf("lossy arm %s injected no drops", k)
+		}
+	}
+}

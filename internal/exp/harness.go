@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/simnet"
 )
 
 // Options controls experiment scale.
@@ -42,6 +43,11 @@ type Options struct {
 	// manifest output stay off the result path, so rendered tables remain
 	// byte-identical with or without a recorder.
 	Obs *obs.Recorder
+	// Faults, when non-nil, arms the simnet fault-injection layer (message
+	// drop, duplication, delay jitter) on every system the experiment
+	// builds. A nil Faults and an all-zero FaultConfig must render
+	// byte-identical results; TestFaultLayerOffIsByteIdentical guards that.
+	Faults *simnet.FaultConfig
 }
 
 // SeedZero is a sentinel requesting the literal random seed 0, which would
@@ -165,6 +171,7 @@ func Registry() []Experiment {
 		{ID: "ExtWalk", Title: "Extension: random-walk search vs flooding", Run: RunExtWalk},
 		{ID: "LinkStress", Title: "Extension: physical link stress with/without topology awareness", Run: RunLinkStress},
 		{ID: "Churn", Title: "Extension: lookups under live Poisson churn", Run: RunChurn},
+		{ID: "ChurnStorm", Title: "Hardening: churn storm under injected faults, invariants checked every epoch", Run: RunChurnStorm},
 	}
 }
 

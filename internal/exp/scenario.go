@@ -144,6 +144,9 @@ func buildScenario(o Options, cfg core.Config, seed int64, capacities []float64,
 	}
 	eng := sim.New(seed)
 	net := simnet.New(eng, topo, simnet.DefaultConfig())
+	if o.Faults != nil {
+		net.SetFaults(simnet.NewFaults(*o.Faults))
+	}
 	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
 	if err != nil {
 		return nil, err

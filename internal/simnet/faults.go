@@ -1,0 +1,157 @@
+package simnet
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// This file is the deterministic fault-injection layer. The clean simnet
+// delivers every overlay message exactly once and in timestamp order, which
+// makes whole classes of crash-recovery bugs untestable: a recovery protocol
+// that happens to work under perfect delivery may wedge forever the first
+// time a repair message is lost. Faults are injected at the sender's edge,
+// after the propagation delay is computed and before the delivery event is
+// scheduled, so a faulty run is an ordinary run with some deliveries removed,
+// doubled, or delayed.
+//
+// Determinism contract: the layer draws from its own seeded RNG, never the
+// engine's, and it draws only when the corresponding rate is non-zero. A
+// Faults value with all-zero rates attached to a Network therefore consumes
+// no randomness and schedules exactly the events the bare network would —
+// sweeps stay byte-identical with the layer compiled in but disabled, which
+// exp's determinism guard asserts.
+
+// FaultConfig is the global fault policy applied to every overlay message
+// (per-link overrides and partitions are added on the Faults value).
+type FaultConfig struct {
+	// DropRate is the probability in [0,1] that a message is silently
+	// lost in transit.
+	DropRate float64
+	// DupRate is the probability in [0,1] that a message is delivered
+	// twice (the duplicate gets its own jitter draw).
+	DupRate float64
+	// JitterMax adds a uniform extra delay in [0, JitterMax) to every
+	// delivery. Zero disables jitter.
+	JitterMax sim.Time
+	// Seed seeds the layer's private RNG. Runs with the same seed and the
+	// same message sequence make identical fault decisions.
+	Seed int64
+}
+
+// LinkFaults overrides the global policy for one unordered pair of overlay
+// addresses.
+type LinkFaults struct {
+	DropRate  float64
+	DupRate   float64
+	JitterMax sim.Time
+}
+
+// Partition severs connectivity between two sets of physical hosts for a
+// window of simulated time: messages whose endpoints are hosted on opposite
+// sides are dropped while Start <= now < End. Partition decisions are purely
+// deterministic (no RNG draw).
+type Partition struct {
+	Start, End sim.Time
+	sideA      map[int]bool
+}
+
+// FaultStats counts the injected faults.
+type FaultStats struct {
+	Dropped          uint64 // messages lost to DropRate (excludes partitions)
+	Duplicated       uint64 // messages delivered twice
+	Jittered         uint64 // messages given extra delay
+	PartitionDropped uint64 // messages lost to a scheduled partition
+}
+
+type addrPair struct{ a, b Addr }
+
+func pairOf(a, b Addr) addrPair {
+	if a > b {
+		a, b = b, a
+	}
+	return addrPair{a, b}
+}
+
+// Faults holds the fault policy and its private RNG. Attach with
+// Network.SetFaults; a nil Faults (the default) costs one pointer check per
+// message.
+type Faults struct {
+	cfg        FaultConfig
+	rng        *rand.Rand
+	perLink    map[addrPair]LinkFaults
+	partitions []Partition
+	stats      FaultStats
+}
+
+// NewFaults builds a fault layer from the global policy.
+func NewFaults(cfg FaultConfig) *Faults {
+	return &Faults{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// SetLink overrides the global policy for messages between a and b (either
+// direction).
+func (f *Faults) SetLink(a, b Addr, lf LinkFaults) {
+	if f.perLink == nil {
+		f.perLink = make(map[addrPair]LinkFaults)
+	}
+	f.perLink[pairOf(a, b)] = lf
+}
+
+// AddPartition schedules a partition of the physical hosts in sideA away
+// from every other host during [start, end).
+func (f *Faults) AddPartition(start, end sim.Time, sideA []int) {
+	side := make(map[int]bool, len(sideA))
+	for _, h := range sideA {
+		side[h] = true
+	}
+	f.partitions = append(f.partitions, Partition{Start: start, End: end, sideA: side})
+}
+
+// Stats returns a copy of the fault counters.
+func (f *Faults) Stats() FaultStats { return f.stats }
+
+// verdict is the fault decision for one message.
+type faultVerdict struct {
+	drop     bool
+	dup      bool
+	extra    sim.Time // extra delay for the original delivery
+	dupExtra sim.Time // extra delay for the duplicate
+}
+
+// apply decides the fate of one message. RNG draws are gated on non-zero
+// rates so an all-zero policy leaves the run untouched.
+func (f *Faults) apply(now sim.Time, fromHost, toHost int, from, to Addr) faultVerdict {
+	var v faultVerdict
+	for i := range f.partitions {
+		pt := &f.partitions[i]
+		if now >= pt.Start && now < pt.End && pt.sideA[fromHost] != pt.sideA[toHost] {
+			v.drop = true
+			f.stats.PartitionDropped++
+			return v
+		}
+	}
+	lf := LinkFaults{DropRate: f.cfg.DropRate, DupRate: f.cfg.DupRate, JitterMax: f.cfg.JitterMax}
+	if len(f.perLink) != 0 {
+		if o, ok := f.perLink[pairOf(from, to)]; ok {
+			lf = o
+		}
+	}
+	if lf.DropRate > 0 && f.rng.Float64() < lf.DropRate {
+		v.drop = true
+		f.stats.Dropped++
+		return v
+	}
+	if lf.JitterMax > 0 {
+		v.extra = sim.Time(f.rng.Int63n(int64(lf.JitterMax)))
+		f.stats.Jittered++
+	}
+	if lf.DupRate > 0 && f.rng.Float64() < lf.DupRate {
+		v.dup = true
+		f.stats.Duplicated++
+		if lf.JitterMax > 0 {
+			v.dupExtra = sim.Time(f.rng.Int63n(int64(lf.JitterMax)))
+		}
+	}
+	return v
+}

@@ -1,0 +1,188 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFaultDropAll(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	stubs := topo.StubNodes()
+	r := &recorder{eng: eng}
+	net.Attach(1, stubs[0], 1, r)
+	net.Attach(2, stubs[5], 1, r)
+	net.SetFaults(NewFaults(FaultConfig{DropRate: 1, Seed: 7}))
+
+	for i := 0; i < 10; i++ {
+		net.Send(1, 2, 10, i)
+	}
+	eng.Run()
+	if len(r.msgs) != 0 {
+		t.Fatalf("drop rate 1 delivered %d messages", len(r.msgs))
+	}
+	st := net.Stats()
+	if st.MessagesSent != 10 || st.MessagesDropped != 10 || st.MessagesDelivered != 0 {
+		t.Fatalf("stats %+v, want 10 sent / 10 dropped / 0 delivered", st)
+	}
+	if fs := net.Faults().Stats(); fs.Dropped != 10 {
+		t.Fatalf("fault stats %+v, want Dropped=10", fs)
+	}
+}
+
+func TestFaultDuplicateAll(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	stubs := topo.StubNodes()
+	r := &recorder{eng: eng}
+	net.Attach(1, stubs[0], 1, r)
+	net.Attach(2, stubs[5], 1, r)
+	net.SetFaults(NewFaults(FaultConfig{DupRate: 1, Seed: 7}))
+
+	net.Send(1, 2, 100, "x")
+	eng.Run()
+	if len(r.msgs) != 2 {
+		t.Fatalf("dup rate 1 delivered %d copies, want 2", len(r.msgs))
+	}
+	// The duplicate counts as an extra send so delivered+dropped <= sent holds.
+	st := net.Stats()
+	if st.MessagesSent != 2 || st.MessagesDelivered != 2 || st.BytesSent != 200 {
+		t.Fatalf("stats %+v, want 2 sent / 2 delivered / 200 bytes", st)
+	}
+	if fs := net.Faults().Stats(); fs.Duplicated != 1 {
+		t.Fatalf("fault stats %+v, want Duplicated=1", fs)
+	}
+}
+
+func TestFaultJitterBounded(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	stubs := topo.StubNodes()
+	r := &recorder{eng: eng}
+	net.Attach(1, stubs[0], 1, r)
+	net.Attach(2, stubs[5], 1, r)
+	base, err := net.Delay(1, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jmax = 50 * sim.Millisecond
+	net.SetFaults(NewFaults(FaultConfig{JitterMax: jmax, Seed: 7}))
+
+	for i := 0; i < 20; i++ {
+		net.Send(1, 2, 10, i)
+	}
+	eng.Run()
+	if len(r.times) != 20 {
+		t.Fatalf("delivered %d, want 20", len(r.times))
+	}
+	anyLate := false
+	for _, at := range r.times {
+		if at < base || at >= base+jmax {
+			t.Fatalf("delivery at %v outside [%v, %v)", at, base, base+jmax)
+		}
+		if at > base {
+			anyLate = true
+		}
+	}
+	if !anyLate {
+		t.Fatal("jitter never delayed any of 20 messages")
+	}
+	if fs := net.Faults().Stats(); fs.Jittered != 20 {
+		t.Fatalf("fault stats %+v, want Jittered=20", fs)
+	}
+}
+
+func TestFaultPartitionWindow(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	stubs := topo.StubNodes()
+	r := &recorder{eng: eng}
+	net.Attach(1, stubs[0], 1, r)
+	net.Attach(2, stubs[5], 1, r)
+	net.Attach(3, stubs[1], 1, r)
+	f := NewFaults(FaultConfig{Seed: 7})
+	f.AddPartition(0, sim.Second, []int{stubs[0], stubs[1]})
+	net.SetFaults(f)
+
+	net.Send(1, 2, 10, "cross") // across the cut: dropped
+	net.Send(1, 3, 10, "same")  // both on side A: delivered
+	eng.RunUntil(sim.Second)
+	if len(r.msgs) != 1 || r.msgs[0] != "same" {
+		t.Fatalf("during partition got %v, want only the same-side message", r.msgs)
+	}
+	// After the window heals, cross-side traffic flows again.
+	net.Send(1, 2, 10, "healed")
+	eng.Run()
+	if len(r.msgs) != 2 || r.msgs[1] != "healed" {
+		t.Fatalf("after heal got %v", r.msgs)
+	}
+	if fs := f.Stats(); fs.PartitionDropped != 1 || fs.Dropped != 0 {
+		t.Fatalf("fault stats %+v, want PartitionDropped=1", fs)
+	}
+}
+
+func TestFaultPerLinkOverride(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	stubs := topo.StubNodes()
+	r := &recorder{eng: eng}
+	net.Attach(1, stubs[0], 1, r)
+	net.Attach(2, stubs[5], 1, r)
+	net.Attach(3, stubs[6], 1, r)
+	f := NewFaults(FaultConfig{Seed: 7}) // clean global policy
+	f.SetLink(1, 2, LinkFaults{DropRate: 1})
+	net.SetFaults(f)
+
+	net.Send(1, 2, 10, "doomed")
+	net.Send(2, 1, 10, "doomed-too") // override is unordered
+	net.Send(1, 3, 10, "fine")
+	eng.Run()
+	if len(r.msgs) != 1 || r.msgs[0] != "fine" {
+		t.Fatalf("per-link override wrong: delivered %v", r.msgs)
+	}
+}
+
+func TestFaultLocalSendImmune(t *testing.T) {
+	eng, net, topo := testNet(t, DefaultConfig())
+	r := &recorder{eng: eng}
+	net.Attach(1, topo.StubNodes()[0], 1, r)
+	net.SetFaults(NewFaults(FaultConfig{DropRate: 1, Seed: 7}))
+
+	net.SendLocal(1, "self")
+	eng.Run()
+	if len(r.msgs) != 1 {
+		t.Fatal("SendLocal must bypass the fault layer")
+	}
+}
+
+// TestFaultZeroRateIdentical is the layer's determinism contract: an attached
+// all-zero policy must produce exactly the run the bare network produces —
+// same delivery times, same stats, no RNG consumed.
+func TestFaultZeroRateIdentical(t *testing.T) {
+	run := func(withFaults bool) (*recorder, Stats) {
+		eng, net, topo := testNet(t, DefaultConfig())
+		stubs := topo.StubNodes()
+		r := &recorder{eng: eng}
+		net.Attach(1, stubs[0], 1, r)
+		net.Attach(2, stubs[5], 1, r)
+		if withFaults {
+			net.SetFaults(NewFaults(FaultConfig{Seed: 99}))
+		}
+		for i := 0; i < 50; i++ {
+			net.Send(1, 2, 10+i, i)
+			net.Send(2, 1, 10, i)
+		}
+		eng.Run()
+		return r, net.Stats()
+	}
+	bare, bareStats := run(false)
+	zero, zeroStats := run(true)
+	if bareStats != zeroStats {
+		t.Fatalf("stats diverge: bare %+v vs zero-rate %+v", bareStats, zeroStats)
+	}
+	if len(bare.times) != len(zero.times) {
+		t.Fatalf("delivery counts diverge: %d vs %d", len(bare.times), len(zero.times))
+	}
+	for i := range bare.times {
+		if bare.times[i] != zero.times[i] || bare.msgs[i] != zero.msgs[i] {
+			t.Fatalf("delivery %d diverges: (%v, %v) vs (%v, %v)",
+				i, bare.times[i], bare.msgs[i], zero.times[i], zero.msgs[i])
+		}
+	}
+}

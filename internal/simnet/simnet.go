@@ -88,6 +88,7 @@ type Network struct {
 	stress   map[LinkKey]int64 // physical link -> messages carried
 	stats    Stats
 	tracer   *obs.Tracer
+	faults   *Faults
 }
 
 // New creates a network over the given engine and topology.
@@ -155,6 +156,14 @@ func (n *Network) Stats() Stats { return n.stats }
 // check per message.
 func (n *Network) SetTracer(t *obs.Tracer) { n.tracer = t }
 
+// SetFaults attaches a fault-injection policy to every subsequent Send. A
+// nil value (the default) disables the layer at the cost of one pointer
+// check per message; SendLocal (in-process self-delivery) is never faulted.
+func (n *Network) SetFaults(f *Faults) { n.faults = f }
+
+// Faults returns the attached fault layer, or nil.
+func (n *Network) Faults() *Faults { return n.faults }
+
 // LinkStress returns a copy of the per-link message counts (only populated
 // when TrackLinkStress is set); callers may freely mutate the returned map.
 func (n *Network) LinkStress() map[LinkKey]int64 {
@@ -220,13 +229,39 @@ func (n *Network) Send(from, to Addr, size int, msg any) {
 		n.tracer.Emit(obs.EvMsgDrop, n.Eng.Now(), 0, int(from), int(to), 0, note)
 		return
 	}
+	copies := 1
+	if n.faults != nil {
+		v := n.faults.apply(n.Eng.Now(), n.host[from], n.host[to], from, to)
+		if v.drop {
+			// An injected loss looks exactly like a packet that never
+			// arrived: the send was counted, the delivery never happens.
+			n.stats.MessagesDropped++
+			n.tracer.Emit(obs.EvMsgDrop, n.Eng.Now(), 0, int(from), int(to), 0, note)
+			return
+		}
+		if v.dup {
+			// The duplicate counts as its own send so the invariant
+			// delivered+dropped <= sent keeps holding.
+			copies = 2
+			n.stats.MessagesSent++
+			n.stats.BytesSent += uint64(size)
+			n.schedule(d+v.dupExtra, from, to, note, msg)
+		}
+		d += v.extra
+	}
 	if n.cfg.TrackLinkStress {
 		if path, err := n.Topo.Path(n.host[from], n.host[to]); err == nil {
 			for i := 1; i < len(path); i++ {
-				n.stress[linkKey(path[i-1], path[i])]++
+				n.stress[linkKey(path[i-1], path[i])] += int64(copies)
 			}
 		}
 	}
+	n.schedule(d, from, to, note, msg)
+}
+
+// schedule enqueues one delivery attempt after delay d; the message is
+// dropped if the destination handler is gone by delivery time.
+func (n *Network) schedule(d sim.Time, from, to Addr, note string, msg any) {
 	n.Eng.After(d, func() {
 		h, ok := n.handlers[to]
 		if !ok {

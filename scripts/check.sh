@@ -30,6 +30,19 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Crash-path gate: churn storms and recovery paths under injected message
+# faults, with the full invariant checker run at every quiescence point.
+# -count=1 defeats the test cache so the gate always actually executes.
+echo "== fault-injection invariant gate"
+go test ./internal/core -count=1 \
+    -run '^(TestChurnStormUnderFaults|TestRecoveryPathsUnderFaults|TestSustainedChurnKeepsInvariants)$'
+
+# Determinism gate: with the fault layer compiled in but disabled, sweep
+# output must stay byte-identical to a build with no fault layer armed.
+echo "== fault-layer-off determinism gate"
+go test ./internal/exp -count=1 \
+    -run '^(TestFaultLayerOffIsByteIdentical|TestParallelSweepDeterminism)$'
+
 if [ "${SKIP_BENCH_GUARD:-0}" = "1" ]; then
     echo "== bench guard skipped (SKIP_BENCH_GUARD=1)"
 else
