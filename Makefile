@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet staticcheck test race faultcheck determinism bench bench-json bench-guard
+.PHONY: all build check vet staticcheck test race faultcheck determinism conformance bench bench-json bench-guard
 
 all: check
 
@@ -21,7 +21,7 @@ staticcheck:
 
 # The verify loop: everything a change must pass before it lands.
 # Set SKIP_BENCH_GUARD=1 to skip the benchmark regression guard.
-check: build vet staticcheck test race faultcheck determinism bench-guard
+check: build vet staticcheck test race faultcheck determinism conformance bench-guard
 
 test:
 	$(GO) test ./...
@@ -41,6 +41,12 @@ faultcheck:
 determinism:
 	$(GO) test ./internal/exp -count=1 \
 		-run '^(TestFaultLayerOffIsByteIdentical|TestParallelSweepDeterminism)$$'
+
+# Cross-runtime conformance gate: the same scenario on the DES and the live
+# goroutine runtime, invariant-checked on both, under the race detector (the
+# live runtime's whole point is real concurrency, so -race is load-bearing).
+conformance:
+	$(GO) test -race ./internal/conformance -count=1
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -199,7 +199,7 @@ func benchSystem(b *testing.B, ps float64) (*core.System, []*core.Peer) {
 	net := simnet.New(eng, topo, simnet.DefaultConfig())
 	cfg := core.DefaultConfig()
 	cfg.Ps = ps
-	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	sys, err := core.NewSystem(simnet.NewRuntime(eng, net), cfg, topo.StubNodes()[0])
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func benchSystem(b *testing.B, ps float64) (*core.System, []*core.Peer) {
 
 func BenchmarkHybridJoin(b *testing.B) {
 	sys, _ := benchSystem(b, 0.7)
-	stubs := sys.Topo.StubNodes()
+	stubs := sys.Runtime().Placement().StubHosts()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,215 @@
+// Command hybridnode runs the hybrid protocol as a live in-process system:
+// every peer is a real node on the loopback transport of the live runtime
+// (goroutines, channels, wall-clock timers) instead of a discrete-event
+// simulation. The exact same internal/core protocol code that regenerates the
+// paper's figures under paperexp here forms a ring, builds s-networks, runs
+// heartbeats and failure detection against the wall clock, survives a
+// scripted crash, and answers store/lookup requests.
+//
+// Example:
+//
+//	hybridnode -n 96 -items 200 -lookups 400 -crash 8
+//	hybridnode -n 200 -ps 0.7 -delay 500us -seed 3
+//
+// The run exits 0 only if the cluster passes every phase: all joins complete,
+// the invariant checker is satisfied before and after the crash, and the
+// post-crash lookup success rate stays above -minsuccess.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/runtime/live"
+	"repro/internal/workload"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		n          = flag.Int("n", 96, "number of peers (min 64)")
+		ps         = flag.Float64("ps", 0.6, "proportion of s-peers (0..1)")
+		delta      = flag.Int("delta", 3, "s-network degree constraint")
+		items      = flag.Int("items", 200, "data items to store")
+		lookups    = flag.Int("lookups", 400, "lookups per measurement phase")
+		crash      = flag.Int("crash", 8, "peers to crash abruptly mid-run")
+		seed       = flag.Int64("seed", 1, "RNG seed (runs stay nondeterministic: real concurrency orders the draws)")
+		delay      = flag.Duration("delay", 200*time.Microsecond, "artificial one-way message delay on the loopback transport")
+		minSuccess = flag.Float64("minsuccess", 0.75, "minimum post-crash lookup success rate")
+	)
+	flag.Parse()
+	if *n < 64 {
+		fmt.Fprintf(os.Stderr, "hybridnode: -n %d below the 64-node minimum\n", *n)
+		return 2
+	}
+	if *crash < 0 || *crash > *n/2 {
+		fmt.Fprintf(os.Stderr, "hybridnode: -crash %d outside [0, n/2]\n", *crash)
+		return 2
+	}
+
+	// Wall-clock protocol timers, scaled down from the simulation defaults
+	// (HELLO every 2s, 30s operation timeouts) so a demo run finishes in
+	// seconds while keeping every Validate constraint: failure detection
+	// still takes several missed heartbeats, operations still time out long
+	// after any plausible delivery delay.
+	cfg := core.DefaultConfig()
+	cfg.Ps = *ps
+	cfg.Delta = *delta
+	cfg.HelloEvery = 100 * runtime.Millisecond
+	cfg.HelloTimeout = 400 * runtime.Millisecond
+	cfg.SuppressTimeout = 50 * runtime.Millisecond
+	cfg.LookupTimeout = 3 * runtime.Second
+	cfg.JoinTimeout = 3 * runtime.Second
+	cfg.FingerRefreshEvery = 250 * runtime.Millisecond
+
+	rt := live.New(live.Config{
+		Seed:         *seed,
+		Delay:        *delay,
+		AwaitTimeout: 60 * time.Second,
+	})
+	defer rt.Close()
+
+	sys, err := core.NewSystem(rt, cfg, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridnode:", err)
+		return 1
+	}
+
+	wallStart := time.Now()
+	fmt.Printf("joining %d live peers (ps=%.2f δ=%d delay=%v)...\n", *n, *ps, *delta, *delay)
+	peers, joins, err := sys.BuildPopulation(core.PopulationOpts{N: *n})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridnode:", err)
+		return 1
+	}
+	var joinHops metrics.Summary
+	for _, js := range joins {
+		joinHops.Add(float64(js.Hops))
+	}
+	var tp, sp int
+	rt.Do(func() { tp, sp = len(sys.TPeers()), len(sys.SPeers()) })
+	fmt.Printf("cluster up in %v: %d t-peers, %d s-peers; join hops %s\n",
+		time.Since(wallStart).Round(time.Millisecond), tp, sp, &joinHops)
+
+	// Let a few heartbeat and finger-refresh rounds run before auditing.
+	sys.Settle(5 * cfg.HelloEvery)
+	if err := awaitInvariants(rt, sys, 10*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridnode: invariants after build:", err)
+		return 1
+	}
+	fmt.Println("invariants: all hold after build")
+
+	keys := workload.Keys(*items)
+	stored := 0
+	for i, key := range keys {
+		r, err := sys.StoreSync(peers[(i*31)%len(peers)], key, "value-of-"+key)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hybridnode:", err)
+			return 1
+		}
+		if r.OK {
+			stored++
+		}
+	}
+	fmt.Printf("stored %d/%d items\n", stored, *items)
+
+	okBefore := lookupPhase(sys, peers, keys, *lookups, "pre-crash")
+	if okBefore < 0 {
+		return 1
+	}
+
+	if *crash > 0 {
+		// The crash script runs under Do: Crash mutates shared protocol
+		// state, and drawing the victims from the runtime RNG must be
+		// serialized against the protocol for the same reason.
+		rt.Do(func() {
+			live := sys.Peers()
+			for _, idx := range rt.Rand().Perm(len(live))[:*crash] {
+				live[idx].Crash()
+			}
+		})
+		// Give the failure detectors a few timeout windows of wall time,
+		// then poll the invariant checker until repair converges.
+		sys.Settle(3 * cfg.HelloTimeout)
+		if err := awaitInvariants(rt, sys, 20*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "hybridnode: invariants after crash:", err)
+			return 1
+		}
+		var survivors int
+		var st core.SystemStats
+		rt.Do(func() { survivors = sys.NumPeers(); st = sys.Stats() })
+		fmt.Printf("crashed %d peers; %d survive; promotions=%d rejoins=%d\n",
+			*crash, survivors, st.Promotions, st.Rejoins)
+		fmt.Println("invariants: all hold after crash recovery")
+	}
+
+	okAfter := lookupPhase(sys, peers, keys, *lookups, "post-crash")
+	if okAfter < 0 {
+		return 1
+	}
+	rate := float64(okAfter) / float64(*lookups)
+	fmt.Printf("\ntotal wall time: %v\n", time.Since(wallStart).Round(time.Millisecond))
+	if rate < *minSuccess {
+		fmt.Fprintf(os.Stderr, "hybridnode: post-crash success %.2f below minimum %.2f\n", rate, *minSuccess)
+		return 1
+	}
+	return 0
+}
+
+// lookupPhase issues count lookups of stored keys from surviving peers and
+// prints a summary line. It returns the success count, or -1 on a runtime
+// error (an Await timeout, i.e. the cluster wedged).
+func lookupPhase(sys *core.System, peers []*core.Peer, keys []string, count int, label string) int {
+	rt := sys.Runtime()
+	var hops, lat metrics.Summary
+	ok := 0
+	for i := 0; i < count; i++ {
+		origin := peers[(i*53)%len(peers)]
+		var alive bool
+		rt.Do(func() { alive = origin.Alive() })
+		if !alive {
+			rt.Do(func() {
+				if live := sys.Peers(); len(live) > 0 {
+					origin = live[i%len(live)]
+				}
+			})
+		}
+		r, err := sys.LookupSync(origin, keys[(i*17)%len(keys)])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybridnode: %s lookup: %v\n", label, err)
+			return -1
+		}
+		if r.OK {
+			ok++
+			hops.Add(float64(r.Hops))
+			lat.Add(float64(r.Latency) / float64(runtime.Millisecond))
+		}
+	}
+	fmt.Printf("%s lookups: %d/%d ok; hops %s; latency %s ms\n", label, ok, count, &hops, &lat)
+	return ok
+}
+
+// awaitInvariants polls the invariant checker under the executor lock until
+// it passes or the wall-clock deadline expires. Live runs need the poll: the
+// checker can observe a repair mid-flight (a watchdog not yet cancelled, an
+// operation not yet drained) that the next heartbeat round resolves.
+func awaitInvariants(rt runtime.Runtime, sys *core.System, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		var err error
+		rt.Do(func() { err = sys.CheckInvariants() })
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

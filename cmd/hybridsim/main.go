@@ -331,7 +331,7 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams, tr *obs.Tracer, rec 
 		}
 		net.SetFaults(f)
 	}
-	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	sys, err := core.NewSystem(simnet.NewRuntime(eng, net), cfg, topo.StubNodes()[0])
 	if err != nil {
 		return err
 	}

@@ -145,6 +145,13 @@ func run() int {
 		res, err := e.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperexp: %s: %v\n", e.ID, err)
+			// Flush whatever the tracer captured: a failing run is exactly
+			// when the event trace is most needed.
+			if traceFile != nil {
+				if werr := opts.Trace.WriteJSONL(traceFile); werr != nil {
+					fmt.Fprintln(os.Stderr, "paperexp:", werr)
+				}
+			}
 			return 1
 		}
 		if *csv {

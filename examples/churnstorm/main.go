@@ -28,7 +28,7 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Ps = 0.7
 	cfg.LookupTimeout = 5 * sim.Second
-	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	sys, err := core.NewSystem(simnet.NewRuntime(eng, net), cfg, topo.StubNodes()[0])
 	if err != nil {
 		log.Fatal(err)
 	}

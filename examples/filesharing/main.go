@@ -37,7 +37,7 @@ func main() {
 	cfg.TTL = 8
 	cfg.Reflood = 1
 	cfg.LookupTimeout = 5 * sim.Second
-	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	sys, err := core.NewSystem(simnet.NewRuntime(eng, net), cfg, topo.StubNodes()[0])
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -54,7 +54,7 @@ func flashCrowd(caching bool) crowdOutcome {
 	cfg.CacheTTL = 600 * sim.Second
 	cfg.CacheFanout = 3
 	cfg.LookupTimeout = 5 * sim.Second
-	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	sys, err := core.NewSystem(simnet.NewRuntime(eng, net), cfg, topo.StubNodes()[0])
 	if err != nil {
 		log.Fatal(err)
 	}

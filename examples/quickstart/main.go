@@ -33,7 +33,7 @@ func main() {
 	// half s-peers (the unstructured trees hanging off it).
 	cfg := core.DefaultConfig()
 	cfg.Ps = 0.5
-	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	sys, err := core.NewSystem(simnet.NewRuntime(eng, net), cfg, topo.StubNodes()[0])
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -53,7 +53,7 @@ func runMode(tracker bool) outcome {
 	cfg.Ps = 0.8
 	cfg.TrackerMode = tracker
 	cfg.LookupTimeout = 5 * sim.Second
-	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	sys, err := core.NewSystem(simnet.NewRuntime(eng, net), cfg, topo.StubNodes()[0])
 	if err != nil {
 		log.Fatal(err)
 	}

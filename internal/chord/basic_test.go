@@ -18,7 +18,7 @@ func TestChordBasic(t *testing.T) {
 	net := simnet.New(eng, topo, simnet.DefaultConfig())
 	cfg := DefaultConfig()
 	cfg.LookupTimeout = 10 * sim.Second
-	cnet := NewNetwork(net, cfg)
+	cnet := NewNetwork(simnet.NewRuntime(eng, net), cfg)
 	stubs := topo.StubNodes()
 	var nodes []*Node
 	boot := simnet.None

@@ -12,69 +12,59 @@ import (
 	"fmt"
 
 	"repro/internal/idspace"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // FingerBits is the identifier size in bits; fingers cover 2^0 .. 2^63.
 const FingerBits = 64
-
-// traceHook, when non-nil, receives protocol trace lines (tests only).
-var traceHook func(format string, args ...any)
-
-func tracef(format string, args ...any) {
-	if traceHook != nil {
-		traceHook(format, args...)
-	}
-}
 
 // Config tunes a Chord deployment.
 type Config struct {
 	// SuccessorListLen is r, the length of each node's successor list.
 	SuccessorListLen int
 	// StabilizeEvery is the period of the stabilization protocol.
-	StabilizeEvery sim.Time
+	StabilizeEvery runtime.Time
 	// FixFingersPerRound is how many finger entries each stabilization
 	// round refreshes.
 	FixFingersPerRound int
 	// MessageBytes is the nominal size of a control message.
 	MessageBytes int
 	// LookupTimeout bounds a lookup before it is declared failed.
-	LookupTimeout sim.Time
+	LookupTimeout runtime.Time
 }
 
 // DefaultConfig returns the settings used in the experiments.
 func DefaultConfig() Config {
 	return Config{
 		SuccessorListLen:   8,
-		StabilizeEvery:     500 * sim.Millisecond,
+		StabilizeEvery:     500 * runtime.Millisecond,
 		FixFingersPerRound: 8,
 		MessageBytes:       128,
-		LookupTimeout:      60 * sim.Second,
+		LookupTimeout:      60 * runtime.Second,
 	}
 }
 
 // ref is a (id, address) pair naming a remote node.
 type ref struct {
 	ID   idspace.ID
-	Addr simnet.Addr
+	Addr runtime.Addr
 }
 
-var nilRef = ref{Addr: simnet.None}
+var nilRef = ref{Addr: runtime.None}
 
-func (r ref) valid() bool { return r.Addr != simnet.None }
+func (r ref) valid() bool { return r.Addr != runtime.None }
 
 // Network owns a set of Chord nodes running over one simnet.
 type Network struct {
-	Net *simnet.Network
+	rt  runtime.Runtime
 	Cfg Config
 
-	nodes map[simnet.Addr]*Node
-	next  simnet.Addr
+	nodes map[runtime.Addr]*Node
+	next  runtime.Addr
 }
 
 // NewNetwork creates an empty Chord deployment.
-func NewNetwork(net *simnet.Network, cfg Config) *Network {
+func NewNetwork(rt runtime.Runtime, cfg Config) *Network {
 	if cfg.SuccessorListLen <= 0 {
 		cfg.SuccessorListLen = DefaultConfig().SuccessorListLen
 	}
@@ -90,13 +80,13 @@ func NewNetwork(net *simnet.Network, cfg Config) *Network {
 	if cfg.LookupTimeout <= 0 {
 		cfg.LookupTimeout = DefaultConfig().LookupTimeout
 	}
-	return &Network{Net: net, Cfg: cfg, nodes: make(map[simnet.Addr]*Node)}
+	return &Network{rt: rt, Cfg: cfg, nodes: make(map[runtime.Addr]*Node)}
 }
 
 // Node is one Chord participant.
 type Node struct {
 	ID   idspace.ID
-	Addr simnet.Addr
+	Addr runtime.Addr
 
 	net *Network
 
@@ -107,7 +97,7 @@ type Node struct {
 
 	data map[idspace.ID]Item
 
-	stabilizer *sim.Ticker
+	stabilizer *runtime.Ticker
 	alive      bool
 
 	// pending tracks outstanding lookup/store operations by request id.
@@ -125,10 +115,10 @@ type Item struct {
 // op is an outstanding client operation.
 type op struct {
 	kind    string
-	start   sim.Time
+	start   runtime.Time
 	fidx    int // finger index, for fixfinger ops
 	done    func(Result)
-	timeout sim.Handle
+	timeout runtime.Handle
 }
 
 // Result reports the outcome of a lookup or store.
@@ -137,14 +127,14 @@ type Result struct {
 	Key     string
 	Value   string
 	Hops    int
-	Latency sim.Time
-	Owner   simnet.Addr
+	Latency runtime.Time
+	Owner   runtime.Addr
 }
 
 // CreateNode provisions a node hosted on the given physical topology node
 // and, if bootstrap is invalid, makes it the first node of a fresh ring.
 // Otherwise it joins via the bootstrap node.
-func (nw *Network) CreateNode(id idspace.ID, host int, capacity float64, bootstrap simnet.Addr) *Node {
+func (nw *Network) CreateNode(id idspace.ID, host int, capacity float64, bootstrap runtime.Addr) *Node {
 	addr := nw.next
 	nw.next++
 	n := &Node{
@@ -162,12 +152,12 @@ func (nw *Network) CreateNode(id idspace.ID, host int, capacity float64, bootstr
 		n.finger[i] = nilRef
 	}
 	nw.nodes[addr] = n
-	nw.Net.Attach(addr, host, capacity, simnet.HandlerFunc(n.recv))
+	nw.rt.Attach(addr, runtime.Endpoint{Host: host, Capacity: capacity}, runtime.HandlerFunc(n.recv))
 
-	n.stabilizer = sim.NewTicker(nw.Net.Eng, nw.Cfg.StabilizeEvery, n.stabilize)
+	n.stabilizer = runtime.NewTicker(nw.rt, nw.Cfg.StabilizeEvery, n.stabilize)
 	n.stabilizer.Start()
 
-	if bootstrap == simnet.None {
+	if bootstrap == runtime.None {
 		// First node: closes the ring on itself.
 		self := ref{ID: id, Addr: addr}
 		n.successors = []ref{self}
@@ -181,8 +171,11 @@ func (nw *Network) CreateNode(id idspace.ID, host int, capacity float64, bootstr
 	return n
 }
 
+// Runtime returns the runtime the network executes on.
+func (nw *Network) Runtime() runtime.Runtime { return nw.rt }
+
 // Node returns the node at the given address, or nil.
-func (nw *Network) Node(a simnet.Addr) *Node {
+func (nw *Network) Node(a runtime.Addr) *Node {
 	return nw.nodes[a]
 }
 
@@ -201,22 +194,22 @@ func (nw *Network) Nodes() []*Node {
 func (n *Node) Alive() bool { return n.alive }
 
 // Successor returns the immediate successor's address.
-func (n *Node) Successor() simnet.Addr {
+func (n *Node) Successor() runtime.Addr {
 	if len(n.successors) == 0 {
-		return simnet.None
+		return runtime.None
 	}
 	return n.successors[0].Addr
 }
 
 // Predecessor returns the predecessor's address (None if unknown).
-func (n *Node) Predecessor() simnet.Addr { return n.predecessor.Addr }
+func (n *Node) Predecessor() runtime.Addr { return n.predecessor.Addr }
 
 // NumItems returns the number of data items the node stores.
 func (n *Node) NumItems() int { return len(n.data) }
 
 // send transmits a control message of the configured nominal size.
-func (n *Node) send(to simnet.Addr, msg any) {
-	n.net.Net.Send(n.Addr, to, n.net.Cfg.MessageBytes, msg)
+func (n *Node) send(to runtime.Addr, msg any) {
+	n.net.rt.Send(n.Addr, to, n.net.Cfg.MessageBytes, msg)
 }
 
 func (n *Node) self() ref { return ref{ID: n.ID, Addr: n.Addr} }
@@ -227,7 +220,7 @@ type (
 	// Origin with the caller-chosen tag.
 	findSuccReq struct {
 		Target idspace.ID
-		Origin simnet.Addr
+		Origin runtime.Addr
 		Tag    uint64
 		Hops   int
 	}
@@ -246,7 +239,7 @@ type (
 	notifyMsg struct{ Cand ref }
 	storeMsg  struct {
 		Item   Item
-		Origin simnet.Addr
+		Origin runtime.Addr
 		Tag    uint64
 		Hops   int
 	}
@@ -257,7 +250,7 @@ type (
 	lookupMsg struct {
 		DID    idspace.ID
 		Key    string
-		Origin simnet.Addr
+		Origin runtime.Addr
 		Tag    uint64
 		Hops   int
 	}
@@ -274,7 +267,7 @@ type (
 	}
 )
 
-func (n *Node) recv(from simnet.Addr, msg any) {
+func (n *Node) recv(from runtime.Addr, msg any) {
 	if !n.alive {
 		return
 	}
@@ -344,7 +337,7 @@ func (n *Node) handleFindSucc(m findSuccReq) {
 }
 
 // join initiates the Chord join protocol through the bootstrap node.
-func (n *Node) join(bootstrap simnet.Addr) {
+func (n *Node) join(bootstrap runtime.Addr) {
 	tag := n.newTag()
 	n.pending[tag] = &op{kind: "join"}
 	n.send(bootstrap, findSuccReq{Target: n.ID, Origin: n.Addr, Tag: tag})
@@ -393,7 +386,7 @@ func (n *Node) stabilize() {
 	}
 	// Skip dead successors: the first live entry in the list becomes the
 	// working successor.
-	for len(n.successors) > 1 && !n.net.Net.Attached(n.successors[0].Addr) {
+	for len(n.successors) > 1 && !n.net.rt.Attached(n.successors[0].Addr) {
 		n.successors = n.successors[1:]
 	}
 	succ := n.successors[0]
@@ -406,17 +399,17 @@ func (n *Node) stabilize() {
 	n.fixFingers()
 }
 
-func (n *Node) handleStabilizeResp(from simnet.Addr, m getPredResp) {
+func (n *Node) handleStabilizeResp(from runtime.Addr, m getPredResp) {
 	succ := n.successors[0]
 	if from != succ.Addr {
 		return // stale response from a replaced successor
 	}
-	if m.Pred.valid() && idspace.StrictBetween(n.ID, m.Pred.ID, succ.ID) && n.net.Net.Attached(m.Pred.Addr) {
+	if m.Pred.valid() && idspace.StrictBetween(n.ID, m.Pred.ID, succ.ID) && n.net.rt.Attached(m.Pred.Addr) {
 		succ = m.Pred
 	}
 	list := append([]ref{succ}, m.Succs...)
 	// Deduplicate while preserving order, drop self-loops beyond first.
-	seen := map[simnet.Addr]bool{}
+	seen := map[runtime.Addr]bool{}
 	var dedup []ref
 	for _, r := range list {
 		if r.valid() && !seen[r.Addr] {
@@ -435,7 +428,7 @@ func (n *Node) handleNotify(cand ref) {
 	if cand.Addr == n.Addr {
 		return
 	}
-	if !n.predecessor.valid() || !n.net.Net.Attached(n.predecessor.Addr) ||
+	if !n.predecessor.valid() || !n.net.rt.Attached(n.predecessor.Addr) ||
 		idspace.StrictBetween(n.predecessor.ID, cand.ID, n.ID) {
 		prevValid := n.predecessor.valid()
 		n.predecessor = cand
@@ -459,7 +452,7 @@ func (n *Node) transferOwnedBelow(pred ref, _ bool) {
 		}
 	}
 	if len(moved) > 0 {
-		n.net.Net.Send(n.Addr, pred.Addr, n.net.Cfg.MessageBytes*len(moved), transferMsg{Items: moved})
+		n.net.rt.Send(n.Addr, pred.Addr, n.net.Cfg.MessageBytes*len(moved), transferMsg{Items: moved})
 	}
 }
 
@@ -479,9 +472,9 @@ func (n *Node) fixFingers() {
 func (n *Node) Store(key, value string, done func(Result)) {
 	it := Item{Key: key, Value: value, DID: idspace.HashKey(key)}
 	tag := n.newTag()
-	o := &op{kind: "store", start: n.net.Net.Eng.Now(), done: done}
+	o := &op{kind: "store", start: n.net.rt.Now(), done: done}
 	n.pending[tag] = o
-	o.timeout = n.net.Net.Eng.After(n.net.Cfg.LookupTimeout, func() {
+	o.timeout = n.net.rt.Schedule(n.net.Cfg.LookupTimeout, func() {
 		n.finishOp(tag, Result{OK: false, Key: key})
 	})
 	n.routeStore(storeMsg{Item: it, Origin: n.Addr, Tag: tag})
@@ -519,9 +512,9 @@ func (n *Node) handleStore(m storeMsg) {
 func (n *Node) Lookup(key string, done func(Result)) {
 	did := idspace.HashKey(key)
 	tag := n.newTag()
-	o := &op{kind: "lookup", start: n.net.Net.Eng.Now(), done: done}
+	o := &op{kind: "lookup", start: n.net.rt.Now(), done: done}
 	n.pending[tag] = o
-	o.timeout = n.net.Net.Eng.After(n.net.Cfg.LookupTimeout, func() {
+	o.timeout = n.net.rt.Schedule(n.net.Cfg.LookupTimeout, func() {
 		n.finishOp(tag, Result{OK: false, Key: key})
 	})
 	n.routeLookup(lookupMsg{DID: did, Key: key, Origin: n.Addr, Tag: tag})
@@ -559,8 +552,8 @@ func (n *Node) finishOp(tag uint64, r Result) {
 		return
 	}
 	delete(n.pending, tag)
-	n.net.Net.Eng.Cancel(o.timeout)
-	r.Latency = n.net.Net.Eng.Now() - o.start
+	n.net.rt.Unschedule(o.timeout)
+	r.Latency = n.net.rt.Now() - o.start
 	if o.done != nil {
 		o.done(r)
 	}
@@ -579,7 +572,7 @@ func (n *Node) Leave() {
 			items = append(items, it)
 		}
 		if len(items) > 0 {
-			n.net.Net.Send(n.Addr, succ.Addr, n.net.Cfg.MessageBytes*len(items), transferMsg{Items: items})
+			n.net.rt.Send(n.Addr, succ.Addr, n.net.Cfg.MessageBytes*len(items), transferMsg{Items: items})
 		}
 		n.send(succ.Addr, leaveMsg{Pred: n.predecessor, Succ: nilRef})
 		if n.predecessor.valid() {
@@ -589,7 +582,7 @@ func (n *Node) Leave() {
 	n.Crash()
 }
 
-func (n *Node) handleLeave(from simnet.Addr, m leaveMsg) {
+func (n *Node) handleLeave(from runtime.Addr, m leaveMsg) {
 	if m.Pred.valid() && n.predecessor.Addr == from {
 		n.predecessor = m.Pred
 	}
@@ -605,6 +598,6 @@ func (n *Node) Crash() {
 	}
 	n.alive = false
 	n.stabilizer.Stop()
-	n.net.Net.Detach(n.Addr)
+	n.net.rt.Detach(n.Addr)
 	delete(n.net.nodes, n.Addr)
 }

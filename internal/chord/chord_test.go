@@ -27,7 +27,7 @@ func ring(t *testing.T, n int, seed int64) (*sim.Engine, *Network, []*Node) {
 	net := simnet.New(eng, topo, simnet.DefaultConfig())
 	cfg := DefaultConfig()
 	cfg.LookupTimeout = 10 * sim.Second
-	cnet := NewNetwork(net, cfg)
+	cnet := NewNetwork(simnet.NewRuntime(eng, net), cfg)
 	stubs := topo.StubNodes()
 	var nodes []*Node
 	boot := simnet.None
@@ -236,7 +236,7 @@ func TestJoinAfterChurn(t *testing.T) {
 		break
 	}
 	for i := 0; i < 10; i++ {
-		cnet.CreateNode(idspace.ID(eng.Rand().Uint64()), cnet.Net.Host(live.Addr), 1, live.Addr)
+		cnet.CreateNode(idspace.ID(eng.Rand().Uint64()), cnet.Runtime().(*simnet.Runtime).Net.Host(live.Addr), 1, live.Addr)
 		eng.RunUntil(eng.Now() + 2*sim.Second)
 	}
 	eng.RunUntil(eng.Now() + 60*sim.Second)

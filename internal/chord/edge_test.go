@@ -16,7 +16,7 @@ func TestAliveAndAccessors(t *testing.T) {
 	}
 	eng := sim.New(31)
 	net := simnet.New(eng, topo, simnet.DefaultConfig())
-	cnet := NewNetwork(net, Config{}) // zero config: defaults fill in
+	cnet := NewNetwork(simnet.NewRuntime(eng, net), Config{}) // zero config: defaults fill in
 	if cnet.Cfg.SuccessorListLen == 0 || cnet.Cfg.LookupTimeout == 0 {
 		t.Fatal("zero config not defaulted")
 	}
@@ -47,7 +47,7 @@ func TestDataMovesToNewJoiner(t *testing.T) {
 	}
 	eng := sim.New(33)
 	net := simnet.New(eng, topo, simnet.DefaultConfig())
-	cnet := NewNetwork(net, DefaultConfig())
+	cnet := NewNetwork(simnet.NewRuntime(eng, net), DefaultConfig())
 	stubs := topo.StubNodes()
 
 	a := cnet.CreateNode(idspace.ID(100), stubs[0], 1, simnet.None)

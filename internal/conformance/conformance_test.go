@@ -1,0 +1,253 @@
+// Package conformance runs the same protocol scenario on both runtime.Runtime
+// implementations — the discrete-event simulation (internal/simnet) and the
+// live goroutine/wall-clock runtime (internal/runtime/live) — and asserts the
+// protocol-level outcomes agree: the cluster forms, every invariant holds at
+// quiescence before and after a crash wave, and lookup success stays
+// equivalent. The DES side is deterministic; the live side is genuinely
+// concurrent, so the suite is also the -race exercise for the live runtime.
+package conformance
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/runtime/live"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// scenario is the shared script: N peers join, store items, look them up,
+// crash a fixed count, recover, look them up again.
+const (
+	scenarioN       = 48
+	scenarioItems   = 80
+	scenarioLookups = 120
+	scenarioCrash   = 5
+	scenarioSeed    = 7
+)
+
+// outcome is what a runtime must agree on.
+type outcome struct {
+	addrs     []runtime.Addr
+	tPeers    int
+	sPeers    int
+	stored    int
+	okBefore  int
+	okAfter   int
+	survivors int
+}
+
+// protocolConfig is the runtime-independent part of the configuration: the
+// protocol shape (Ps, δ, TTL, placement) is identical across runtimes; only
+// the timer scale differs (simulated seconds are free, wall-clock seconds are
+// not).
+func protocolConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Ps = 0.6
+	cfg.Delta = 3
+	cfg.TTL = 4
+	return cfg
+}
+
+func desConfig() core.Config {
+	cfg := protocolConfig()
+	cfg.LookupTimeout = 5 * runtime.Second
+	return cfg
+}
+
+func liveConfig() core.Config {
+	cfg := protocolConfig()
+	cfg.HelloEvery = 100 * runtime.Millisecond
+	cfg.HelloTimeout = 400 * runtime.Millisecond
+	cfg.SuppressTimeout = 50 * runtime.Millisecond
+	cfg.LookupTimeout = 1 * runtime.Second
+	cfg.JoinTimeout = 3 * runtime.Second
+	cfg.FingerRefreshEvery = 250 * runtime.Millisecond
+	return cfg
+}
+
+// runScenario drives the shared script on any runtime. All protocol state is
+// touched through Do/Await only, which is a no-op indirection under the DES
+// and the executor lock under the live runtime.
+func runScenario(t *testing.T, rt runtime.Runtime, cfg core.Config) outcome {
+	t.Helper()
+	sys, err := core.NewSystem(rt, cfg, serverHostFor(rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, _, err := sys.BuildPopulation(core.PopulationOpts{N: scenarioN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o outcome
+	rt.Do(func() {
+		for _, p := range peers {
+			o.addrs = append(o.addrs, p.Addr)
+		}
+		o.tPeers, o.sPeers = len(sys.TPeers()), len(sys.SPeers())
+	})
+
+	sys.Settle(5 * cfg.HelloEvery)
+	awaitInvariants(t, rt, sys, "after build")
+
+	keys := make([]string, scenarioItems)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("conf-%04d", i)
+		r, err := sys.StoreSync(peers[(i*31)%len(peers)], keys[i], "v")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OK {
+			o.stored++
+		}
+	}
+
+	o.okBefore = lookupPhase(t, sys, peers, keys)
+
+	rt.Do(func() {
+		livePeers := sys.Peers()
+		for _, idx := range rt.Rand().Perm(len(livePeers))[:scenarioCrash] {
+			livePeers[idx].Crash()
+		}
+	})
+	sys.Settle(3 * cfg.HelloTimeout)
+	awaitInvariants(t, rt, sys, "after crash")
+	rt.Do(func() { o.survivors = sys.NumPeers() })
+
+	o.okAfter = lookupPhase(t, sys, peers, keys)
+	return o
+}
+
+// serverHostFor places the server on a stub host when the runtime has a
+// physical model and on host 0 otherwise — the same fallback the protocol
+// itself uses for peers.
+func serverHostFor(rt runtime.Runtime) int {
+	if pl := rt.Placement(); pl != nil {
+		if stubs := pl.StubHosts(); len(stubs) > 0 {
+			return stubs[0]
+		}
+	}
+	return 0
+}
+
+func lookupPhase(t *testing.T, sys *core.System, peers []*core.Peer, keys []string) int {
+	t.Helper()
+	rt := sys.Runtime()
+	ok := 0
+	for i := 0; i < scenarioLookups; i++ {
+		origin := peers[(i*53)%len(peers)]
+		rt.Do(func() {
+			if !origin.Alive() {
+				if livePeers := sys.Peers(); len(livePeers) > 0 {
+					origin = livePeers[i%len(livePeers)]
+				}
+			}
+		})
+		r, err := sys.LookupSync(origin, keys[(i*17)%len(keys)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OK {
+			ok++
+		}
+	}
+	return ok
+}
+
+// awaitInvariants polls CheckInvariants until it passes or a wall-clock
+// deadline expires. Under the DES the first poll already sees quiescence;
+// under the live runtime a repair can be observed mid-flight.
+func awaitInvariants(t *testing.T, rt runtime.Runtime, sys *core.System, phase string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		var err error
+		rt.Do(func() { err = sys.CheckInvariants() })
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("invariants %s: %v", phase, err)
+		}
+		rt.Sleep(100 * runtime.Millisecond)
+	}
+}
+
+func desOutcome(t *testing.T) outcome {
+	t.Helper()
+	topo, err := topology.GenerateTransitStub(topology.DefaultConfig(), scenarioSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New(scenarioSeed)
+	net := simnet.New(eng, topo, simnet.DefaultConfig())
+	return runScenario(t, simnet.NewRuntime(eng, net), desConfig())
+}
+
+func liveOutcome(t *testing.T) outcome {
+	t.Helper()
+	rt := live.New(live.Config{Seed: scenarioSeed, Delay: 200 * time.Microsecond, AwaitTimeout: 60 * time.Second})
+	t.Cleanup(rt.Close)
+	return runScenario(t, rt, liveConfig())
+}
+
+// TestConformanceDESvsLive runs the shared scenario on both runtimes and
+// compares the protocol-level outcomes.
+func TestConformanceDESvsLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live half needs wall-clock seconds")
+	}
+	des := desOutcome(t)
+	lv := liveOutcome(t)
+
+	// Address allocation is part of the runtime contract: both implementations
+	// hand out server=0, peers=1,2,… so traces and registries line up.
+	if len(des.addrs) != len(lv.addrs) {
+		t.Fatalf("peer counts differ: des=%d live=%d", len(des.addrs), len(lv.addrs))
+	}
+	for i := range des.addrs {
+		if des.addrs[i] != lv.addrs[i] {
+			t.Fatalf("addr sequence diverges at %d: des=%d live=%d", i, des.addrs[i], lv.addrs[i])
+		}
+	}
+
+	for name, o := range map[string]outcome{"des": des, "live": lv} {
+		if o.tPeers == 0 || o.sPeers == 0 {
+			t.Errorf("%s: degenerate split: %d t-peers, %d s-peers", name, o.tPeers, o.sPeers)
+		}
+		if o.tPeers+o.sPeers != scenarioN {
+			t.Errorf("%s: %d+%d peers, want %d", name, o.tPeers, o.sPeers, scenarioN)
+		}
+		if o.stored != scenarioItems {
+			t.Errorf("%s: stored %d/%d items", name, o.stored, scenarioItems)
+		}
+		if o.okBefore < scenarioLookups*98/100 {
+			t.Errorf("%s: pre-crash lookups %d/%d", name, o.okBefore, scenarioLookups)
+		}
+		if o.survivors != scenarioN-scenarioCrash {
+			t.Errorf("%s: %d survivors, want %d", name, o.survivors, scenarioN-scenarioCrash)
+		}
+		// Crashing 5/48 peers loses at most the items they held; both
+		// runtimes must keep the success rate in the same band.
+		if o.okAfter < scenarioLookups*70/100 {
+			t.Errorf("%s: post-crash lookups %d/%d below 70%%", name, o.okAfter, scenarioLookups)
+		}
+	}
+
+	// Equivalent lookup success: the two runtimes may lose different items
+	// (victim draws interleave differently), but the rates must be close.
+	diff := des.okAfter - lv.okAfter
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > scenarioLookups*25/100 {
+		t.Errorf("post-crash success diverges: des=%d live=%d (Δ%d of %d)",
+			des.okAfter, lv.okAfter, diff, scenarioLookups)
+	}
+	t.Logf("des:  %+v", des)
+	t.Logf("live: %+v", lv)
+}

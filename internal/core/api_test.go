@@ -194,7 +194,7 @@ func TestDeterministicRuns(t *testing.T) {
 			}
 			hops += r.Hops
 		}
-		return sys.Stats(), hops, int(sys.Eng.Dispatched())
+		return sys.Stats(), hops, int(sys.Eng().Dispatched())
 	}
 	s1, h1, d1 := run()
 	s2, h2, d2 := run()

@@ -3,14 +3,8 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/internal/runtime"
 )
-
-// maxStepsPerOp bounds how many engine events a single synchronous join or
-// data operation may consume before the builder declares it stuck. The
-// periodic tickers keep the event queue non-empty forever, so "run to
-// quiescence" is not a usable stop condition.
-const maxStepsPerOp = 20_000_000
 
 // PopulationOpts configures BuildPopulation.
 type PopulationOpts struct {
@@ -34,9 +28,13 @@ type PopulationOpts struct {
 // sequentially keeps runs deterministic; concurrent joins are exercised
 // separately by the tests.
 func (s *System) BuildPopulation(o PopulationOpts) ([]*Peer, []JoinStats, error) {
-	stubs := s.Topo.StubNodes()
+	var stubs []int
+	if pl := s.rt.Placement(); pl != nil {
+		stubs = pl.StubHosts()
+	}
 	if len(stubs) == 0 {
-		return nil, nil, fmt.Errorf("core: topology has no stub nodes to host peers")
+		// Placement-free runtimes host every peer on host 0.
+		stubs = []int{0}
 	}
 	peers := make([]*Peer, 0, o.N)
 	stats := make([]JoinStats, 0, o.N)
@@ -48,7 +46,7 @@ func (s *System) BuildPopulation(o PopulationOpts) ([]*Peer, []JoinStats, error)
 		if i < len(o.Hosts) {
 			opts.Host = o.Hosts[i]
 		} else {
-			opts.Host = stubs[s.Eng.Rand().Intn(len(stubs))]
+			s.rt.Do(func() { opts.Host = stubs[s.rt.Rand().Intn(len(stubs))] })
 		}
 		if i < len(o.Interests) {
 			opts.Interest = o.Interests[i]
@@ -69,17 +67,15 @@ func (s *System) JoinSync(opts JoinOpts) (*Peer, JoinStats, error) {
 		done  bool
 		stats JoinStats
 	)
-	p := s.Join(opts, func(_ *Peer, js JoinStats) {
-		done = true
-		stats = js
+	var p *Peer
+	s.rt.Do(func() {
+		p = s.Join(opts, func(_ *Peer, js JoinStats) {
+			done = true
+			stats = js
+		})
 	})
-	for steps := 0; !done; steps++ {
-		if steps > maxStepsPerOp {
-			return p, stats, fmt.Errorf("join of peer %d did not complete in %d events", p.Addr, maxStepsPerOp)
-		}
-		if !s.Eng.Step() {
-			return p, stats, fmt.Errorf("join of peer %d stalled: event queue empty", p.Addr)
-		}
+	if err := s.rt.Await(func() bool { return done }); err != nil {
+		return p, stats, fmt.Errorf("join of peer %d: %w", p.Addr, err)
 	}
 	return p, stats, nil
 }
@@ -103,45 +99,39 @@ func (s *System) runOp(issue func(done func(OpResult))) (OpResult, error) {
 		finished bool
 		result   OpResult
 	)
-	issue(func(r OpResult) {
-		finished = true
-		result = r
+	s.rt.Do(func() {
+		issue(func(r OpResult) {
+			finished = true
+			result = r
+		})
 	})
-	for steps := 0; !finished; steps++ {
-		if steps > maxStepsPerOp {
-			return result, fmt.Errorf("core: operation did not complete in %d events", maxStepsPerOp)
-		}
-		if !s.Eng.Step() {
-			return result, fmt.Errorf("core: operation stalled: event queue empty")
-		}
+	if err := s.rt.Await(func() bool { return finished }); err != nil {
+		return result, fmt.Errorf("core: operation: %w", err)
 	}
 	return result, nil
 }
 
 // SearchSync runs a prefix search and drives the engine until its window
 // closes (or it fills maxResults).
-func (s *System) SearchSync(p *Peer, prefix string, maxResults int, window sim.Time) (SearchResult, error) {
+func (s *System) SearchSync(p *Peer, prefix string, maxResults int, window runtime.Time) (SearchResult, error) {
 	var (
 		finished bool
 		result   SearchResult
 	)
-	p.SearchPrefix(prefix, maxResults, window, func(r SearchResult) {
-		finished = true
-		result = r
+	s.rt.Do(func() {
+		p.SearchPrefix(prefix, maxResults, window, func(r SearchResult) {
+			finished = true
+			result = r
+		})
 	})
-	for steps := 0; !finished; steps++ {
-		if steps > maxStepsPerOp {
-			return result, fmt.Errorf("core: search did not complete in %d events", maxStepsPerOp)
-		}
-		if !s.Eng.Step() {
-			return result, fmt.Errorf("core: search stalled: event queue empty")
-		}
+	if err := s.rt.Await(func() bool { return finished }); err != nil {
+		return result, fmt.Errorf("core: search: %w", err)
 	}
 	return result, nil
 }
 
-// Settle advances simulated time by d, letting periodic maintenance (HELLO
-// rounds, finger refresh, watchdogs) run.
-func (s *System) Settle(d sim.Time) {
-	s.Eng.RunUntil(s.Eng.Now() + d)
+// Settle advances time by d, letting periodic maintenance (HELLO rounds,
+// finger refresh, watchdogs) run.
+func (s *System) Settle(d runtime.Time) {
+	s.rt.Sleep(d)
 }

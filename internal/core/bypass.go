@@ -2,8 +2,7 @@ package core
 
 import (
 	"repro/internal/idspace"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // bypassLink is a soft cross-s-network shortcut (§5.4). Links expire when
@@ -11,7 +10,7 @@ import (
 type bypassLink struct {
 	peer  Ref
 	segLo idspace.ID
-	timer *sim.Timer
+	timer *runtime.Timer
 }
 
 // addBypass installs a bypass link to a peer of another s-network, obeying
@@ -28,7 +27,7 @@ func (p *Peer) installBypass(peer Ref, segLo idspace.ID, announce bool) {
 		return
 	}
 	if p.bypass == nil {
-		p.bypass = make(map[simnet.Addr]*bypassLink)
+		p.bypass = make(map[runtime.Addr]*bypassLink)
 	}
 	if l, ok := p.bypass[peer.Addr]; ok {
 		l.peer = peer
@@ -41,7 +40,7 @@ func (p *Peer) installBypass(peer Ref, segLo idspace.ID, announce bool) {
 	}
 	addr := peer.Addr
 	l := &bypassLink{peer: peer, segLo: segLo}
-	l.timer = sim.NewTimer(p.sys.Eng, p.sys.Cfg.BypassTTL, func() {
+	l.timer = runtime.NewTimer(p.sys.rt, p.sys.Cfg.BypassTTL, func() {
 		delete(p.bypass, addr)
 	})
 	l.timer.Start()

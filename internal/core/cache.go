@@ -16,19 +16,19 @@ package core
 import (
 	"repro/internal/idspace"
 	"repro/internal/obs"
-	"repro/internal/sim"
+	"repro/internal/runtime"
 )
 
 // cacheEntry is one surrogate copy with its idle-expiry timer.
 type cacheEntry struct {
 	item  Item
-	timer *sim.Timer
+	timer *runtime.Timer
 }
 
 // serveStat tracks per-item serve counts inside the current hot window.
 type serveStat struct {
 	count       int
-	windowStart sim.Time
+	windowStart runtime.Time
 }
 
 // cacheAdd pushes a surrogate copy to a neighbor.
@@ -67,7 +67,7 @@ func (p *Peer) recordServe(it Item) {
 	if p.serves == nil {
 		p.serves = make(map[idspace.ID]*serveStat)
 	}
-	now := p.sys.Eng.Now()
+	now := p.sys.rt.Now()
 	st, ok := p.serves[it.DID]
 	if !ok || now-st.windowStart > p.sys.Cfg.CacheWindow {
 		st = &serveStat{windowStart: now}
@@ -87,7 +87,7 @@ func (p *Peer) pushSurrogates(it Item) {
 	if len(nbs) == 0 {
 		return
 	}
-	rng := p.sys.Eng.Rand()
+	rng := p.sys.rt.Rand()
 	fanout := p.sys.Cfg.CacheFanout
 	if fanout > len(nbs) {
 		fanout = len(nbs)
@@ -114,7 +114,7 @@ func (p *Peer) handleCacheAdd(m cacheAdd) {
 	}
 	did := m.Item.DID
 	e := &cacheEntry{item: m.Item}
-	e.timer = sim.NewTimer(p.sys.Eng, p.sys.Cfg.CacheTTL, func() {
+	e.timer = runtime.NewTimer(p.sys.rt, p.sys.Cfg.CacheTTL, func() {
 		delete(p.cache, did)
 	})
 	e.timer.Start()

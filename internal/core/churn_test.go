@@ -29,17 +29,17 @@ func TestSustainedChurnKeepsInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.Settle(10 * sim.Second)
-	schedule := workload.PoissonSchedule(sys.Eng.Rand(), workload.ChurnConfig{
+	schedule := workload.PoissonSchedule(sys.Eng().Rand(), workload.ChurnConfig{
 		Duration: 120 * sim.Second, JoinRate: 0.5, LeaveRate: 0.25, CrashRate: 0.25,
 	})
-	stubs := sys.Topo.StubNodes()
-	base := sys.Eng.Now()
+	stubs := sys.Topo().StubNodes()
+	base := sys.Eng().Now()
 	for _, ev := range schedule {
 		ev := ev
-		sys.Eng.At(base+ev.At, func() {
+		sys.Eng().At(base+ev.At, func() {
 			switch ev.Kind {
 			case workload.Join:
-				sys.Join(JoinOpts{Host: stubs[sys.Eng.Rand().Intn(len(stubs))], Capacity: 1}, nil)
+				sys.Join(JoinOpts{Host: stubs[sys.Eng().Rand().Intn(len(stubs))], Capacity: 1}, nil)
 			default:
 				live := sys.Peers()
 				if len(live) <= 3 {
@@ -56,8 +56,8 @@ func TestSustainedChurnKeepsInvariants(t *testing.T) {
 	}
 	sys.Settle(120*sim.Second + 6*sys.Cfg.HelloTimeout)
 	var lines []string
-	SetTraceHook(func(f string, a ...any) { lines = append(lines, sprintfT(f, a...)) })
-	defer SetTraceHook(nil)
+	sys.SetTraceHook(func(f string, a ...any) { lines = append(lines, sprintfT(f, a...)) })
+	defer sys.SetTraceHook(nil)
 	sys.Settle(4 * sys.Cfg.HelloTimeout)
 	if err := sys.CheckRing(); err != nil {
 		_ = lines
@@ -129,51 +129,51 @@ func TestChurnStormUnderFaults(t *testing.T) {
 				JitterMax: 10 * sim.Millisecond,
 				Seed:      9000 + int64(rate*1000),
 			}
-			arm := func() { sys.Net.SetFaults(simnet.NewFaults(fc)) }
+			arm := func() { sys.Net().SetFaults(simnet.NewFaults(fc)) }
 			arm()
 			if _, _, err := sys.BuildPopulation(PopulationOpts{N: 120}); err != nil {
 				t.Fatal(err)
 			}
 			sys.Settle(10 * sim.Second)
-			stubs := sys.Topo.StubNodes()
+			stubs := sys.Topo().StubNodes()
 			for epoch := 0; epoch < epochs; epoch++ {
 				// One storm burst: nine churn events (joins, graceful
 				// leaves, crashes) spread over ~3 seconds.
 				for i := 0; i < 9; i++ {
-					at := sys.Eng.Now() + sim.Time(i)*300*sim.Millisecond
+					at := sys.Eng().Now() + sim.Time(i)*300*sim.Millisecond
 					switch i % 3 {
 					case 0:
-						host := stubs[sys.Eng.Rand().Intn(len(stubs))]
-						sys.Eng.At(at, func() {
+						host := stubs[sys.Eng().Rand().Intn(len(stubs))]
+						sys.Eng().At(at, func() {
 							sys.Join(JoinOpts{Host: host, Capacity: 1}, nil)
 						})
 					case 1:
-						sys.Eng.At(at, func() {
+						sys.Eng().At(at, func() {
 							live := sys.Peers()
 							if len(live) <= 5 {
 								return
 							}
-							live[sys.Eng.Rand().Intn(len(live))].Leave()
+							live[sys.Eng().Rand().Intn(len(live))].Leave()
 						})
 					default:
-						sys.Eng.At(at, func() {
+						sys.Eng().At(at, func() {
 							live := sys.Peers()
 							if len(live) <= 5 {
 								return
 							}
-							live[sys.Eng.Rand().Intn(len(live))].Crash()
+							live[sys.Eng().Rand().Intn(len(live))].Crash()
 						})
 					}
 				}
 				sys.Settle(4 * sys.Cfg.HelloTimeout)
-				sys.Net.SetFaults(nil)
+				sys.Net().SetFaults(nil)
 				sys.Settle(6 * sys.Cfg.HelloTimeout)
 				if err := sys.CheckInvariants(); err != nil {
 					t.Fatalf("drop=%g epoch %d: %v", rate, epoch, err)
 				}
 				arm()
 			}
-			if rate > 0 && sys.Net.Stats().MessagesDropped == 0 {
+			if rate > 0 && sys.Net().Stats().MessagesDropped == 0 {
 				t.Fatalf("fault layer armed with drop rate %g but dropped nothing", rate)
 			}
 		})

@@ -16,7 +16,7 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/internal/runtime"
 )
 
 // Role distinguishes the two peer kinds.
@@ -123,7 +123,7 @@ type Config struct {
 
 	// Bypass enables bypass links (§5.4); BypassTTL is their idle expiry.
 	Bypass    bool
-	BypassTTL sim.Time
+	BypassTTL runtime.Time
 
 	// TrackerMode turns every s-network into a BitTorrent-style tracker
 	// network (§5.5): the t-peer indexes its s-network's content and no
@@ -149,8 +149,8 @@ type Config struct {
 	// CacheTTL of idleness.
 	Caching           bool
 	CacheHotThreshold int
-	CacheWindow       sim.Time
-	CacheTTL          sim.Time
+	CacheWindow       runtime.Time
+	CacheTTL          runtime.Time
 	CacheFanout       int
 
 	// SuccessorRouting forwards data operations along successor pointers
@@ -164,15 +164,15 @@ type Config struct {
 
 	// HelloEvery is the heartbeat period; HelloTimeout the failure
 	// detection timeout; SuppressTimeout gates acknowledgment messages.
-	HelloEvery      sim.Time
-	HelloTimeout    sim.Time
-	SuppressTimeout sim.Time
+	HelloEvery      runtime.Time
+	HelloTimeout    runtime.Time
+	SuppressTimeout runtime.Time
 
 	// LookupTimeout bounds lookup and store operations.
-	LookupTimeout sim.Time
+	LookupTimeout runtime.Time
 	// JoinTimeout bounds a join before the peer retries through the
 	// server.
-	JoinTimeout sim.Time
+	JoinTimeout runtime.Time
 
 	// MessageBytes is the nominal control message size; DataBytes the
 	// nominal data item payload size.
@@ -180,7 +180,7 @@ type Config struct {
 	DataBytes    int
 
 	// FingerRefreshEvery is the period of the t-network finger refresh.
-	FingerRefreshEvery sim.Time
+	FingerRefreshEvery runtime.Time
 }
 
 // DefaultConfig returns the parameter set used by the paper-scale
@@ -195,21 +195,21 @@ func DefaultConfig() Config {
 		Assignment:         AssignSmallest,
 		MaxLinkUsage:       3,
 		Landmarks:          8,
-		BypassTTL:          120 * sim.Second,
+		BypassTTL:          120 * runtime.Second,
 		Reflood:            0,
-		HelloEvery:         2 * sim.Second,
-		HelloTimeout:       5 * sim.Second,
-		SuppressTimeout:    1 * sim.Second,
-		LookupTimeout:      30 * sim.Second,
-		JoinTimeout:        30 * sim.Second,
+		HelloEvery:         2 * runtime.Second,
+		HelloTimeout:       5 * runtime.Second,
+		SuppressTimeout:    1 * runtime.Second,
+		LookupTimeout:      30 * runtime.Second,
+		JoinTimeout:        30 * runtime.Second,
 		MessageBytes:       128,
 		DataBytes:          512,
-		FingerRefreshEvery: 2 * sim.Second,
+		FingerRefreshEvery: 2 * runtime.Second,
 		WalkCount:          4,
 		WalkTTL:            32,
 		CacheHotThreshold:  8,
-		CacheWindow:        30 * sim.Second,
-		CacheTTL:           120 * sim.Second,
+		CacheWindow:        30 * runtime.Second,
+		CacheTTL:           120 * runtime.Second,
 		CacheFanout:        2,
 	}
 }

@@ -279,7 +279,7 @@ func TestRecoveryPathsUnderFaults(t *testing.T) {
 					c.Ps = sc.ps
 					hardenedConfig(c)
 				})
-				sys.Net.SetFaults(simnet.NewFaults(row.fc))
+				sys.Net().SetFaults(simnet.NewFaults(row.fc))
 				if _, _, err := sys.BuildPopulation(PopulationOpts{N: 50}); err != nil {
 					t.Fatal(err)
 				}
@@ -292,7 +292,7 @@ func TestRecoveryPathsUnderFaults(t *testing.T) {
 				// The invariant contract is convergence: once delivery is
 				// restored, every repair must complete and the system must
 				// reach a fully consistent fixpoint.
-				sys.Net.SetFaults(nil)
+				sys.Net().SetFaults(nil)
 				sys.Settle(6 * sys.Cfg.HelloTimeout)
 				if err := sys.CheckInvariants(); err != nil {
 					t.Fatalf("invariants under %s faults: %v", row.name, err)

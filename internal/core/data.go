@@ -6,8 +6,7 @@ import (
 
 	"repro/internal/idspace"
 	"repro/internal/obs"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // CategoryID maps an interest category to the ring position whose s-network
@@ -68,17 +67,18 @@ func (p *Peer) newOp(kind, key string, done func(OpResult)) (*op, uint64) {
 		qid:   qid,
 		did:   idspace.HashKey(key),
 		sid:   p.segmentID(key),
-		start: p.sys.Eng.Now(),
+		start: p.sys.rt.Now(),
 		ttl:   p.sys.Cfg.TTL,
 		done:  done,
 	}
 	p.pending[qid] = o
-	o.timer = p.sys.Eng.After(p.sys.Cfg.LookupTimeout, func() {
+	timerAt := p.sys.rt.Now() + p.sys.Cfg.LookupTimeout
+	o.timer = p.sys.rt.Schedule(p.sys.Cfg.LookupTimeout, func() {
 		p.opTimeout(qid)
 	})
-	tracef("t=%v NEWOP peer=%d qid=%d kind=%s key=%s timerAt=%v", p.sys.Eng.Now(), p.Addr, qid, kind, key, o.timer.At())
+	p.sys.tracef("t=%v NEWOP peer=%d qid=%d kind=%s key=%s timerAt=%v", p.sys.rt.Now(), p.Addr, qid, kind, key, timerAt)
 	if kind == "lookup" {
-		p.sys.trace(obs.EvLookupStart, qid, p.Addr, simnet.None, 0, key)
+		p.sys.trace(obs.EvLookupStart, qid, p.Addr, runtime.None, 0, key)
 	}
 	return o, qid
 }
@@ -86,17 +86,17 @@ func (p *Peer) newOp(kind, key string, done func(OpResult)) (*op, uint64) {
 // finishOp completes an operation exactly once and reports the result.
 func (p *Peer) finishOp(qid uint64, r OpResult) {
 	o, ok := p.pending[qid]
-	tracef("t=%v FINISH peer=%d qid=%d known=%v ok=%v", p.sys.Eng.Now(), p.Addr, qid, ok, r.OK)
+	p.sys.tracef("t=%v FINISH peer=%d qid=%d known=%v ok=%v", p.sys.rt.Now(), p.Addr, qid, ok, r.OK)
 	if !ok {
 		return
 	}
 	delete(p.pending, qid)
-	p.sys.Eng.Cancel(o.timer)
+	p.sys.rt.Unschedule(o.timer)
 	r.Key = o.key
-	r.Latency = p.sys.Eng.Now() - o.start
+	r.Latency = p.sys.rt.Now() - o.start
 	r.Contacts = p.sys.takeContacts(qid)
 	if !r.OK {
-		p.sys.trace(obs.EvLookupFail, qid, p.Addr, simnet.None, r.Hops, o.kind)
+		p.sys.trace(obs.EvLookupFail, qid, p.Addr, runtime.None, r.Hops, o.kind)
 	}
 	if o.done != nil {
 		o.done(r)
@@ -107,18 +107,18 @@ func (p *Peer) finishOp(qid uint64, r OpResult) {
 // if configured (§3.4), otherwise declares failure.
 func (p *Peer) opTimeout(qid uint64) {
 	o, ok := p.pending[qid]
-	tracef("t=%v OPTIMEOUT peer=%d qid=%d known=%v", p.sys.Eng.Now(), p.Addr, qid, ok)
+	p.sys.tracef("t=%v OPTIMEOUT peer=%d qid=%d known=%v", p.sys.rt.Now(), p.Addr, qid, ok)
 	if !ok {
 		return
 	}
-	o.timer = sim.Handle{}
+	o.timer = runtime.Handle{}
 	if o.kind == "lookup" && o.attempt < p.sys.Cfg.Reflood && p.inLocalSegment(o.sid) && !p.sys.Cfg.TrackerMode {
 		o.attempt++
 		o.ttl++
 		// "The peer may choose to increase the TTL value and the
 		// expiration duration of the timer and reflood."
-		longer := p.sys.Cfg.LookupTimeout * sim.Time(1<<uint(o.attempt))
-		o.timer = p.sys.Eng.After(longer, func() {
+		longer := p.sys.Cfg.LookupTimeout * runtime.Time(1<<uint(o.attempt))
+		o.timer = p.sys.rt.Schedule(longer, func() {
 			p.opTimeout(qid)
 		})
 		p.floodOut(qid, o.did, o.ttl, p.Ref())
@@ -140,7 +140,7 @@ func (p *Peer) Store(key, value string, done func(OpResult)) {
 		return
 	}
 	req := storeReq{Item: it, SID: o.sid, Origin: p.Ref(), Tag: qid, Hops: 1}
-	p.forwardTowardSegment(req.SID, req, simnet.None)
+	p.forwardTowardSegment(req.SID, req, runtime.None)
 }
 
 // storeLocal inserts an item into the local database and, in tracker mode,
@@ -156,7 +156,7 @@ func (p *Peer) storeLocal(it Item) {
 // climb to their connect point, t-peers route along the ring with fingers.
 // Returns without sending when this peer already owns the segment (callers
 // check ownership first).
-func (p *Peer) forwardTowardSegment(sid idspace.ID, msg any, from simnet.Addr) {
+func (p *Peer) forwardTowardSegment(sid idspace.ID, msg any, from runtime.Addr) {
 	if p.Role == SPeer {
 		if p.cp.Valid() {
 			p.send(p.cp.Addr, msg)
@@ -204,20 +204,25 @@ func (p *Peer) rehomeForeignItems() {
 	if len(moved) == 0 {
 		return
 	}
-	// Deterministic send order: map iteration order must not leak into the
-	// event sequence.
-	sort.Slice(moved, func(i, j int) bool { return moved[i].DID < moved[j].DID })
+	sortItemsByDID(moved)
 	for _, it := range moved {
 		delete(p.data, it.DID)
 		sid := p.segmentID(it.Key)
 		p.sys.stats.ItemsRehomed++
-		p.forwardTowardSegment(sid, storeReq{Item: it, SID: sid, Origin: p.Ref(), Hops: 1}, simnet.None)
+		p.forwardTowardSegment(sid, storeReq{Item: it, SID: sid, Origin: p.Ref(), Hops: 1}, runtime.None)
 	}
+}
+
+// sortItemsByDID puts an item batch in deterministic order before it is sent
+// or announced. Every batch is collected by ranging over the data map, and map
+// iteration order must not leak into the event sequence.
+func sortItemsByDID(items []Item) {
+	sort.Slice(items, func(i, j int) bool { return items[i].DID < items[j].DID })
 }
 
 // handleStoreReq advances an insertion toward the owning segment and places
 // the item once it arrives.
-func (p *Peer) handleStoreReq(from simnet.Addr, m storeReq) {
+func (p *Peer) handleStoreReq(from runtime.Addr, m storeReq) {
 	if m.Hops > routeHopLimit {
 		return // looping route; the op timer fails the store
 	}
@@ -243,7 +248,7 @@ func (p *Peer) handleStoreReq(from simnet.Addr, m storeReq) {
 func (p *Peer) handleSpreadReq(m spreadReq) {
 	candidates := p.Children()
 	// Index len(candidates) stands for "keep it here".
-	pick := p.sys.Eng.Rand().Intn(len(candidates) + 1)
+	pick := p.sys.rt.Rand().Intn(len(candidates) + 1)
 	if pick == len(candidates) {
 		p.storeLocal(m.Item)
 		p.send(m.Origin.Addr, storeAck{Tag: m.Tag, Holder: p.Ref(), HolderSegLo: p.segLo, Hops: m.Hops})

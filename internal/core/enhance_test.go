@@ -116,7 +116,7 @@ func TestClusterAssignmentGroupsNearbyPeers(t *testing.T) {
 	// Host peers in pairs on the same physical node: both halves of a pair
 	// have identical landmark coordinates and should mostly share an
 	// s-network.
-	stubs := sys.Topo.StubNodes()
+	stubs := sys.Topo().StubNodes()
 	hosts := make([]int, 60)
 	for i := range hosts {
 		hosts[i] = stubs[(i/2)*7%len(stubs)]
@@ -150,7 +150,7 @@ func TestLandmarkCoordOrdersByDistance(t *testing.T) {
 		c.TopologyAware = true
 		c.Landmarks = 4
 	})
-	stubs := sys.Topo.StubNodes()
+	stubs := sys.Topo().StubNodes()
 	a := sys.landmarkCoord(stubs[0])
 	b := sys.landmarkCoord(stubs[0])
 	if a != b {

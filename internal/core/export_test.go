@@ -1,0 +1,24 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+)
+
+// Test-only accessors into the discrete-event runtime underneath a System.
+// The shipped package is engine-agnostic (it imports only internal/runtime);
+// the tests, which all run on the DES runtime, still need to single-step the
+// engine, inject faults and inspect the topology. Living in a _test.go file,
+// these helpers keep sim/simnet out of the package's import graph.
+
+func (s *System) desRuntime() *simnet.Runtime { return s.rt.(*simnet.Runtime) }
+
+// Eng returns the simulation engine under the system's runtime.
+func (s *System) Eng() *sim.Engine { return s.desRuntime().Eng }
+
+// Net returns the simulated network under the system's runtime.
+func (s *System) Net() *simnet.Network { return s.desRuntime().Net }
+
+// Topo returns the physical topology under the system's runtime.
+func (s *System) Topo() *topology.Graph { return s.desRuntime().Net.Topo }

@@ -117,7 +117,7 @@ func TestWalkContactsFewerPeersThanFlood(t *testing.T) {
 		done := false
 		origin.Lookup(key, func(r OpResult) { done = true; contacts = r.Contacts })
 		for !done {
-			if !sys.Eng.Step() {
+			if !sys.Eng().Step() {
 				t.Fatal("engine dry")
 			}
 		}

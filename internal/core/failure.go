@@ -1,19 +1,18 @@
 package core
 
 import (
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // neighborTimeout fires when a monitored neighbor produced neither a HELLO
 // nor an acknowledgment within the timeout: the neighbor is presumed
 // crashed (§3.2.2) and recovery depends on who it was.
-func (p *Peer) neighborTimeout(nb simnet.Addr) {
+func (p *Peer) neighborTimeout(nb runtime.Addr) {
 	if !p.alive {
 		return
 	}
 	p.sys.stats.WatchdogExpiries++
-	tracef("t=%v TIMEOUT at=%d nb=%d role=%v pred=%d succ=%d cp=%d", p.sys.Eng.Now(), p.Addr, nb, p.Role, p.pred.Addr, p.succ.Addr, p.cp.Addr)
+	p.sys.tracef("t=%v TIMEOUT at=%d nb=%d role=%v pred=%d succ=%d cp=%d", p.sys.rt.Now(), p.Addr, nb, p.Role, p.pred.Addr, p.succ.Addr, p.cp.Addr)
 	p.unwatch(nb)
 
 	// A crashed child: drop it from the tree. Its own subtree re-attaches
@@ -30,7 +29,7 @@ func (p *Peer) neighborTimeout(nb simnet.Addr) {
 			root = p.Ref()
 		}
 		if root.Valid() {
-			p.send(ServerAddr, sUnregister{TPeer: root})
+			p.send(p.sys.serverAddr, sUnregister{TPeer: root})
 		}
 		return
 	}
@@ -39,7 +38,7 @@ func (p *Peer) neighborTimeout(nb simnet.Addr) {
 		if p.tpeer.Addr == nb {
 			// Our connect point was the t-peer itself: compete to
 			// replace it (§3.2.1).
-			p.send(ServerAddr, replaceReq{Crashed: p.tpeer, Self: p.Ref()})
+			p.send(p.sys.serverAddr, replaceReq{Crashed: p.tpeer, Self: p.Ref()})
 			p.armReplaceRetry(p.tpeer)
 			return
 		}
@@ -77,7 +76,7 @@ func (p *Peer) neighborTimeout(nb simnet.Addr) {
 			delete(p.suspect, nb)
 			return
 		}
-		p.send(ServerAddr, ringDeadReq{Crashed: crashed, Self: p.Ref()})
+		p.send(p.sys.serverAddr, ringDeadReq{Crashed: crashed, Self: p.Ref()})
 		// Keep watching: if recovery stalls we report again.
 		p.watch(nb)
 	}
@@ -90,7 +89,7 @@ func (p *Peer) neighborTimeout(nb simnet.Addr) {
 // server is idempotent and steers late reporters to the winner.
 func (p *Peer) armReplaceRetry(crashed Ref) {
 	addr := p.Addr
-	p.sys.Eng.After(p.sys.Cfg.HelloTimeout, func() {
+	p.sys.rt.Schedule(p.sys.Cfg.HelloTimeout, func() {
 		pp := p.sys.peers[addr]
 		if pp == nil || !pp.alive || pp.Role != SPeer || pp.cp.Addr != crashed.Addr {
 			return // arbitration concluded: promoted, re-homed, or gone
@@ -105,7 +104,7 @@ func (p *Peer) armReplaceRetry(crashed Ref) {
 			// forever.
 			return
 		}
-		pp.send(ServerAddr, replaceReq{Crashed: crashed, Self: pp.Ref()})
+		pp.send(p.sys.serverAddr, replaceReq{Crashed: crashed, Self: pp.Ref()})
 		pp.armReplaceRetry(crashed)
 	})
 }
@@ -161,7 +160,7 @@ func (p *Peer) handleReplaceResp(m replaceResp) {
 		p.watch(m.Pred.Addr)
 		p.watch(m.Succ.Addr)
 		if p.fingerTicker == nil {
-			p.fingerTicker = sim.NewTicker(p.sys.Eng, p.sys.Cfg.FingerRefreshEvery, p.refreshFingers)
+			p.fingerTicker = runtime.NewTicker(p.sys.rt, p.sys.Cfg.FingerRefreshEvery, p.refreshFingers)
 			p.fingerTicker.Start()
 		}
 		// Swap the dead address out of every finger table on the ring.
@@ -174,6 +173,7 @@ func (p *Peer) handleReplaceResp(m replaceResp) {
 			for _, it := range p.data {
 				items = append(items, it)
 			}
+			sortItemsByDID(items)
 			p.announceItems(items)
 		}
 		return
@@ -200,7 +200,7 @@ func (p *Peer) handleReplaceResp(m replaceResp) {
 	p.send(m.NewT.Addr, sJoinReq{Joiner: Ref{Addr: p.Addr}, Rejoin: true, Epoch: p.joinEpoch, Hops: 1})
 	// Guard against the replacement crashing too.
 	addr := p.Addr
-	p.sys.Eng.After(p.sys.Cfg.HelloTimeout, func() {
+	p.sys.rt.Schedule(p.sys.Cfg.HelloTimeout, func() {
 		pp := p.sys.peers[addr]
 		if pp == nil || !pp.alive || pp.cp.Valid() || pp.Role != SPeer {
 			return

@@ -52,7 +52,7 @@ func fuzzOnce(t *testing.T, seed int64) {
 	}
 	sys.Settle(6 * sys.Cfg.HelloEvery)
 
-	stubs := sys.Topo.StubNodes()
+	stubs := sys.Topo().StubNodes()
 	stored := 0
 	type inflight struct {
 		origin *Peer
@@ -135,7 +135,7 @@ func TestFuzzTrackerMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys.Settle(6 * sys.Cfg.HelloEvery)
-	stubs := sys.Topo.StubNodes()
+	stubs := sys.Topo().StubNodes()
 	stored := 0
 	for i := 0; i < 200; i++ {
 		live := sys.Peers()

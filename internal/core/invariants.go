@@ -6,7 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/idspace"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // This file is the system-wide invariant checker: a white-box audit of every
@@ -74,7 +74,7 @@ func (s *System) CheckDataOwnership() error {
 	if len(tps) == 0 {
 		return nil
 	}
-	owner := func(sid idspace.ID) simnet.Addr {
+	owner := func(sid idspace.ID) runtime.Addr {
 		i := sort.Search(len(tps), func(i int) bool { return tps[i].ID >= sid })
 		if i == len(tps) {
 			i = 0 // wrap: the smallest id owns the arc past the largest
@@ -147,11 +147,11 @@ func (s *System) CheckOpsDrained() error {
 func (s *System) CheckServerAccounting() error {
 	sv := s.server
 	tps := s.TPeers()
-	liveT := make(map[simnet.Addr]bool, len(tps))
+	liveT := make(map[runtime.Addr]bool, len(tps))
 	for _, p := range tps {
 		liveT[p.Addr] = true
 	}
-	reg := make(map[simnet.Addr]bool, len(sv.ring))
+	reg := make(map[runtime.Addr]bool, len(sv.ring))
 	for _, r := range sv.ring {
 		reg[r.Addr] = true
 		if !liveT[r.Addr] {
@@ -163,25 +163,37 @@ func (s *System) CheckServerAccounting() error {
 			return fmt.Errorf("core: live t-peer %d missing from server registry", p.Addr)
 		}
 	}
-	actual := make(map[simnet.Addr]int)
+	actual := make(map[runtime.Addr]int)
 	for _, p := range s.SPeers() {
 		if p.tpeer.Valid() {
 			actual[p.tpeer.Addr]++
 		}
 	}
-	for addr, size := range sv.snetSize {
+	// Sorted so a failing run always reports the same (lowest-address)
+	// violation rather than one picked by map iteration order.
+	tracked := make([]runtime.Addr, 0, len(sv.snetSize))
+	for addr := range sv.snetSize {
+		tracked = append(tracked, addr)
+	}
+	sort.Slice(tracked, func(i, j int) bool { return tracked[i] < tracked[j] })
+	for _, addr := range tracked {
 		if !reg[addr] {
 			return fmt.Errorf("core: server tracks s-network size for unregistered t-peer %d", addr)
 		}
-		if size != actual[addr] {
+		if size := sv.snetSize[addr]; size != actual[addr] {
 			return fmt.Errorf("core: server thinks s-network of t-peer %d has %d peers, actual %d", addr, size, actual[addr])
 		}
 	}
+	populated := make([]runtime.Addr, 0, len(actual))
 	for addr, n := range actual {
 		if n > 0 {
-			if _, ok := sv.snetSize[addr]; !ok {
-				return fmt.Errorf("core: s-network of t-peer %d has %d peers but no server size entry", addr, n)
-			}
+			populated = append(populated, addr)
+		}
+	}
+	sort.Slice(populated, func(i, j int) bool { return populated[i] < populated[j] })
+	for _, addr := range populated {
+		if _, ok := sv.snetSize[addr]; !ok {
+			return fmt.Errorf("core: s-network of t-peer %d has %d peers but no server size entry", addr, actual[addr])
 		}
 	}
 	if n := len(sv.deadPending); n > 0 {

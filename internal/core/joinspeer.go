@@ -1,7 +1,7 @@
 package core
 
 import (
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // handleSJoinReq walks a joining s-peer down the tree until it lands on a
@@ -34,7 +34,7 @@ func (p *Peer) handleSJoinReq(m sJoinReq) {
 			Hops:  m.Hops,
 		})
 		if !m.Rejoin {
-			p.send(ServerAddr, sRegister{TPeer: root})
+			p.send(p.sys.serverAddr, sRegister{TPeer: root})
 		}
 		return
 	}
@@ -55,7 +55,7 @@ func (p *Peer) handleSJoinReq(m sJoinReq) {
 		// joiner — then the walk dies and the rejoin retry covers it.
 		return
 	}
-	next := eligible[p.sys.Eng.Rand().Intn(len(eligible))]
+	next := eligible[p.sys.rt.Rand().Intn(len(eligible))]
 	m.Hops++
 	p.send(next.Addr, m)
 }
@@ -79,7 +79,7 @@ func (p *Peer) acceptChild() bool {
 // handleSJoinAck finalizes an s-peer's membership: it records its connect
 // point, its s-network's t-peer, and adopts the s-network's p_id ("the p_id
 // of the s-peer is the same as its neighbor").
-func (p *Peer) handleSJoinAck(from simnet.Addr, m sJoinAck) {
+func (p *Peer) handleSJoinAck(from runtime.Addr, m sJoinAck) {
 	if m.Epoch != p.joinEpoch {
 		return // handshake of an abandoned join attempt
 	}
@@ -111,22 +111,23 @@ func (p *Peer) leaveSPeer() {
 	if len(p.data) > 0 && len(nbs) > 0 {
 		// "The leaving s-peer should also choose a neighbor to transfer
 		// the load to."
-		target := nbs[p.sys.Eng.Rand().Intn(len(nbs))]
+		target := nbs[p.sys.rt.Rand().Intn(len(nbs))]
 		items := make([]Item, 0, len(p.data))
 		for _, it := range p.data {
 			items = append(items, it)
 		}
+		sortItemsByDID(items)
 		p.sendData(target.Addr, len(items), itemsMsg{Items: items})
 	}
 	if p.tpeer.Valid() {
-		p.send(ServerAddr, sUnregister{TPeer: p.tpeer})
+		p.send(p.sys.serverAddr, sUnregister{TPeer: p.tpeer})
 	}
 	p.stop()
 }
 
 // handleSLeave reacts to a neighbor's graceful departure: parents drop the
 // child; children whose connect point left rejoin through the t-peer.
-func (p *Peer) handleSLeave(from simnet.Addr) {
+func (p *Peer) handleSLeave(from runtime.Addr) {
 	if _, isChild := p.children[from]; isChild {
 		delete(p.children, from)
 		delete(p.childSubtree, from)
@@ -154,7 +155,7 @@ func (p *Peer) rejoin() {
 	// If the t-peer is also gone the request vanishes; the watchdog on
 	// nothing won't fire, so arm a retry through the server.
 	addr := p.Addr
-	p.sys.Eng.After(p.sys.Cfg.HelloTimeout, func() {
+	p.sys.rt.Schedule(p.sys.Cfg.HelloTimeout, func() {
 		pp := p.sys.peers[addr]
 		if pp == nil || !pp.alive || pp.cp.Valid() || pp.Role != SPeer {
 			return
@@ -180,8 +181,8 @@ func (p *Peer) rejoinViaServer() {
 	// The retry timer covers a lost request or response.
 	p.cp = NilRef
 	p.joined = false
-	p.joinStart = p.sys.Eng.Now()
+	p.joinStart = p.sys.rt.Now()
 	p.joinReq = req
 	p.armJoinTimer()
-	p.send(ServerAddr, req)
+	p.send(p.sys.serverAddr, req)
 }

@@ -3,8 +3,7 @@ package core
 import (
 	"repro/internal/idspace"
 	"repro/internal/obs"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // FingerBits is the finger table size (one entry per power of two of the
@@ -40,7 +39,7 @@ func (p *Peer) handleServerJoinResp(m serverJoinResp) {
 			for i := range p.finger {
 				p.finger[i] = self
 			}
-			p.send(ServerAddr, ringRegister{Self: self})
+			p.send(p.sys.serverAddr, ringRegister{Self: self})
 			p.sys.stats.TJoins++
 			p.completeJoin(0)
 			return
@@ -60,15 +59,15 @@ func (p *Peer) handleServerJoinResp(m serverJoinResp) {
 // pin included — and re-arms itself, so a join survives losing any number of
 // individual messages.
 func (p *Peer) armJoinTimer() {
-	p.sys.Eng.Cancel(p.joinTimer)
-	p.joinTimer = p.sys.Eng.After(p.sys.Cfg.JoinTimeout, func() {
+	p.sys.rt.Unschedule(p.joinTimer)
+	p.joinTimer = p.sys.rt.Schedule(p.sys.Cfg.JoinTimeout, func() {
 		if !p.alive || p.joined {
 			return
 		}
 		if p.sys.Cfg.TopologyAware {
 			p.joinReq.Coord = p.sys.landmarkCoord(p.Host)
 		}
-		p.send(ServerAddr, p.joinReq)
+		p.send(p.sys.serverAddr, p.joinReq)
 		p.armJoinTimer()
 	})
 }
@@ -124,7 +123,7 @@ func (p *Peer) startJoinTriangle(m tJoinReq) {
 	p.triJoiner = m.Joiner.Addr
 	p.triEpoch = m.Epoch
 	p.armMutexGuard(p.sys.Cfg.HelloTimeout)
-	tracef("t=%v TRIANGLE pre=%d joiner=%d succ=%d", p.sys.Eng.Now(), p.Addr, m.Joiner.Addr, p.succ.Addr)
+	p.sys.tracef("t=%v TRIANGLE pre=%d joiner=%d succ=%d", p.sys.rt.Now(), p.Addr, m.Joiner.Addr, p.succ.Addr)
 	setup := tJoinSetup{Pred: p.Ref(), Succ: p.succ, Epoch: m.Epoch, Hops: m.Hops}
 	// pre.check: resolve id conflicts with the midpoint rule (Table 1).
 	if m.Joiner.ID == p.ID || m.Joiner.ID == p.succ.ID {
@@ -136,7 +135,7 @@ func (p *Peer) startJoinTriangle(m tJoinReq) {
 }
 
 // handleTJoinSetup is the joiner receiving its ring neighbors from pre.
-func (p *Peer) handleTJoinSetup(from simnet.Addr, m tJoinSetup) {
+func (p *Peer) handleTJoinSetup(from runtime.Addr, m tJoinSetup) {
 	if m.Epoch != p.joinEpoch || p.Role != TPeer {
 		// Handshake of an abandoned join attempt: this triangle can never
 		// complete, so release pre's mutex right away.
@@ -176,7 +175,7 @@ func (p *Peer) handleTJoinSetup(from simnet.Addr, m tJoinSetup) {
 	p.armMutexGuard(p.sys.Cfg.JoinTimeout)
 	p.send(m.Succ.Addr, tJoinToSucc{Joiner: p.Ref(), Hops: m.Hops + 1})
 	p.armInsertRetry(m.Succ, 0)
-	p.send(ServerAddr, ringRegister{Self: p.Ref()})
+	p.send(p.sys.serverAddr, ringRegister{Self: p.Ref()})
 	p.sys.stats.TJoins++
 	p.completeJoin(m.Hops)
 }
@@ -192,7 +191,7 @@ func (p *Peer) armInsertRetry(succ Ref, attempt int) {
 		return // give up; the stabilize/notify pair reconciles eventually
 	}
 	epoch := p.joinEpoch
-	p.sys.Eng.After(p.sys.Cfg.HelloEvery, func() {
+	p.sys.rt.Schedule(p.sys.Cfg.HelloEvery, func() {
 		if !p.alive || !p.insertPending || p.joinEpoch != epoch || p.succ.Addr != succ.Addr {
 			return
 		}
@@ -207,10 +206,10 @@ func (p *Peer) armInsertRetry(succ Ref, attempt int) {
 // covers that), but pre's triangle needs only a few message hops, so pre's
 // guard is much shorter — a queue of triangles whose joiners crashed must
 // not wedge pre for minutes, one JoinTimeout each.
-func (p *Peer) armMutexGuard(d sim.Time) {
+func (p *Peer) armMutexGuard(d runtime.Time) {
 	p.mutexEpoch++
 	epoch := p.mutexEpoch
-	p.sys.Eng.After(d, func() {
+	p.sys.rt.Schedule(d, func() {
 		if p.alive && p.joining && p.mutexEpoch == epoch {
 			p.joining = false
 			p.drainJoinQueue()
@@ -221,7 +220,7 @@ func (p *Peer) armMutexGuard(d sim.Time) {
 // handleTJoinToSucc is succ learning about the inserted joiner: it adopts the
 // joiner as predecessor, triggers the load transfer and closes the triangle.
 func (p *Peer) handleTJoinToSucc(m tJoinToSucc) {
-	tracef("t=%v TOSUCC at=%d joiner=%d oldpred=%d", p.sys.Eng.Now(), p.Addr, m.Joiner.Addr, p.pred.Addr)
+	p.sys.tracef("t=%v TOSUCC at=%d joiner=%d oldpred=%d", p.sys.rt.Now(), p.Addr, m.Joiner.Addr, p.pred.Addr)
 	oldPred := p.pred
 	p.pred = m.Joiner
 	p.segLo = m.Joiner.ID
@@ -259,7 +258,7 @@ func (p *Peer) handleTJoinDone(m tJoinDone) {
 		// would detach us from the ring.
 		return
 	}
-	tracef("t=%v DONE at=%d joiner=%d oldsucc=%d", p.sys.Eng.Now(), p.Addr, m.Joiner.Addr, p.succ.Addr)
+	p.sys.tracef("t=%v DONE at=%d joiner=%d oldsucc=%d", p.sys.rt.Now(), p.Addr, m.Joiner.Addr, p.succ.Addr)
 	// Pre may have released the triangle mutex already (cancel or guard)
 	// and moved on, so only flip the successor when the joiner is still an
 	// improvement: strictly between us and the current successor. A stale
@@ -319,7 +318,7 @@ func (p *Peer) drainJoinQueue() {
 
 // handleLoadTransfer ships every local item in (Lo, Hi] to the target and
 // propagates the request down the s-network tree.
-func (p *Peer) handleLoadTransfer(from simnet.Addr, m loadTransferReq) {
+func (p *Peer) handleLoadTransfer(from runtime.Addr, m loadTransferReq) {
 	var moved []Item
 	for did, it := range p.data {
 		if idspace.Between(m.Lo, did, m.Hi) && m.Lo != m.Hi {
@@ -328,6 +327,7 @@ func (p *Peer) handleLoadTransfer(from simnet.Addr, m loadTransferReq) {
 		}
 	}
 	if len(moved) > 0 && m.Target.Addr != p.Addr {
+		sortItemsByDID(moved)
 		p.sendData(m.Target.Addr, len(moved), itemsMsg{Items: moved})
 		if p.sys.Cfg.TrackerMode && p.tpeer.Valid() {
 			for _, it := range moved {
@@ -357,7 +357,7 @@ func (p *Peer) handleItems(m itemsMsg) {
 		sid := p.segmentID(it.Key)
 		if p.Role == TPeer && !p.inLocalSegment(sid) &&
 			p.succ.Valid() && p.succ.Addr != p.Addr {
-			p.forwardTowardSegment(sid, storeReq{Item: it, SID: sid, Origin: p.Ref(), Hops: 1}, simnet.None)
+			p.forwardTowardSegment(sid, storeReq{Item: it, SID: sid, Origin: p.Ref(), Hops: 1}, runtime.None)
 			continue
 		}
 		p.data[it.DID] = it
@@ -377,7 +377,7 @@ func (p *Peer) Leave() {
 	if !p.alive || p.leaving {
 		return
 	}
-	p.sys.trace(obs.EvPeerLeave, 0, p.Addr, simnet.None, 0, p.Role.String())
+	p.sys.trace(obs.EvPeerLeave, 0, p.Addr, runtime.None, 0, p.Role.String())
 	if p.Role == SPeer {
 		p.leaveSPeer()
 		return
@@ -402,13 +402,14 @@ func (p *Peer) Leave() {
 // recomputation happens anywhere — other t-peers only swap an address.
 func (p *Peer) leaveBySubstitution() {
 	children := p.Children()
-	pick := children[p.sys.Eng.Rand().Intn(len(children))]
+	pick := children[p.sys.rt.Rand().Intn(len(children))]
 	newRef := Ref{ID: p.ID, Addr: pick.Addr}
 
 	items := make([]Item, 0, len(p.data))
 	for _, it := range p.data {
 		items = append(items, it)
 	}
+	sortItemsByDID(items)
 	rest := make([]Ref, 0, len(children)-1)
 	for _, c := range children {
 		if c.Addr != pick.Addr {
@@ -439,7 +440,7 @@ func (p *Peer) leaveBySubstitution() {
 	if p.succ.Valid() && p.succ.Addr != p.Addr && p.succ.Addr != p.pred.Addr {
 		p.send(p.succ.Addr, pointerUpdate{Pred: newRef, Succ: NilRef, IfCurrent: p.Ref()})
 	}
-	p.send(ServerAddr, ringReplace{Old: p.Ref(), New: newRef})
+	p.send(p.sys.serverAddr, ringReplace{Old: p.Ref(), New: newRef})
 	if p.succ.Valid() && p.succ.Addr != p.Addr {
 		p.send(p.succ.Addr, substituteMsg{Old: p.Ref(), New: newRef, Origin: p.Addr})
 	}
@@ -452,7 +453,7 @@ func (p *Peer) leaveBySubstitution() {
 func (p *Peer) leaveEmpty() {
 	if !p.succ.Valid() || p.succ.Addr == p.Addr {
 		// Last t-peer of the system.
-		p.send(ServerAddr, ringUnregister{Self: p.Ref(), Succ: NilRef})
+		p.send(p.sys.serverAddr, ringUnregister{Self: p.Ref(), Succ: NilRef})
 		p.stop()
 		return
 	}
@@ -461,7 +462,7 @@ func (p *Peer) leaveEmpty() {
 	// triangle counterparty dies first the confirmation never comes, so
 	// the leaver force-finishes after a timeout rather than lingering
 	// half-departed with its mutex set.
-	p.sys.Eng.After(p.sys.Cfg.JoinTimeout, func() {
+	p.sys.rt.Schedule(p.sys.Cfg.JoinTimeout, func() {
 		if p.alive && p.leaving {
 			p.finishEmptyLeave()
 		}
@@ -471,10 +472,10 @@ func (p *Peer) leaveEmpty() {
 // handleTLeaveToPred is pre receiving the first edge of the leave triangle.
 // If pre is itself mid-join it retries shortly rather than interleaving the
 // two topology changes.
-func (p *Peer) handleTLeaveToPred(from simnet.Addr, m tLeaveToPred) {
+func (p *Peer) handleTLeaveToPred(from runtime.Addr, m tLeaveToPred) {
 	if p.joining {
 		retry := m
-		p.sys.Eng.After(10*sim.Millisecond, func() {
+		p.sys.rt.Schedule(10*runtime.Millisecond, func() {
 			if p.alive {
 				p.handleTLeaveToPred(from, retry)
 			}
@@ -522,9 +523,10 @@ func (p *Peer) finishEmptyLeave() {
 		items = append(items, it)
 	}
 	if len(items) > 0 && p.succ.Valid() && p.succ.Addr != p.Addr {
+		sortItemsByDID(items)
 		p.sendData(p.succ.Addr, len(items), itemsMsg{Items: items})
 	}
-	p.send(ServerAddr, ringUnregister{Self: p.Ref(), Succ: p.succ})
+	p.send(p.sys.serverAddr, ringUnregister{Self: p.Ref(), Succ: p.succ})
 	p.stop()
 }
 
@@ -557,7 +559,7 @@ func (p *Peer) handlePromote(m promoteMsg) {
 		p.watch(p.succ.Addr)
 	}
 	if p.fingerTicker == nil {
-		p.fingerTicker = sim.NewTicker(p.sys.Eng, p.sys.Cfg.FingerRefreshEvery, p.refreshFingers)
+		p.fingerTicker = runtime.NewTicker(p.sys.rt, p.sys.Cfg.FingerRefreshEvery, p.refreshFingers)
 		p.fingerTicker.Start()
 	}
 	if p.sys.Cfg.TrackerMode {
@@ -670,7 +672,7 @@ func (p *Peer) refreshFingers() {
 	if !p.succ.Valid() {
 		// Orphaned ring member (both triangle counterparties died):
 		// re-anchor through the server's registry.
-		p.send(ServerAddr, ringLocate{Self: p.Ref()})
+		p.send(p.sys.serverAddr, ringLocate{Self: p.Ref()})
 		return
 	}
 	p.stabilizeRing()
@@ -686,7 +688,7 @@ func (p *Peer) refreshFingers() {
 		// crashed peer gives no error). Clearing the slot on timeout
 		// makes the next route fall back to lower fingers or the
 		// successor, un-wedging the refresh itself.
-		p.sys.Eng.After(p.sys.Cfg.FingerRefreshEvery, func() {
+		p.sys.rt.Schedule(p.sys.Cfg.FingerRefreshEvery, func() {
 			if o, ok := p.pending[tag]; ok && o.kind == "fixfinger" {
 				delete(p.pending, tag)
 				p.finger[o.fidx] = NilRef

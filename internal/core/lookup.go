@@ -3,7 +3,7 @@ package core
 import (
 	"repro/internal/idspace"
 	"repro/internal/obs"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // Lookup resolves a key (§3.4). The operation checks the local database,
@@ -83,8 +83,8 @@ func (p *Peer) lookupRemote(o *op, qid uint64) {
 			return
 		}
 	}
-	p.sys.trace(obs.EvLookupForward, qid, p.Addr, simnet.None, 1, "ring")
-	p.forwardTowardSegment(o.sid, m, simnet.None)
+	p.sys.trace(obs.EvLookupForward, qid, p.Addr, runtime.None, 1, "ring")
+	p.forwardTowardSegment(o.sid, m, runtime.None)
 }
 
 // floodOut starts (or restarts) a flood of the local s-network from this
@@ -100,7 +100,7 @@ func (p *Peer) floodOut(qid uint64, did idspace.ID, ttl int, origin Ref) {
 
 // handleLookupReq advances a routed lookup one step: toward the owning
 // segment while remote, into a flood (or tracker resolution) on arrival.
-func (p *Peer) handleLookupReq(from simnet.Addr, m lookupReq) {
+func (p *Peer) handleLookupReq(from runtime.Addr, m lookupReq) {
 	if m.Hops > routeHopLimit {
 		return // looping route; the op timer fails the lookup
 	}
@@ -159,7 +159,7 @@ func (p *Peer) handleLookupReq(from simnet.Addr, m lookupReq) {
 // answer on a hit, otherwise keep flooding away from the sender while TTL
 // lasts. The tree topology guarantees each peer sees the query once, so no
 // duplicate-suppression state is needed (§3.2.2).
-func (p *Peer) handleFlood(from simnet.Addr, m floodReq) {
+func (p *Peer) handleFlood(from runtime.Addr, m floodReq) {
 	p.sys.contact(m.QID)
 	p.sys.trace(obs.EvLookupHop, m.QID, from, p.Addr, m.Hops, "flood")
 	p.maybeAck(from)

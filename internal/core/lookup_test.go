@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -94,7 +95,7 @@ func TestSmallTTLCausesFailures(t *testing.T) {
 			var done bool
 			origin.LookupWithTTL(key, 1, func(rr OpResult) { done = true; res = rr })
 			for !done {
-				if !sys.Eng.Step() {
+				if !sys.Eng().Step() {
 					t.Fatal("engine dry")
 				}
 			}
@@ -110,7 +111,7 @@ func TestSmallTTLCausesFailures(t *testing.T) {
 		done := false
 		origin.LookupWithTTL(key, 8, func(rr OpResult) { done = true; r8 = rr })
 		for !done {
-			if !sys.Eng.Step() {
+			if !sys.Eng().Step() {
 				t.Fatal("engine dry")
 			}
 		}
@@ -204,7 +205,7 @@ func TestFloodExactlyOnce(t *testing.T) {
 		p := p
 		host, cap := p.Host, p.Capacity
 		inner := p
-		sys.Net.Attach(p.Addr, host, cap, simnet.HandlerFunc(func(from simnet.Addr, msg any) {
+		sys.Net().Attach(p.Addr, runtime.Endpoint{Host: host, Capacity: cap}, simnet.HandlerFunc(func(from simnet.Addr, msg any) {
 			if _, ok := msg.(floodReq); ok {
 				receipts[inner.Addr]++
 			}
@@ -216,7 +217,7 @@ func TestFloodExactlyOnce(t *testing.T) {
 	done := false
 	origin.LookupWithTTL("definitely-missing", 64, func(OpResult) { done = true })
 	for !done {
-		if !sys.Eng.Step() {
+		if !sys.Eng().Step() {
 			t.Fatal("engine dry")
 		}
 	}

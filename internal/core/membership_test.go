@@ -110,7 +110,7 @@ func TestConcurrentTJoins(t *testing.T) {
 	}
 	role := TPeer
 	joined := 0
-	stubs := sys.Topo.StubNodes()
+	stubs := sys.Topo().StubNodes()
 	for i := 0; i < 40; i++ {
 		sys.Join(JoinOpts{
 			Host:      stubs[i%len(stubs)],
@@ -140,7 +140,7 @@ func TestConcurrentMixedJoins(t *testing.T) {
 		t.Fatal(err)
 	}
 	joined := 0
-	stubs := sys.Topo.StubNodes()
+	stubs := sys.Topo().StubNodes()
 	for i := 0; i < 60; i++ {
 		sys.Join(JoinOpts{Host: stubs[(i*3)%len(stubs)], Capacity: 1},
 			func(*Peer, JoinStats) { joined++ })
@@ -168,8 +168,8 @@ func TestIDConflictResolvedByMidpoint(t *testing.T) {
 		c.Ps = 0
 		c.IDGen = IDLocation
 	})
-	host := sys.Topo.StubNodes()[3]
-	hosts := []int{host, sys.Topo.StubNodes()[9], sys.Topo.StubNodes()[20], host}
+	host := sys.Topo().StubNodes()[3]
+	hosts := []int{host, sys.Topo().StubNodes()[9], sys.Topo().StubNodes()[20], host}
 	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 4, Hosts: hosts})
 	if err != nil {
 		t.Fatal(err)

@@ -2,20 +2,20 @@ package core
 
 import (
 	"repro/internal/idspace"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // Ref names a remote peer by id and address.
 type Ref struct {
 	ID   idspace.ID
-	Addr simnet.Addr
+	Addr runtime.Addr
 }
 
 // NilRef is the null peer reference.
-var NilRef = Ref{Addr: simnet.None}
+var NilRef = Ref{Addr: runtime.None}
 
 // Valid reports whether the reference points at a peer.
-func (r Ref) Valid() bool { return r.Addr != simnet.None }
+func (r Ref) Valid() bool { return r.Addr != runtime.None }
 
 // Item is a stored (key, value) pair together with its hashed id.
 type Item struct {
@@ -189,7 +189,7 @@ type newParentMsg struct {
 // substitute the leaving t-peer with the new t-peer in the finger table").
 type substituteMsg struct {
 	Old, New Ref
-	Origin   simnet.Addr
+	Origin   runtime.Addr
 }
 
 // pointerUpdate patches a single ring pointer (used by the server after
@@ -213,7 +213,7 @@ type ringLocate struct {
 // finger maintenance.
 type findSuccReq struct {
 	Target idspace.ID
-	Origin simnet.Addr
+	Origin runtime.Addr
 	Tag    uint64
 	Hops   int
 }
@@ -284,7 +284,7 @@ type spreadReq struct {
 	Origin Ref
 	Tag    uint64
 	Hops   int
-	From   simnet.Addr // upstream neighbor, excluded from the next step
+	From   runtime.Addr // upstream neighbor, excluded from the next step
 }
 
 // storeAck confirms an insertion back to the origin; Holder is where the

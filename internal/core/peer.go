@@ -6,8 +6,7 @@ import (
 
 	"repro/internal/idspace"
 	"repro/internal/obs"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // Peer is one participant of the hybrid system. A single struct serves both
@@ -15,7 +14,7 @@ import (
 // t-peers in place.
 type Peer struct {
 	ID       idspace.ID
-	Addr     simnet.Addr
+	Addr     runtime.Addr
 	Host     int
 	Capacity float64
 	Interest int
@@ -36,7 +35,7 @@ type Peer struct {
 	// still pending; routing avoids them. Entries clear on any liveness
 	// signal or once the pointer heals. Lazily allocated: nil for the
 	// (common) peers that never see a neighbor crash.
-	suspect    map[simnet.Addr]bool
+	suspect    map[runtime.Addr]bool
 	finger     []Ref // lazily sized to FingerBits
 	nextFinger int
 	// joining/leaving are the §3.3 mutex variables; joinQueue serializes
@@ -55,21 +54,21 @@ type Peer struct {
 	// cp is the connect point (tree parent); invalid for t-peers.
 	cp Ref
 	// children are downstream tree neighbors.
-	children map[simnet.Addr]Ref
+	children map[runtime.Addr]Ref
 	// childSubtree holds the latest subtree-size report per child
 	// (piggybacked on HELLO). Summing them gives this peer's own subtree
 	// size, which t-peers report to the server so the s-network size
 	// registry self-corrects after cascaded crashes and cross-network
 	// rejoins that the event-by-event accounting cannot see.
-	childSubtree map[simnet.Addr]int
+	childSubtree map[runtime.Addr]int
 
 	// --- failure detection ---
-	helloTicker *sim.Ticker
+	helloTicker *runtime.Ticker
 	// watchdog holds one failure-detection timer per monitored neighbor.
-	watchdog map[simnet.Addr]*sim.Timer
+	watchdog map[runtime.Addr]*runtime.Timer
 	// lastAck is the per-neighbor suppress clock: an ack is sent only if
 	// the suppress timeout elapsed since the previous one (§3.2.2).
-	lastAck map[simnet.Addr]sim.Time
+	lastAck map[runtime.Addr]runtime.Time
 
 	// --- data ---
 	data map[idspace.ID]Item
@@ -83,7 +82,7 @@ type Peer struct {
 	served uint64
 
 	// --- bypass links (§5.4) ---
-	bypass map[simnet.Addr]*bypassLink
+	bypass map[runtime.Addr]*bypassLink
 
 	// --- client operations ---
 	pending map[uint64]*op
@@ -91,9 +90,9 @@ type Peer struct {
 	searches map[uint64]*searchOp
 
 	// --- pending join ---
-	joinStart sim.Time
+	joinStart runtime.Time
 	joinDone  func(*Peer, JoinStats)
-	joinTimer sim.Handle
+	joinTimer runtime.Handle
 	// joinReq is the original server request, kept so join retries preserve
 	// the caller's role pin instead of letting the server re-decide.
 	joinReq      serverJoinReq
@@ -110,7 +109,7 @@ type Peer struct {
 	// triJoiner/triEpoch identify the join triangle this peer currently
 	// anchors as pre, so a tJoinCancel from the joiner can release the
 	// joining mutex without racing a different (newer) triangle.
-	triJoiner simnet.Addr
+	triJoiner runtime.Addr
 	triEpoch  int
 	// cpLostTicks counts consecutive hello ticks a joined s-peer has spent
 	// without a connect point; past a small grace it forces a rejoin
@@ -122,7 +121,7 @@ type Peer struct {
 	// accepts no leave requests, including its own).
 	deferLeave bool
 
-	fingerTicker *sim.Ticker
+	fingerTicker *runtime.Ticker
 }
 
 // op is an in-flight store or lookup issued by this peer.
@@ -132,7 +131,7 @@ type op struct {
 	qid     uint64
 	did     idspace.ID
 	sid     idspace.ID // segment-selection id (differs from did in interest mode)
-	start   sim.Time
+	start   runtime.Time
 	ttl     int
 	fidx    int // finger index (fixfinger ops)
 	attempt int
@@ -144,7 +143,7 @@ type op struct {
 	localFlood bool
 	ringMiss   bool
 	done       func(OpResult)
-	timer      sim.Handle
+	timer      runtime.Handle
 }
 
 // OpResult reports the outcome of a store or lookup.
@@ -156,7 +155,7 @@ type OpResult struct {
 	// produced the result.
 	Hops int
 	// Latency is the simulated end-to-end time.
-	Latency sim.Time
+	Latency runtime.Time
 	// Contacts is the number of peers the operation touched (connum).
 	Contacts int
 	// Holder is where the item lives (valid on success).
@@ -211,18 +210,18 @@ func (p *Peer) Successor() Ref { return p.succ }
 func (p *Peer) Predecessor() Ref { return p.pred }
 
 // send transmits a control-sized message.
-func (p *Peer) send(to simnet.Addr, msg any) {
-	p.sys.Net.Send(p.Addr, to, p.sys.Cfg.MessageBytes, msg)
+func (p *Peer) send(to runtime.Addr, msg any) {
+	p.sys.rt.Send(p.Addr, to, p.sys.Cfg.MessageBytes, msg)
 }
 
 // sendData transmits a message carrying n data items.
-func (p *Peer) sendData(to simnet.Addr, n int, msg any) {
+func (p *Peer) sendData(to runtime.Addr, n int, msg any) {
 	size := p.sys.Cfg.MessageBytes + n*p.sys.Cfg.DataBytes
-	p.sys.Net.Send(p.Addr, to, size, msg)
+	p.sys.rt.Send(p.Addr, to, size, msg)
 }
 
 // recv dispatches an incoming message to its protocol handler.
-func (p *Peer) recv(from simnet.Addr, msg any) {
+func (p *Peer) recv(from runtime.Addr, msg any) {
 	if !p.alive {
 		return
 	}
@@ -349,11 +348,11 @@ func (p *Peer) neighbors() []Ref {
 // member: HELLO heartbeats for everyone, finger refresh for t-peers.
 func (p *Peer) startMaintenance() {
 	if p.helloTicker == nil {
-		p.helloTicker = sim.NewTicker(p.sys.Eng, p.sys.Cfg.HelloEvery, p.broadcastHello)
+		p.helloTicker = runtime.NewTicker(p.sys.rt, p.sys.Cfg.HelloEvery, p.broadcastHello)
 		p.helloTicker.Start()
 	}
 	if p.Role == TPeer && p.fingerTicker == nil {
-		p.fingerTicker = sim.NewTicker(p.sys.Eng, p.sys.Cfg.FingerRefreshEvery, p.refreshFingers)
+		p.fingerTicker = runtime.NewTicker(p.sys.rt, p.sys.Cfg.FingerRefreshEvery, p.refreshFingers)
 		p.fingerTicker.Start()
 	}
 }
@@ -420,7 +419,7 @@ func (p *Peer) broadcastHello() {
 			// t-peer syncs the server with its aggregated subtree count.
 			// The sync also acts as the registry keep-alive, so a leaving
 			// peer must not send it — it could race its own unregistration.
-			p.send(ServerAddr, sSizeSync{Self: p.Ref(), Size: p.subtreeSize() - 1})
+			p.send(p.sys.serverAddr, sSizeSync{Self: p.Ref(), Size: p.subtreeSize() - 1})
 		}
 	}
 }
@@ -443,7 +442,7 @@ func (p *Peer) subtreeSize() int {
 // handleHello refreshes the sender's watchdog and, for heartbeats arriving
 // from the tree parent, adopts the piggybacked s-network metadata: the root
 // reference, the segment lower bound and the s-network's shared p_id.
-func (p *Peer) handleHello(from simnet.Addr, m helloMsg) {
+func (p *Peer) handleHello(from runtime.Addr, m helloMsg) {
 	p.refreshWatchdog(from)
 	if _, isChild := p.children[from]; isChild {
 		if m.Root.Valid() && m.Root.Addr == from {
@@ -472,6 +471,7 @@ func (p *Peer) handleHello(from simnet.Addr, m helloMsg) {
 		for _, it := range p.data {
 			items = append(items, it)
 		}
+		sortItemsByDID(items)
 		p.announceItems(items)
 	}
 	if rootChanged || segChanged {
@@ -483,8 +483,8 @@ func (p *Peer) handleHello(from simnet.Addr, m helloMsg) {
 }
 
 // watch (re)arms the failure detector for a neighbor.
-func (p *Peer) watch(nb simnet.Addr) {
-	if nb == p.Addr || nb == simnet.None {
+func (p *Peer) watch(nb runtime.Addr) {
+	if nb == p.Addr || nb == runtime.None {
 		return
 	}
 	if t, ok := p.watchdog[nb]; ok {
@@ -492,7 +492,7 @@ func (p *Peer) watch(nb simnet.Addr) {
 		return
 	}
 	nbCopy := nb
-	t := sim.NewTimer(p.sys.Eng, p.sys.Cfg.HelloTimeout, func() {
+	t := runtime.NewTimer(p.sys.rt, p.sys.Cfg.HelloTimeout, func() {
 		p.neighborTimeout(nbCopy)
 	})
 	p.watchdog[nb] = t
@@ -500,7 +500,7 @@ func (p *Peer) watch(nb simnet.Addr) {
 }
 
 // unwatch stops monitoring a neighbor.
-func (p *Peer) unwatch(nb simnet.Addr) {
+func (p *Peer) unwatch(nb runtime.Addr) {
 	if t, ok := p.watchdog[nb]; ok {
 		t.Stop()
 		delete(p.watchdog, nb)
@@ -509,7 +509,7 @@ func (p *Peer) unwatch(nb simnet.Addr) {
 
 // refreshWatchdog resets the failure detector for a neighbor on any
 // liveness signal (HELLO or ack).
-func (p *Peer) refreshWatchdog(from simnet.Addr) {
+func (p *Peer) refreshWatchdog(from runtime.Addr) {
 	if t, ok := p.watchdog[from]; ok {
 		t.Reset()
 	}
@@ -521,9 +521,9 @@ func (p *Peer) refreshWatchdog(from simnet.Addr) {
 }
 
 // markSuspect flags a neighbor as suspected dead for routing purposes.
-func (p *Peer) markSuspect(nb simnet.Addr) {
+func (p *Peer) markSuspect(nb runtime.Addr) {
 	if p.suspect == nil {
-		p.suspect = make(map[simnet.Addr]bool)
+		p.suspect = make(map[runtime.Addr]bool)
 	}
 	p.suspect[nb] = true
 }
@@ -531,11 +531,11 @@ func (p *Peer) markSuspect(nb simnet.Addr) {
 // maybeAck responds to a data query with an acknowledgment unless the
 // suppress timer says one was sent recently (§3.2.2). Acks double as
 // liveness signals, letting failure detection accelerate under query load.
-func (p *Peer) maybeAck(to simnet.Addr) {
+func (p *Peer) maybeAck(to runtime.Addr) {
 	if _, monitored := p.watchdog[to]; !monitored {
 		return // acks only matter between tree neighbors
 	}
-	now := p.sys.Eng.Now()
+	now := p.sys.rt.Now()
 	if last, ok := p.lastAck[to]; ok && now-last < p.sys.Cfg.SuppressTimeout {
 		p.sys.stats.AcksSuppressed++
 		return
@@ -557,18 +557,35 @@ func (p *Peer) stop() {
 	for _, t := range p.watchdog {
 		t.Stop()
 	}
-	p.watchdog = make(map[simnet.Addr]*sim.Timer)
-	p.sys.Eng.Cancel(p.joinTimer)
-	for _, o := range p.pending {
-		p.sys.Eng.Cancel(o.timer)
+	p.watchdog = make(map[runtime.Addr]*runtime.Timer)
+	p.sys.rt.Unschedule(p.joinTimer)
+	// Fail in-flight operations instead of silently dropping them: a live
+	// client blocked in LookupSync/StoreSync on this peer must get its
+	// callback, or it waits out the full Await timeout. The DES harnesses
+	// never crash a peer with its own operation pending (ops are issued
+	// synchronously), so this is only observable under the live runtime.
+	pending := make([]uint64, 0, len(p.pending))
+	for qid := range p.pending {
+		pending = append(pending, qid)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	for _, qid := range pending {
+		p.finishOp(qid, OpResult{OK: false})
 	}
 	for _, e := range p.cache {
 		e.timer.Stop()
 	}
-	for _, so := range p.searches {
-		p.sys.Eng.Cancel(so.timer)
+	// Close search windows for the same reason: report what was collected
+	// so far rather than leaving a SearchSync caller hanging.
+	searches := make([]uint64, 0, len(p.searches))
+	for qid := range p.searches {
+		searches = append(searches, qid)
 	}
-	p.sys.Net.Detach(p.Addr)
+	sort.Slice(searches, func(i, j int) bool { return searches[i] < searches[j] })
+	for _, qid := range searches {
+		p.finishSearch(qid)
+	}
+	p.sys.rt.Detach(p.Addr)
 	delete(p.sys.peers, p.Addr)
 }
 
@@ -578,7 +595,7 @@ func (p *Peer) Crash() {
 	if !p.alive {
 		return
 	}
-	p.sys.trace(obs.EvPeerCrash, 0, p.Addr, simnet.None, 0, p.Role.String())
+	p.sys.trace(obs.EvPeerCrash, 0, p.Addr, runtime.None, 0, p.Role.String())
 	p.sys.stats.Crashes++
 	p.stop()
 }
@@ -589,9 +606,9 @@ func (p *Peer) completeJoin(hops int) {
 		return
 	}
 	p.joined = true
-	p.sys.Eng.Cancel(p.joinTimer)
-	p.joinTimer = sim.Handle{}
-	p.sys.trace(obs.EvPeerJoin, 0, p.Addr, simnet.None, hops, p.Role.String())
+	p.sys.rt.Unschedule(p.joinTimer)
+	p.joinTimer = runtime.Handle{}
+	p.sys.trace(obs.EvPeerJoin, 0, p.Addr, runtime.None, hops, p.Role.String())
 	p.startMaintenance()
 	if p.joinDone != nil {
 		done := p.joinDone
@@ -599,7 +616,7 @@ func (p *Peer) completeJoin(hops int) {
 		done(p, JoinStats{
 			Role:    p.Role,
 			Hops:    hops,
-			Latency: p.sys.Eng.Now() - p.joinStart,
+			Latency: p.sys.rt.Now() - p.joinStart,
 		})
 	}
 }

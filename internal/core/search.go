@@ -17,8 +17,7 @@ import (
 	"strings"
 
 	"repro/internal/idspace"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // searchReq floods a prefix query through an s-network tree. When HasSID is
@@ -47,26 +46,26 @@ type SearchResult struct {
 	// Contacts is the number of peers the search touched.
 	Contacts int
 	// Latency is the collection window actually spent.
-	Latency sim.Time
+	Latency runtime.Time
 }
 
 // searchOp collects hits until the window closes.
 type searchOp struct {
 	prefix  string
 	qid     uint64
-	start   sim.Time
+	start   runtime.Time
 	items   []Item
 	seen    map[string]bool
 	max     int
 	done    func(SearchResult)
-	timer   sim.Handle
+	timer   runtime.Handle
 	expired bool
 }
 
 // SearchPrefix floods a prefix query and calls done with every match
 // collected within the window. window <= 0 uses half the lookup timeout;
 // maxResults <= 0 collects without bound until the window closes.
-func (p *Peer) SearchPrefix(prefix string, maxResults int, window sim.Time, done func(SearchResult)) {
+func (p *Peer) SearchPrefix(prefix string, maxResults int, window runtime.Time, done func(SearchResult)) {
 	if window <= 0 {
 		window = p.sys.Cfg.LookupTimeout / 2
 	}
@@ -74,7 +73,7 @@ func (p *Peer) SearchPrefix(prefix string, maxResults int, window sim.Time, done
 	op := &searchOp{
 		prefix: prefix,
 		qid:    qid,
-		start:  p.sys.Eng.Now(),
+		start:  p.sys.rt.Now(),
 		seen:   make(map[string]bool),
 		max:    maxResults,
 		done:   done,
@@ -83,10 +82,17 @@ func (p *Peer) SearchPrefix(prefix string, maxResults int, window sim.Time, done
 		p.searches = make(map[uint64]*searchOp)
 	}
 	p.searches[qid] = op
-	op.timer = p.sys.Eng.After(window, func() { p.finishSearch(qid) })
+	op.timer = p.sys.rt.Schedule(window, func() { p.finishSearch(qid) })
 
-	// Local matches count immediately.
+	// Local matches count immediately. Sorted first: collection dedups by
+	// key and cuts off at maxResults, so map iteration order would decide
+	// which items win.
+	local := make([]Item, 0, len(p.data))
 	for _, it := range p.data {
+		local = append(local, it)
+	}
+	sortItemsByDID(local)
+	for _, it := range local {
 		p.collectSearchHit(op, it)
 	}
 
@@ -94,7 +100,7 @@ func (p *Peer) SearchPrefix(prefix string, maxResults int, window sim.Time, done
 	sid, routed := p.searchTarget(prefix)
 	if routed && !p.inLocalSegment(sid) {
 		m := searchReq{QID: qid, Prefix: prefix, Origin: p.Ref(), SID: sid, HasSID: true, TTL: ttl, Hops: 1}
-		p.forwardTowardSegment(sid, m, simnet.None)
+		p.forwardTowardSegment(sid, m, runtime.None)
 		return
 	}
 	m := searchReq{QID: qid, Prefix: prefix, Origin: p.Ref(), TTL: ttl, Hops: 1}
@@ -117,7 +123,7 @@ func (p *Peer) searchTarget(prefix string) (sid idspace.ID, routed bool) {
 // handleSearch answers matches and keeps flooding within the TTL. Arriving
 // off-tree (via ring routing) it fans out over every tree edge; inside the
 // tree it avoids the sender like any flood.
-func (p *Peer) handleSearch(from simnet.Addr, m searchReq) {
+func (p *Peer) handleSearch(from runtime.Addr, m searchReq) {
 	p.sys.contact(m.QID)
 	p.maybeAck(from)
 	if m.HasSID && !p.inLocalSegment(m.SID) {
@@ -137,6 +143,7 @@ func (p *Peer) handleSearch(from simnet.Addr, m searchReq) {
 		}
 	}
 	if len(matches) > 0 {
+		sortItemsByDID(matches)
 		p.served++
 		p.sendData(m.Origin.Addr, len(matches), searchHit{QID: m.QID, Items: matches})
 	}
@@ -185,12 +192,12 @@ func (p *Peer) finishSearch(qid uint64) {
 	}
 	op.expired = true
 	delete(p.searches, qid)
-	p.sys.Eng.Cancel(op.timer)
+	p.sys.rt.Unschedule(op.timer)
 	res := SearchResult{
 		Prefix:   op.prefix,
 		Items:    op.items,
 		Contacts: p.sys.takeContacts(qid),
-		Latency:  p.sys.Eng.Now() - op.start,
+		Latency:  p.sys.rt.Now() - op.start,
 	}
 	if op.done != nil {
 		op.done(res)

@@ -7,8 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/idspace"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // Server is the well-known bootstrap server (§3.2): it hands joining peers a
@@ -25,7 +24,7 @@ type Server struct {
 	// ring mirrors the live t-network, ordered by id.
 	ring []Ref
 	// snetSize tracks s-peers per s-network, keyed by t-peer address.
-	snetSize map[simnet.Addr]int
+	snetSize map[runtime.Addr]int
 	// tCount/sCount track how many role assignments were made.
 	tCount, sCount int
 
@@ -36,11 +35,11 @@ type Server struct {
 
 	// replaced remembers crash substitutions so late reporters learn the
 	// new t-peer instead of being promoted twice.
-	replaced map[simnet.Addr]Ref
+	replaced map[runtime.Addr]Ref
 	// deadPending tracks crashed t-peers whose s-network is expected to
 	// drive the replacement; if none arrives before the fallback fires
 	// the server force-patches the ring.
-	deadPending map[simnet.Addr]bool
+	deadPending map[runtime.Addr]bool
 
 	// firstIssued flips when the very first t-peer role is handed out; it
 	// closes the window in which a second joiner could race the first
@@ -48,7 +47,7 @@ type Server struct {
 	// remembers who got that role so a lost response can be re-issued and a
 	// crashed first joiner does not park every later join forever.
 	firstIssued bool
-	firstAddr   simnet.Addr
+	firstAddr   runtime.Addr
 }
 
 // Server-bound registration messages.
@@ -77,14 +76,14 @@ func newServer(sys *System, host int) *Server {
 	sv := &Server{
 		sys:         sys,
 		Host:        host,
-		snetSize:    make(map[simnet.Addr]int),
+		snetSize:    make(map[runtime.Addr]int),
 		clusterRR:   make(map[string]int),
-		replaced:    make(map[simnet.Addr]Ref),
-		deadPending: make(map[simnet.Addr]bool),
-		firstAddr:   simnet.None,
+		replaced:    make(map[runtime.Addr]Ref),
+		deadPending: make(map[runtime.Addr]bool),
+		firstAddr:   runtime.None,
 	}
 	sv.pickLandmarks()
-	sys.Net.Attach(ServerAddr, host, 10, simnet.HandlerFunc(sv.recv))
+	sys.rt.Attach(sv.sys.serverAddr, runtime.Endpoint{Host: host, Capacity: 10}, runtime.HandlerFunc(sv.recv))
 	return sv
 }
 
@@ -93,7 +92,10 @@ func newServer(sys *System, host int) *Server {
 // the network").
 func (sv *Server) pickLandmarks() {
 	n := sv.sys.Cfg.Landmarks
-	stubs := sv.sys.Topo.StubNodes()
+	var stubs []int
+	if pl := sv.sys.rt.Placement(); pl != nil {
+		stubs = pl.StubHosts()
+	}
 	if len(stubs) == 0 {
 		stubs = []int{0}
 	}
@@ -113,15 +115,15 @@ func (sv *Server) Landmarks() []int { return append([]int(nil), sv.landmarks...)
 func (sv *Server) RingSize() int { return len(sv.ring) }
 
 // SNetSizes returns a copy of the per-s-network size table.
-func (sv *Server) SNetSizes() map[simnet.Addr]int {
-	out := make(map[simnet.Addr]int, len(sv.snetSize))
+func (sv *Server) SNetSizes() map[runtime.Addr]int {
+	out := make(map[runtime.Addr]int, len(sv.snetSize))
 	for k, v := range sv.snetSize {
 		out[k] = v
 	}
 	return out
 }
 
-func (sv *Server) recv(from simnet.Addr, msg any) {
+func (sv *Server) recv(from runtime.Addr, msg any) {
 	switch m := msg.(type) {
 	case serverJoinReq:
 		sv.handleJoin(from, m)
@@ -155,8 +157,8 @@ func (sv *Server) recv(from simnet.Addr, msg any) {
 	}
 }
 
-func (sv *Server) send(to simnet.Addr, msg any) {
-	sv.sys.Net.Send(ServerAddr, to, sv.sys.Cfg.MessageBytes, msg)
+func (sv *Server) send(to runtime.Addr, msg any) {
+	sv.sys.rt.Send(sv.sys.serverAddr, to, sv.sys.Cfg.MessageBytes, msg)
 }
 
 // handleSizeSync overwrites the incremental s-network counter with the
@@ -172,7 +174,7 @@ func (sv *Server) handleSizeSync(m sSizeSync) {
 			return
 		}
 	}
-	if !sv.sys.Net.Attached(m.Self.Addr) {
+	if !sv.sys.rt.Attached(m.Self.Addr) {
 		return
 	}
 	sv.handleRingLocate(ringLocate{Self: m.Self})
@@ -187,7 +189,7 @@ func (sv *Server) handleSizeSync(m sSizeSync) {
 func (sv *Server) sweepDead() {
 	var dead []Ref
 	for _, r := range sv.ring {
-		if !sv.sys.Net.Attached(r.Addr) {
+		if !sv.sys.rt.Attached(r.Addr) {
 			dead = append(dead, r)
 		}
 	}
@@ -203,7 +205,7 @@ func (sv *Server) noteDead(crashed Ref) {
 	if _, done := sv.replaced[crashed.Addr]; done {
 		return
 	}
-	if sv.sys.Net.Attached(crashed.Addr) {
+	if sv.sys.rt.Attached(crashed.Addr) {
 		return
 	}
 	if _, _, registered := sv.ringNeighbors(crashed.Addr); !registered {
@@ -213,7 +215,7 @@ func (sv *Server) noteDead(crashed Ref) {
 		if !sv.deadPending[crashed.Addr] {
 			sv.deadPending[crashed.Addr] = true
 			c := crashed
-			sv.sys.Eng.After(2*sv.sys.Cfg.HelloTimeout, func() {
+			sv.sys.rt.Schedule(2*sv.sys.Cfg.HelloTimeout, func() {
 				delete(sv.deadPending, c.Addr)
 				if _, done := sv.replaced[c.Addr]; done {
 					return
@@ -236,7 +238,7 @@ func (sv *Server) noteDead(crashed Ref) {
 func (sv *Server) liveReplacement(crashed Ref) Ref {
 	rep, ok := sv.replaced[crashed.Addr]
 	for hops := 0; ok && hops < len(sv.replaced)+1; hops++ {
-		if sv.sys.Net.Attached(rep.Addr) {
+		if sv.sys.rt.Attached(rep.Addr) {
 			return rep
 		}
 		next, chained := sv.replaced[rep.Addr]
@@ -249,13 +251,13 @@ func (sv *Server) liveReplacement(crashed Ref) Ref {
 }
 
 // handleJoin decides role, id and entry point for a joining peer.
-func (sv *Server) handleJoin(from simnet.Addr, m serverJoinReq) {
+func (sv *Server) handleJoin(from runtime.Addr, m serverJoinReq) {
 	if len(sv.ring) == 0 && sv.firstIssued {
-		if sv.firstAddr != simnet.None && !sv.sys.Net.Attached(sv.firstAddr) {
+		if sv.firstAddr != runtime.None && !sv.sys.rt.Attached(sv.firstAddr) {
 			// The chosen first t-peer crashed before registering; unwind
 			// the reservation and let this joiner bootstrap the ring.
 			sv.firstIssued = false
-			sv.firstAddr = simnet.None
+			sv.firstAddr = runtime.None
 		} else if from == sv.firstAddr {
 			// The first joiner is retrying — its response was lost. Re-issue
 			// the same role instead of parking it behind its own
@@ -266,7 +268,7 @@ func (sv *Server) handleJoin(from simnet.Addr, m serverJoinReq) {
 			// The first t-peer was created but its registration is still in
 			// flight; park this join briefly instead of minting a second
 			// disconnected ring.
-			sv.sys.Eng.After(20*sim.Millisecond, func() { sv.handleJoin(from, m) })
+			sv.sys.rt.Schedule(20*runtime.Millisecond, func() { sv.handleJoin(from, m) })
 			return
 		}
 	}
@@ -282,7 +284,7 @@ func (sv *Server) handleJoin(from simnet.Addr, m serverJoinReq) {
 			resp.First = true
 		} else {
 			// An arbitrary existing t-peer is the entry point.
-			resp.Entry = sv.ring[sv.sys.Eng.Rand().Intn(len(sv.ring))]
+			resp.Entry = sv.ring[sv.sys.rt.Rand().Intn(len(sv.ring))]
 		}
 	case SPeer:
 		entry, ok := sv.assignSNetwork(m)
@@ -341,7 +343,7 @@ func (sv *Server) decideRole(m serverJoinReq) Role {
 
 // generateID produces a p_id per the configured policy. Conflicts are
 // possible and are resolved at the insertion point with the midpoint rule.
-func (sv *Server) generateID(from simnet.Addr, m serverJoinReq) idspace.ID {
+func (sv *Server) generateID(from runtime.Addr, m serverJoinReq) idspace.ID {
 	switch sv.sys.Cfg.IDGen {
 	case IDHashAddr:
 		var b [8]byte
@@ -350,12 +352,20 @@ func (sv *Server) generateID(from simnet.Addr, m serverJoinReq) idspace.ID {
 	case IDLocation:
 		// Project the host's coordinates onto the ring by angle around
 		// the unit square's center so physically close peers get close
-		// ids.
-		n := sv.sys.Topo.Nodes[m.Host]
-		theta := math.Atan2(n.Y-0.5, n.X-0.5) + math.Pi
+		// ids. Without a placement model there are no coordinates and the
+		// id falls back to a uniform draw.
+		pl := sv.sys.rt.Placement()
+		if pl == nil {
+			return idspace.ID(sv.sys.rt.Rand().Uint64())
+		}
+		x, y, ok := pl.HostCoord(m.Host)
+		if !ok {
+			return idspace.ID(sv.sys.rt.Rand().Uint64())
+		}
+		theta := math.Atan2(y-0.5, x-0.5) + math.Pi
 		return idspace.ID(theta / (2 * math.Pi) * float64(math.MaxUint64))
 	default:
-		return idspace.ID(sv.sys.Eng.Rand().Uint64())
+		return idspace.ID(sv.sys.rt.Rand().Uint64())
 	}
 }
 
@@ -366,7 +376,7 @@ func (sv *Server) assignSNetwork(m serverJoinReq) (Ref, bool) {
 	}
 	switch sv.sys.Cfg.Assignment {
 	case AssignRandom:
-		return sv.ring[sv.sys.Eng.Rand().Intn(len(sv.ring))], true
+		return sv.ring[sv.sys.rt.Rand().Intn(len(sv.ring))], true
 	case AssignInterest:
 		return sv.ringSuccessor(CategoryID(m.Interest)), true
 	case AssignCluster:
@@ -433,7 +443,7 @@ func (sv *Server) ringInsert(r Ref) {
 	})
 }
 
-func (sv *Server) ringRemove(addr simnet.Addr) {
+func (sv *Server) ringRemove(addr runtime.Addr) {
 	for i, e := range sv.ring {
 		if e.Addr == addr {
 			sv.ring = append(sv.ring[:i], sv.ring[i+1:]...)
@@ -441,7 +451,7 @@ func (sv *Server) ringRemove(addr simnet.Addr) {
 				// The t-network died out entirely; the next t-join
 				// bootstraps a fresh ring.
 				sv.firstIssued = false
-				sv.firstAddr = simnet.None
+				sv.firstAddr = runtime.None
 			}
 			return
 		}
@@ -473,7 +483,7 @@ func (sv *Server) ringSuccessor(id idspace.ID) Ref {
 
 // ringNeighbors returns the registered predecessor and successor of the
 // entry with the given address.
-func (sv *Server) ringNeighbors(addr simnet.Addr) (pred, succ Ref, ok bool) {
+func (sv *Server) ringNeighbors(addr runtime.Addr) (pred, succ Ref, ok bool) {
 	for i, e := range sv.ring {
 		if e.Addr == addr {
 			if len(sv.ring) == 1 {
@@ -515,7 +525,7 @@ func (sv *Server) handleRingLocate(m ringLocate) {
 // lets disconnected s-peers "compete to replace the crashed t-peer by
 // sending messages to the server"; the server picks one (the first reporter
 // here — any deterministic rule works) and points the rest at the winner.
-func (sv *Server) handleReplace(from simnet.Addr, m replaceReq) {
+func (sv *Server) handleReplace(from runtime.Addr, m replaceReq) {
 	if _, done := sv.replaced[m.Crashed.Addr]; done {
 		rep := sv.liveReplacement(m.Crashed)
 		if rep.Addr == from {
@@ -538,7 +548,7 @@ func (sv *Server) handleReplace(from simnet.Addr, m replaceReq) {
 		sv.send(from, replaceResp{Promote: false, NewT: rep})
 		return
 	}
-	if sv.sys.Net.Attached(m.Crashed.Addr) {
+	if sv.sys.rt.Attached(m.Crashed.Addr) {
 		// False alarm: the reported t-peer is alive (its HELLOs were lost).
 		// Promoting a replacement for a living peer would fork the ring, so
 		// steer the reporter back under its own t-peer instead.
@@ -591,7 +601,7 @@ func (sv *Server) handleRingDead(m ringDeadReq) {
 		sv.send(m.Self.Addr, ringRepair{Crashed: m.Crashed, Pred: rep, Succ: rep})
 		return
 	}
-	if sv.sys.Net.Attached(m.Crashed.Addr) {
+	if sv.sys.rt.Attached(m.Crashed.Addr) {
 		// False alarm — the reported peer is alive. Ignore the report: the
 		// reporter keeps watching and its suspicion clears when the next
 		// HELLO gets through; evicting a live peer would split the ring.
@@ -616,7 +626,7 @@ func (sv *Server) handleRingDead(m ringDeadReq) {
 // still attached is never patched around: force-patching a live peer on a
 // false alarm would split the ring permanently.
 func (sv *Server) patchAround(crashed Ref) {
-	if sv.sys.Net.Attached(crashed.Addr) {
+	if sv.sys.rt.Attached(crashed.Addr) {
 		return
 	}
 	pred, succ, registered := sv.ringNeighbors(crashed.Addr)

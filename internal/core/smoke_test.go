@@ -33,7 +33,7 @@ func newTestSystem(t *testing.T, seed int64, mut func(*Config)) *System {
 	if mut != nil {
 		mut(&cfg)
 	}
-	sys, err := NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	sys, err := NewSystem(simnet.NewRuntime(eng, net), cfg, topo.StubNodes()[0])
 	if err != nil {
 		t.Fatalf("system: %v", err)
 	}

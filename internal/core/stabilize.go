@@ -13,7 +13,7 @@ package core
 
 import (
 	"repro/internal/idspace"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 type (
@@ -42,7 +42,7 @@ func (p *Peer) stabilizeRing() {
 
 // handleRingStabA adopts a closer successor if the current successor knows
 // one, then notifies the (possibly new) successor.
-func (p *Peer) handleRingStabA(from simnet.Addr, m ringStabA) {
+func (p *Peer) handleRingStabA(from runtime.Addr, m ringStabA) {
 	if p.Role != TPeer || p.joining || p.leaving {
 		return
 	}

@@ -6,38 +6,22 @@ import (
 
 	"repro/internal/idspace"
 	"repro/internal/obs"
-	"repro/internal/sim"
-	"repro/internal/simnet"
-	"repro/internal/topology"
+	"repro/internal/runtime"
 )
-
-// ServerAddr is the well-known address of the bootstrap server.
-const ServerAddr simnet.Addr = 0
-
-// traceHook, when non-nil, receives protocol trace lines (tests only).
-var traceHook func(format string, args ...any)
-
-// SetTraceHook installs (or clears, with nil) the protocol trace sink.
-func SetTraceHook(fn func(format string, args ...any)) { traceHook = fn }
-
-func tracef(format string, args ...any) {
-	if traceHook != nil {
-		traceHook(format, args...)
-	}
-}
 
 // System owns one hybrid peer-to-peer deployment: the bootstrap server, the
 // t-network ring and every attached s-network, all running over a shared
-// simulated network.
+// runtime. The runtime may be the deterministic discrete-event implementation
+// (internal/simnet) or the live goroutine implementation
+// (internal/runtime/live); the protocol code is identical under both.
 type System struct {
-	Eng  *sim.Engine
-	Net  *simnet.Network
-	Topo *topology.Graph
-	Cfg  Config
+	Cfg Config
 
-	server   *Server
-	peers    map[simnet.Addr]*Peer
-	nextAddr simnet.Addr
+	rt         runtime.Runtime
+	serverAddr runtime.Addr
+
+	server *Server
+	peers  map[runtime.Addr]*Peer
 
 	// nextQID numbers lookups/stores globally so contact counts can be
 	// attributed per query.
@@ -47,6 +31,20 @@ type System struct {
 
 	stats  SystemStats
 	tracer *obs.Tracer
+
+	// traceHook, when non-nil, receives protocol trace lines (tests only).
+	// Per-System rather than package-global so concurrent systems (parallel
+	// sweep workers, the live runtime) never race on it.
+	traceHook func(format string, args ...any)
+}
+
+// SetTraceHook installs (or clears, with nil) the protocol trace sink.
+func (s *System) SetTraceHook(fn func(format string, args ...any)) { s.traceHook = fn }
+
+func (s *System) tracef(format string, args ...any) {
+	if s.traceHook != nil {
+		s.traceHook(format, args...)
+	}
 }
 
 // SystemStats aggregates protocol-level counters for a run.
@@ -72,21 +70,19 @@ type SystemStats struct {
 	ItemsRehomed       uint64 // foreign items re-routed to their owning segment
 }
 
-// NewSystem creates an empty hybrid system. The server is attached at
-// ServerAddr on the given physical host.
-func NewSystem(eng *sim.Engine, net *simnet.Network, topo *topology.Graph, cfg Config, serverHost int) (*System, error) {
+// NewSystem creates an empty hybrid system on the given runtime. The server
+// is attached at the runtime's bootstrap address on the given physical host.
+func NewSystem(rt runtime.Runtime, cfg Config, serverHost int) (*System, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	s := &System{
-		Eng:      eng,
-		Net:      net,
-		Topo:     topo,
-		Cfg:      cfg,
-		peers:    make(map[simnet.Addr]*Peer),
-		nextAddr: ServerAddr + 1,
-		contacts: make(map[uint64]int),
+		Cfg:        cfg,
+		rt:         rt,
+		serverAddr: rt.ServerAddr(),
+		peers:      make(map[runtime.Addr]*Peer),
+		contacts:   make(map[uint64]int),
 	}
 	s.server = newServer(s, serverHost)
 	return s, nil
@@ -95,15 +91,21 @@ func NewSystem(eng *sim.Engine, net *simnet.Network, topo *topology.Graph, cfg C
 // Server returns the bootstrap server.
 func (s *System) Server() *Server { return s.server }
 
+// Runtime returns the runtime the system executes on.
+func (s *System) Runtime() runtime.Runtime { return s.rt }
+
+// ServerAddr returns the bootstrap server's address on this system's runtime.
+func (s *System) ServerAddr() runtime.Addr { return s.serverAddr }
+
 // SetTracer attaches a structured trace sink for peer lifecycle and lookup
 // events. A nil tracer (the default) disables tracing; every emission is
 // guarded by a single pointer check.
 func (s *System) SetTracer(t *obs.Tracer) { s.tracer = t }
 
 // trace emits one structured trace event when a tracer is attached.
-func (s *System) trace(kind obs.Kind, qid uint64, from, to simnet.Addr, hops int, note string) {
+func (s *System) trace(kind obs.Kind, qid uint64, from, to runtime.Addr, hops int, note string) {
 	if s.tracer.Enabled() {
-		s.tracer.Emit(kind, s.Eng.Now(), qid, int(from), int(to), hops, note)
+		s.tracer.Emit(kind, s.rt.Now(), qid, int(from), int(to), hops, note)
 	}
 }
 
@@ -111,7 +113,7 @@ func (s *System) trace(kind obs.Kind, qid uint64, from, to simnet.Addr, hops int
 func (s *System) Stats() SystemStats { return s.stats }
 
 // Peer returns the peer at the given address, or nil.
-func (s *System) Peer(a simnet.Addr) *Peer { return s.peers[a] }
+func (s *System) Peer(a runtime.Addr) *Peer { return s.peers[a] }
 
 // Peers returns all live peers sorted by address.
 func (s *System) Peers() []*Peer {
@@ -172,9 +174,8 @@ type JoinStats struct {
 	// forwarding hops for t-peers, tree walk hops for s-peers. This is
 	// the quantity Eq. (1) of the paper models.
 	Hops int
-	// Latency is the simulated time from contacting the server to being
-	// inserted.
-	Latency sim.Time
+	// Latency is the time from contacting the server to being inserted.
+	Latency runtime.Time
 }
 
 // JoinOpts describes a joining peer.
@@ -197,7 +198,7 @@ func (s *System) Join(opts JoinOpts, done func(*Peer, JoinStats)) *Peer {
 		opts.Capacity = 1
 	}
 	p := &Peer{
-		Addr:     s.nextAddr,
+		Addr:     s.rt.NewAddr(),
 		Host:     opts.Host,
 		Capacity: opts.Capacity,
 		Interest: opts.Interest,
@@ -209,18 +210,17 @@ func (s *System) Join(opts JoinOpts, done func(*Peer, JoinStats)) *Peer {
 		succ2:        NilRef,
 		tpeer:        NilRef,
 		cp:           NilRef,
-		children:     make(map[simnet.Addr]Ref),
-		childSubtree: make(map[simnet.Addr]int),
+		children:     make(map[runtime.Addr]Ref),
+		childSubtree: make(map[runtime.Addr]int),
 		data:         make(map[idspace.ID]Item),
 		pending:      make(map[uint64]*op),
-		watchdog:     make(map[simnet.Addr]*sim.Timer),
-		lastAck:      make(map[simnet.Addr]sim.Time),
+		watchdog:     make(map[runtime.Addr]*runtime.Timer),
+		lastAck:      make(map[runtime.Addr]runtime.Time),
 	}
-	s.nextAddr++
 	s.peers[p.Addr] = p
-	s.Net.Attach(p.Addr, opts.Host, opts.Capacity, simnet.HandlerFunc(p.recv))
+	s.rt.Attach(p.Addr, runtime.Endpoint{Host: opts.Host, Capacity: opts.Capacity}, runtime.HandlerFunc(p.recv))
 
-	p.joinStart = s.Eng.Now()
+	p.joinStart = s.rt.Now()
 	p.joinDone = done
 	req := serverJoinReq{
 		Capacity:  opts.Capacity,
@@ -239,7 +239,7 @@ func (s *System) Join(opts JoinOpts, done func(*Peer, JoinStats)) *Peer {
 	// pending response there is no watchdog to notice.
 	p.joinReq = req
 	p.armJoinTimer()
-	p.send(ServerAddr, req)
+	p.send(s.serverAddr, req)
 	return p
 }
 
@@ -253,10 +253,17 @@ func (s *System) landmarkCoord(host int) string {
 		idx int
 		d   int64
 	}
+	pl := s.rt.Placement()
 	ds := make([]dl, len(lms))
 	for i, lm := range lms {
-		lat, err := s.Topo.Latency(host, lm)
-		if err != nil {
+		var lat int64
+		if pl == nil {
+			// No physical model: every landmark is equidistant and the
+			// coordinate degenerates to landmark index order.
+			lat = 0
+		} else if l, err := pl.HostLatency(host, lm); err == nil {
+			lat = l
+		} else {
 			lat = 1 << 60
 		}
 		ds[i] = dl{idx: i, d: lat}
@@ -312,13 +319,13 @@ func (s *System) CheckRing() error {
 	if len(tps) == 0 {
 		return nil
 	}
-	byAddr := make(map[simnet.Addr]*Peer, len(tps))
+	byAddr := make(map[runtime.Addr]*Peer, len(tps))
 	for _, p := range tps {
 		byAddr[p.Addr] = p
 	}
 	start := tps[0]
 	cur := start
-	visited := make(map[simnet.Addr]bool)
+	visited := make(map[runtime.Addr]bool)
 	for {
 		if visited[cur.Addr] {
 			return fmt.Errorf("core: successor cycle revisits %d before covering the ring", cur.Addr)
@@ -416,14 +423,14 @@ func (s *System) ItemsPerPeer() []int {
 
 // DebugPendingOps lists in-flight client operations per peer ("kind key"),
 // for tests and debugging.
-func (s *System) DebugPendingOps() map[simnet.Addr][]string {
-	out := make(map[simnet.Addr][]string)
+func (s *System) DebugPendingOps() map[runtime.Addr][]string {
+	out := make(map[runtime.Addr][]string)
 	for addr, p := range s.peers {
 		for _, o := range p.pending {
 			if o.kind == "fixfinger" {
 				continue
 			}
-			out[addr] = append(out[addr], fmt.Sprintf("%s %s timer=%v", o.kind, o.key, o.timer.Pending()))
+			out[addr] = append(out[addr], fmt.Sprintf("%s %s timer=%v", o.kind, o.key, s.rt.Scheduled(o.timer)))
 		}
 	}
 	return out

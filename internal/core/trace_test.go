@@ -15,7 +15,7 @@ func TestLookupTraceReconstruction(t *testing.T) {
 	sys := newTestSystem(t, 3, func(c *Config) { c.Ps = 0.5 })
 	tr := obs.NewTracer(1 << 18)
 	sys.SetTracer(tr)
-	sys.Net.SetTracer(tr)
+	sys.Net().SetTracer(tr)
 
 	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 60})
 	if err != nil {

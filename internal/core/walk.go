@@ -3,7 +3,7 @@ package core
 import (
 	"repro/internal/idspace"
 	"repro/internal/obs"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // Random-walk search: §3.1 lets s-networks be searched by "flooding or
@@ -19,7 +19,7 @@ type walkReq struct {
 	Origin Ref
 	TTL    int
 	Hops   int
-	From   simnet.Addr // previous hop, avoided when possible
+	From   runtime.Addr // previous hop, avoided when possible
 }
 
 // startWalks launches the configured number of walkers from this peer.
@@ -28,7 +28,7 @@ func (p *Peer) startWalks(qid uint64, did idspace.ID, origin Ref) {
 	if len(nbs) == 0 {
 		return
 	}
-	rng := p.sys.Eng.Rand()
+	rng := p.sys.rt.Rand()
 	for i := 0; i < p.sys.Cfg.WalkCount; i++ {
 		nb := nbs[rng.Intn(len(nbs))]
 		p.sys.stats.WalksSent++
@@ -66,7 +66,7 @@ func (p *Peer) handleWalk(m walkReq) {
 	if len(candidates) == 0 {
 		candidates = nbs
 	}
-	next := candidates[p.sys.Eng.Rand().Intn(len(candidates))]
+	next := candidates[p.sys.rt.Rand().Intn(len(candidates))]
 	m.TTL--
 	m.Hops++
 	m.From = p.Addr

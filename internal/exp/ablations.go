@@ -55,7 +55,7 @@ func RunAblationTree(o Options) (*Result, error) {
 		net := simnet.New(eng, topo, simnet.DefaultConfig())
 		gcfg := gnutella.DefaultConfig()
 		gcfg.DegreeTarget = 4
-		gnet := gnutella.NewNetwork(net, gcfg)
+		gnet := gnutella.NewNetwork(simnet.NewRuntime(eng, net), gcfg)
 
 		stubs := topo.StubNodes()
 		peers := make([]*gnutella.Peer, o.N)

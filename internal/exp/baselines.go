@@ -37,7 +37,7 @@ func RunBaselines(o Options) (*Result, error) {
 			}
 			eng := sim.New(o.Seed + 800)
 			net := simnet.New(eng, topo, simnet.DefaultConfig())
-			cnet := chord.NewNetwork(net, chord.DefaultConfig())
+			cnet := chord.NewNetwork(simnet.NewRuntime(eng, net), chord.DefaultConfig())
 			stubs := topo.StubNodes()
 			var nodes []*chord.Node
 			boot := simnet.None
@@ -89,7 +89,7 @@ func RunBaselines(o Options) (*Result, error) {
 			}
 			eng := sim.New(o.Seed + 810)
 			net := simnet.New(eng, topo, simnet.DefaultConfig())
-			gnet := gnutella.NewNetwork(net, gnutella.DefaultConfig())
+			gnet := gnutella.NewNetwork(simnet.NewRuntime(eng, net), gnutella.DefaultConfig())
 			stubs := topo.StubNodes()
 			peers := make([]*gnutella.Peer, o.N)
 			for i := range peers {

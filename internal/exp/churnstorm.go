@@ -55,10 +55,10 @@ func RunChurnStorm(o Options) (*Result, error) {
 			return stormArm{}, err
 		}
 		sys := sc.Sys
-		stubs := sys.Topo.StubNodes()
+		stubs := sc.Topo.StubNodes()
 		var fs simnet.FaultStats
 		accumulate := func() {
-			if f := sys.Net.Faults(); f != nil {
+			if f := sc.Net.Faults(); f != nil {
 				s := f.Stats()
 				fs.Dropped += s.Dropped
 				fs.Duplicated += s.Duplicated
@@ -69,28 +69,28 @@ func RunChurnStorm(o Options) (*Result, error) {
 		for epoch := 0; epoch < epochs; epoch++ {
 			// One storm burst: nine churn events over ~3 seconds.
 			for k := 0; k < 9; k++ {
-				at := sys.Eng.Now() + sim.Time(k)*300*sim.Millisecond
+				at := sc.Eng.Now() + sim.Time(k)*300*sim.Millisecond
 				switch k % 3 {
 				case 0:
-					host := stubs[sys.Eng.Rand().Intn(len(stubs))]
-					sys.Eng.At(at, func() {
+					host := stubs[sc.Eng.Rand().Intn(len(stubs))]
+					sc.Eng.At(at, func() {
 						sys.Join(core.JoinOpts{Host: host, Capacity: 1}, nil)
 					})
 				case 1:
-					sys.Eng.At(at, func() {
+					sc.Eng.At(at, func() {
 						live := sys.Peers()
 						if len(live) <= 5 {
 							return
 						}
-						live[sys.Eng.Rand().Intn(len(live))].Leave()
+						live[sc.Eng.Rand().Intn(len(live))].Leave()
 					})
 				default:
-					sys.Eng.At(at, func() {
+					sc.Eng.At(at, func() {
 						live := sys.Peers()
 						if len(live) <= 5 {
 							return
 						}
-						live[sys.Eng.Rand().Intn(len(live))].Crash()
+						live[sc.Eng.Rand().Intn(len(live))].Crash()
 					})
 				}
 			}
@@ -100,12 +100,12 @@ func RunChurnStorm(o Options) (*Result, error) {
 			// producing false crash detections), so the invariant contract
 			// is convergence once delivery is restored.
 			accumulate()
-			sys.Net.SetFaults(nil)
+			sc.Net.SetFaults(nil)
 			sys.Settle(6 * cfg.HelloTimeout)
 			if err := sys.CheckInvariants(); err != nil {
 				return stormArm{}, fmt.Errorf("churn storm drop=%g epoch %d: %w", rate, epoch, err)
 			}
-			sys.Net.SetFaults(simnet.NewFaults(fc))
+			sc.Net.SetFaults(simnet.NewFaults(fc))
 		}
 		// Measure lookups with the faults still armed: the failure column
 		// reports degradation under loss, not post-recovery performance.
@@ -114,7 +114,7 @@ func RunChurnStorm(o Options) (*Result, error) {
 			return stormArm{}, err
 		}
 		accumulate()
-		sys.Net.SetFaults(nil)
+		sc.Net.SetFaults(nil)
 		st := sys.Stats()
 		sc.observe(o, fmt.Sprintf("ChurnStorm drop=%g", rate))
 		return stormArm{

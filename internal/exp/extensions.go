@@ -42,7 +42,7 @@ func RunExtCaching(o Options) (*Result, error) {
 		if _, err := sc.storeItems(keys); err != nil {
 			return cacheArm{}, err
 		}
-		zipf, err := workload.NewZipfPicker(sc.Sys.Eng.Rand(), 1.3, 1, len(keys))
+		zipf, err := workload.NewZipfPicker(sc.Eng.Rand(), 1.3, 1, len(keys))
 		if err != nil {
 			return cacheArm{}, err
 		}
@@ -192,7 +192,7 @@ func RunLinkStress(o Options) (*Result, error) {
 			cfg.Landmarks = 8
 			cfg.Assignment = core.AssignCluster
 		}
-		sys, err := core.NewSystem(eng, net, topoGraph, cfg, topoGraph.StubNodes()[0])
+		sys, err := core.NewSystem(simnet.NewRuntime(eng, net), cfg, topoGraph.StubNodes()[0])
 		if err != nil {
 			return stressArm{}, err
 		}
@@ -204,7 +204,7 @@ func RunLinkStress(o Options) (*Result, error) {
 			sys.SetTracer(o.Trace)
 		}
 		sys.Settle(2 * cfg.HelloEvery)
-		sc := &scenario{Sys: sys, Peers: peers, Joins: joins, wallStart: armStart}
+		sc := &scenario{Sys: sys, Eng: eng, Net: net, Topo: topoGraph, Peers: peers, Joins: joins, wallStart: armStart}
 		if _, err := sc.storeItems(keys); err != nil {
 			return stressArm{}, err
 		}
@@ -276,7 +276,7 @@ func RunChurn(o Options) (*Result, error) {
 		if _, err := sc.storeItems(keys); err != nil {
 			return churnArm{}, err
 		}
-		schedule := workload.PoissonSchedule(sc.Sys.Eng.Rand(), workload.ChurnConfig{
+		schedule := workload.PoissonSchedule(sc.Eng.Rand(), workload.ChurnConfig{
 			Duration:  120 * sim.Second,
 			JoinRate:  in.join,
 			LeaveRate: in.leave,
@@ -326,15 +326,15 @@ func RunChurn(o Options) (*Result, error) {
 // currently live peers.
 func applyChurn(sc *scenario, schedule []workload.ChurnEvent) {
 	sys := sc.Sys
-	stubs := sys.Topo.StubNodes()
-	base := sys.Eng.Now()
+	stubs := sc.Topo.StubNodes()
+	base := sc.Eng.Now()
 	for _, ev := range schedule {
 		ev := ev
-		sys.Eng.At(base+ev.At, func() {
+		sc.Eng.At(base+ev.At, func() {
 			switch ev.Kind {
 			case workload.Join:
 				sys.Join(core.JoinOpts{
-					Host:     stubs[sys.Eng.Rand().Intn(len(stubs))],
+					Host:     stubs[sc.Eng.Rand().Intn(len(stubs))],
 					Capacity: 1,
 				}, nil)
 			case workload.Leave, workload.Crash:

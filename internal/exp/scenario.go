@@ -125,6 +125,9 @@ func paperRoutingConfig(ps float64) core.Config {
 // scenario is one built hybrid system plus its population.
 type scenario struct {
 	Sys   *core.System
+	Eng   *sim.Engine
+	Net   *simnet.Network
+	Topo  *topology.Graph
 	Peers []*core.Peer
 	Joins []core.JoinStats
 	// wallStart is when the scenario build began; observe reports the
@@ -147,7 +150,7 @@ func buildScenario(o Options, cfg core.Config, seed int64, capacities []float64,
 	if o.Faults != nil {
 		net.SetFaults(simnet.NewFaults(*o.Faults))
 	}
-	sys, err := core.NewSystem(eng, net, topo, cfg, topo.StubNodes()[0])
+	sys, err := core.NewSystem(simnet.NewRuntime(eng, net), cfg, topo.StubNodes()[0])
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +167,7 @@ func buildScenario(o Options, cfg core.Config, seed int64, capacities []float64,
 		return nil, err
 	}
 	sys.Settle(2 * cfg.HelloEvery)
-	return &scenario{Sys: sys, Peers: peers, Joins: joins, wallStart: start}, nil
+	return &scenario{Sys: sys, Eng: eng, Net: net, Topo: topo, Peers: peers, Joins: joins, wallStart: start}, nil
 }
 
 // observe snapshots the scenario's engine, network and protocol counters into
@@ -175,10 +178,10 @@ func (s *scenario) observe(o Options, label string) {
 		return
 	}
 	reg := obs.NewRegistry()
-	reg.Counter("sim.events").Add(int64(s.Sys.Eng.Dispatched()))
-	reg.Gauge("sim.time_s").Set(float64(s.Sys.Eng.Now()) / float64(sim.Second))
+	reg.Counter("sim.events").Add(int64(s.Eng.Dispatched()))
+	reg.Gauge("sim.time_s").Set(float64(s.Eng.Now()) / float64(sim.Second))
 
-	ns := s.Sys.Net.Stats()
+	ns := s.Net.Stats()
 	reg.Counter("net.sent").Add(int64(ns.MessagesSent))
 	reg.Counter("net.delivered").Add(int64(ns.MessagesDelivered))
 	reg.Counter("net.dropped").Add(int64(ns.MessagesDropped))
@@ -223,7 +226,7 @@ func (s *scenario) alivePeer(i int) *core.Peer {
 // storeItems injects keys from deterministically chosen origins and returns
 // the number stored successfully.
 func (s *scenario) storeItems(keys []string) (int, error) {
-	rng := s.Sys.Eng.Rand()
+	rng := s.Eng.Rand()
 	stored := 0
 	const batch = 64
 	for start := 0; start < len(keys); start += batch {
@@ -258,7 +261,7 @@ func (s *scenario) storeItems(keys []string) (int, error) {
 // returns the results. pick chooses a key index per lookup; originOf chooses
 // the requesting peer.
 func (s *scenario) lookupBatch(count int, ttl int, keys []string, pick func(i int) int) ([]core.OpResult, error) {
-	rng := s.Sys.Eng.Rand()
+	rng := s.Eng.Rand()
 	results := make([]core.OpResult, 0, count)
 	const batch = 64
 	for start := 0; start < count; start += batch {
@@ -322,7 +325,7 @@ func (s *scenario) drain(remaining *int) error {
 		if steps > 50_000_000 {
 			return fmt.Errorf("exp: batch did not drain within event budget")
 		}
-		if !s.Sys.Eng.Step() {
+		if !s.Eng.Step() {
 			return fmt.Errorf("exp: engine ran dry with %d operations pending", *remaining)
 		}
 	}
@@ -333,7 +336,7 @@ func (s *scenario) drain(remaining *int) error {
 // uniformly, without any load transfer, then lets failure detection and
 // recovery run.
 func (s *scenario) crashFraction(f float64) int {
-	rng := s.Sys.Eng.Rand()
+	rng := s.Eng.Rand()
 	var live []*core.Peer
 	for _, p := range s.Peers {
 		if p.Alive() {

@@ -14,8 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/idspace"
-	"repro/internal/sim"
-	"repro/internal/simnet"
+	"repro/internal/runtime"
 )
 
 // Config tunes a Gnutella deployment.
@@ -27,7 +26,7 @@ type Config struct {
 	// MessageBytes is the nominal control-message size.
 	MessageBytes int
 	// LookupTimeout bounds a query before it is declared failed.
-	LookupTimeout sim.Time
+	LookupTimeout runtime.Time
 	// WalkCount is the number of walkers a random-walk query launches.
 	WalkCount int
 	// WalkTTL is the hop budget of each walker.
@@ -40,7 +39,7 @@ func DefaultConfig() Config {
 		DegreeTarget:  4,
 		DefaultTTL:    5,
 		MessageBytes:  128,
-		LookupTimeout: 30 * sim.Second,
+		LookupTimeout: 30 * runtime.Second,
 		WalkCount:     4,
 		WalkTTL:       32,
 	}
@@ -48,11 +47,11 @@ func DefaultConfig() Config {
 
 // Network owns a set of Gnutella peers on one simnet.
 type Network struct {
-	Net *simnet.Network
+	rt  runtime.Runtime
 	Cfg Config
 
-	peers map[simnet.Addr]*Peer
-	next  simnet.Addr
+	peers map[runtime.Addr]*Peer
+	next  runtime.Addr
 
 	// DuplicateDeliveries counts query copies received by peers that had
 	// already seen the query — the mesh's flooding overhead.
@@ -62,7 +61,7 @@ type Network struct {
 }
 
 // NewNetwork creates an empty deployment.
-func NewNetwork(net *simnet.Network, cfg Config) *Network {
+func NewNetwork(rt runtime.Runtime, cfg Config) *Network {
 	def := DefaultConfig()
 	if cfg.DegreeTarget <= 0 {
 		cfg.DegreeTarget = def.DegreeTarget
@@ -82,15 +81,15 @@ func NewNetwork(net *simnet.Network, cfg Config) *Network {
 	if cfg.WalkTTL <= 0 {
 		cfg.WalkTTL = def.WalkTTL
 	}
-	return &Network{Net: net, Cfg: cfg, peers: make(map[simnet.Addr]*Peer)}
+	return &Network{rt: rt, Cfg: cfg, peers: make(map[runtime.Addr]*Peer)}
 }
 
 // Peer is one Gnutella participant.
 type Peer struct {
-	Addr simnet.Addr
+	Addr runtime.Addr
 
 	net       *Network
-	neighbors map[simnet.Addr]bool
+	neighbors map[runtime.Addr]bool
 	data      map[idspace.ID]Item
 	seen      map[uint64]bool // query ids already processed
 	alive     bool
@@ -108,9 +107,9 @@ type Item struct {
 
 // query is an outstanding search issued by this peer.
 type query struct {
-	start   sim.Time
+	start   runtime.Time
 	done    func(Result)
-	timeout sim.Handle
+	timeout runtime.Handle
 	found   bool
 }
 
@@ -120,7 +119,7 @@ type Result struct {
 	Key     string
 	Value   string
 	Hops    int
-	Latency sim.Time
+	Latency runtime.Time
 }
 
 // Join creates a peer on the given host and links it to up to DegreeTarget
@@ -132,7 +131,7 @@ func (nw *Network) Join(host int, capacity float64) *Peer {
 	p := &Peer{
 		Addr:      addr,
 		net:       nw,
-		neighbors: make(map[simnet.Addr]bool),
+		neighbors: make(map[runtime.Addr]bool),
 		data:      make(map[idspace.ID]Item),
 		seen:      make(map[uint64]bool),
 		pending:   make(map[uint64]*query),
@@ -140,9 +139,9 @@ func (nw *Network) Join(host int, capacity float64) *Peer {
 	}
 	existing := nw.alivePeers()
 	nw.peers[addr] = p
-	nw.Net.Attach(addr, host, capacity, simnet.HandlerFunc(p.recv))
+	nw.rt.Attach(addr, runtime.Endpoint{Host: host, Capacity: capacity}, runtime.HandlerFunc(p.recv))
 
-	rng := nw.Net.Eng.Rand()
+	rng := nw.rt.Rand()
 	want := nw.Cfg.DegreeTarget
 	if want > len(existing) {
 		want = len(existing)
@@ -170,8 +169,11 @@ func (nw *Network) alivePeers() []*Peer {
 // Peers returns all live peers sorted by address.
 func (nw *Network) Peers() []*Peer { return nw.alivePeers() }
 
+// Runtime returns the runtime the network executes on.
+func (nw *Network) Runtime() runtime.Runtime { return nw.rt }
+
 // Peer returns the peer at addr, or nil.
-func (nw *Network) Peer(a simnet.Addr) *Peer { return nw.peers[a] }
+func (nw *Network) Peer(a runtime.Addr) *Peer { return nw.peers[a] }
 
 // Alive reports whether the peer is participating.
 func (p *Peer) Alive() bool { return p.alive }
@@ -180,8 +182,8 @@ func (p *Peer) Alive() bool { return p.alive }
 func (p *Peer) Degree() int { return len(p.neighbors) }
 
 // Neighbors returns the neighbor addresses in ascending order.
-func (p *Peer) Neighbors() []simnet.Addr {
-	out := make([]simnet.Addr, 0, len(p.neighbors))
+func (p *Peer) Neighbors() []runtime.Addr {
+	out := make([]runtime.Addr, 0, len(p.neighbors))
 	for a := range p.neighbors {
 		out = append(out, a)
 	}
@@ -204,7 +206,7 @@ type (
 	queryMsg struct {
 		QID    uint64
 		DID    idspace.ID
-		Origin simnet.Addr
+		Origin runtime.Addr
 		TTL    int
 		Hops   int
 		Walk   bool // random walk instead of flood
@@ -217,7 +219,7 @@ type (
 	byeMsg struct{}
 )
 
-func (p *Peer) recv(from simnet.Addr, msg any) {
+func (p *Peer) recv(from runtime.Addr, msg any) {
 	if !p.alive {
 		return
 	}
@@ -233,8 +235,8 @@ func (p *Peer) recv(from simnet.Addr, msg any) {
 	}
 }
 
-func (p *Peer) send(to simnet.Addr, msg any) {
-	p.net.Net.Send(p.Addr, to, p.net.Cfg.MessageBytes, msg)
+func (p *Peer) send(to runtime.Addr, msg any) {
+	p.net.rt.Send(p.Addr, to, p.net.Cfg.MessageBytes, msg)
 }
 
 // Lookup floods a query with the given TTL (0 uses the default) and reports
@@ -255,16 +257,16 @@ func (p *Peer) search(key string, ttl int, walk bool, done func(Result)) {
 	did := idspace.HashKey(key)
 	p.nextTag++
 	qid := uint64(p.Addr)<<32 | p.nextTag
-	q := &query{start: p.net.Net.Eng.Now(), done: done}
+	q := &query{start: p.net.rt.Now(), done: done}
 	p.pending[qid] = q
-	q.timeout = p.net.Net.Eng.After(p.net.Cfg.LookupTimeout, func() {
+	q.timeout = p.net.rt.Schedule(p.net.Cfg.LookupTimeout, func() {
 		p.finish(qid, Result{OK: false, Key: key})
 	})
 	p.seen[qid] = true
 
 	// Local database check comes first, as in any Gnutella servent.
 	if it, ok := p.data[did]; ok {
-		p.net.Net.SendLocal(p.Addr, queryHit{QID: qid, Value: it.Value, Hops: 0})
+		p.net.rt.SendLocal(p.Addr, queryHit{QID: qid, Value: it.Value, Hops: 0})
 		return
 	}
 	m := queryMsg{QID: qid, DID: did, Origin: p.Addr, TTL: ttl, Hops: 0, Walk: walk}
@@ -284,13 +286,13 @@ func (p *Peer) forwardWalkers(m queryMsg, k int) {
 	if len(nbs) == 0 {
 		return
 	}
-	rng := p.net.Net.Eng.Rand()
+	rng := p.net.rt.Rand()
 	for i := 0; i < k; i++ {
 		p.send(nbs[rng.Intn(len(nbs))], m)
 	}
 }
 
-func (p *Peer) handleQuery(from simnet.Addr, m queryMsg) {
+func (p *Peer) handleQuery(from runtime.Addr, m queryMsg) {
 	if p.seen[m.QID] && !m.Walk {
 		// Mesh duplicate: the cost the hybrid system's tree eliminates.
 		p.net.DuplicateDeliveries++
@@ -333,8 +335,8 @@ func (p *Peer) finish(qid uint64, r Result) {
 	}
 	q.found = true
 	delete(p.pending, qid)
-	p.net.Net.Eng.Cancel(q.timeout)
-	r.Latency = p.net.Net.Eng.Now() - q.start
+	p.net.rt.Unschedule(q.timeout)
+	r.Latency = p.net.rt.Now() - q.start
 	if q.done != nil {
 		q.done(r)
 	}
@@ -359,6 +361,6 @@ func (p *Peer) Crash() {
 		return
 	}
 	p.alive = false
-	p.net.Net.Detach(p.Addr)
+	p.net.rt.Detach(p.Addr)
 	delete(p.net.peers, p.Addr)
 }

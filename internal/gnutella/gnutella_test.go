@@ -23,7 +23,7 @@ func mesh(t *testing.T, n int, seed int64, cfg Config) (*sim.Engine, *Network, [
 	}
 	eng := sim.New(seed)
 	net := simnet.New(eng, topo, simnet.DefaultConfig())
-	gnet := NewNetwork(net, cfg)
+	gnet := NewNetwork(simnet.NewRuntime(eng, net), cfg)
 	stubs := topo.StubNodes()
 	peers := make([]*Peer, n)
 	for i := range peers {

@@ -11,7 +11,7 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/sim"
+	"repro/internal/runtime"
 )
 
 func TestNilTracerIsNoOp(t *testing.T) {
@@ -32,7 +32,7 @@ func TestNilTracerIsNoOp(t *testing.T) {
 func TestTracerRingOverwrite(t *testing.T) {
 	tr := NewTracer(4)
 	for i := 0; i < 10; i++ {
-		tr.Emit(EvMsgSend, sim.Time(i), 0, i, i+1, 0, "")
+		tr.Emit(EvMsgSend, runtime.Time(i), 0, i, i+1, 0, "")
 	}
 	if got := tr.Len(); got != 4 {
 		t.Fatalf("Len = %d, want 4", got)

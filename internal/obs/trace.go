@@ -12,7 +12,7 @@ import (
 	"io"
 	"sync"
 
-	"repro/internal/sim"
+	"repro/internal/runtime"
 )
 
 // Kind classifies a trace event.
@@ -60,7 +60,7 @@ func (k Kind) String() string {
 // types (0 means the event is not tied to a lookup).
 type Event struct {
 	Seq    uint64
-	At     sim.Time
+	At     runtime.Time
 	Kind   Kind
 	Lookup uint64
 	From   int
@@ -114,7 +114,7 @@ func (t *Tracer) SetLabel(label string) {
 }
 
 // Emit appends one event to the ring, overwriting the oldest when full.
-func (t *Tracer) Emit(kind Kind, at sim.Time, lookup uint64, from, to, hops int, note string) {
+func (t *Tracer) Emit(kind Kind, at runtime.Time, lookup uint64, from, to, hops int, note string) {
 	if t == nil {
 		return
 	}

@@ -1,0 +1,111 @@
+package runtime
+
+// Timer is a restartable one-shot timer driven by a Clock. It implements the
+// timer idioms the paper's protocols need: HELLO timeouts that are reset
+// whenever a heartbeat arrives, lookup timers that expire into a failure
+// handler, and suppress timers that gate acknowledgment traffic.
+//
+// The zero value is not usable; create timers with NewTimer. A Timer has the
+// same concurrency contract as the protocol state it guards: all calls must
+// be made under the runtime's execution guarantee (inside a handler, a
+// callback, or Runtime.Do).
+type Timer struct {
+	clk    Clock
+	d      Time
+	fn     func()
+	ev     Handle
+	active bool
+	fires  int
+	resets int
+}
+
+// NewTimer returns a stopped timer that runs fn after d once started.
+func NewTimer(clk Clock, d Time, fn func()) *Timer {
+	return &Timer{clk: clk, d: d, fn: fn}
+}
+
+// Start arms the timer. Starting an armed timer restarts it.
+func (t *Timer) Start() {
+	t.StartAfter(t.d)
+}
+
+// StartAfter arms the timer with an explicit duration, overriding the default
+// for this firing only.
+func (t *Timer) StartAfter(d Time) {
+	t.Stop()
+	t.active = true
+	t.ev = t.clk.Schedule(d, func() {
+		t.active = false
+		t.ev = Handle{}
+		t.fires++
+		t.fn()
+	})
+}
+
+// Reset restarts the timer with its default duration, counting the reset.
+// Reset on a stopped timer arms it; this matches the paper's semantics where
+// any HELLO or acknowledgment re-arms the neighbor's failure detector.
+func (t *Timer) Reset() {
+	t.resets++
+	t.StartAfter(t.d)
+}
+
+// Stop disarms the timer if it is armed.
+func (t *Timer) Stop() {
+	t.clk.Unschedule(t.ev)
+	t.ev = Handle{}
+	t.active = false
+}
+
+// Active reports whether the timer is armed.
+func (t *Timer) Active() bool { return t.active }
+
+// Fires returns how many times the timer has expired.
+func (t *Timer) Fires() int { return t.fires }
+
+// Resets returns how many times Reset was called.
+func (t *Timer) Resets() int { return t.resets }
+
+// Duration returns the default duration the timer was created with.
+func (t *Timer) Duration() Time { return t.d }
+
+// SetDuration changes the default duration used by Start and Reset.
+func (t *Timer) SetDuration(d Time) { t.d = d }
+
+// Ticker invokes a callback at a fixed period until stopped. It is used for
+// periodic protocol maintenance: finger refresh and HELLO broadcasts.
+type Ticker struct {
+	clk    Clock
+	period Time
+	fn     func()
+	ev     Handle
+	ticks  int
+}
+
+// NewTicker returns a stopped ticker with the given period.
+func NewTicker(clk Clock, period Time, fn func()) *Ticker {
+	return &Ticker{clk: clk, period: period, fn: fn}
+}
+
+// Start begins periodic firing one period from now.
+func (t *Ticker) Start() {
+	t.Stop()
+	t.schedule()
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.clk.Schedule(t.period, func() {
+		t.ticks++
+		t.schedule()
+		t.fn()
+	})
+}
+
+// Stop halts the ticker.
+func (t *Ticker) Stop() {
+	t.clk.Unschedule(t.ev)
+	t.ev = Handle{}
+}
+
+// Ticks returns the number of completed firings.
+func (t *Ticker) Ticks() int { return t.ticks }

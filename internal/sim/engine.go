@@ -11,25 +11,22 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/runtime"
 )
 
 // Time is a simulated timestamp in microseconds since the start of the run.
-type Time int64
+// It is an alias for runtime.Time: the engine is one implementation of the
+// runtime.Clock the protocol is written against, and sharing the type means
+// no conversions anywhere on the boundary.
+type Time = runtime.Time
 
 // Common durations, expressed in simulated microseconds.
 const (
-	Microsecond Time = 1
-	Millisecond Time = 1000 * Microsecond
-	Second      Time = 1000 * Millisecond
+	Microsecond = runtime.Microsecond
+	Millisecond = runtime.Millisecond
+	Second      = runtime.Second
 )
-
-// String renders the time as seconds with microsecond precision.
-func (t Time) String() string {
-	return fmt.Sprintf("%d.%06ds", t/Second, t%Second)
-}
-
-// Seconds converts the timestamp to floating-point seconds.
-func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // Event is a scheduled callback slot. Event structs are pooled: once an
 // event fires or is cancelled, its struct is recycled for a later schedule.
@@ -180,6 +177,34 @@ func (e *Engine) RunUntil(t Time) {
 	if e.now < t {
 		e.now = t
 	}
+}
+
+// Schedule implements runtime.Clock in terms of After. The returned
+// runtime.Handle boxes the pooled *Event plus its epoch, so scheduling
+// through the interface stays allocation-free.
+func (e *Engine) Schedule(d Time, fn func()) runtime.Handle {
+	h := e.After(d, fn)
+	return runtime.MakeHandle(h.ev, h.epoch)
+}
+
+// Unschedule implements runtime.Clock; it is Cancel for handles issued by
+// Schedule. Handles from other clocks (or the zero Handle) are no-ops.
+func (e *Engine) Unschedule(h runtime.Handle) bool {
+	ev, ok := h.Impl().(*Event)
+	if !ok {
+		return false
+	}
+	return e.Cancel(Handle{ev: ev, epoch: h.Epoch()})
+}
+
+// Scheduled implements runtime.Clock; it reports whether the firing h refers
+// to is still pending on this engine.
+func (e *Engine) Scheduled(h runtime.Handle) bool {
+	ev, ok := h.Impl().(*Event)
+	if !ok {
+		return false
+	}
+	return (Handle{ev: ev, epoch: h.Epoch()}).Pending()
 }
 
 // RunSteps dispatches at most n events and returns the number dispatched.

@@ -3,6 +3,7 @@ package simnet
 import (
 	"testing"
 
+	"repro/internal/runtime"
 	"repro/internal/sim"
 )
 
@@ -10,8 +11,8 @@ func TestFaultDropAll(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	stubs := topo.StubNodes()
 	r := &recorder{eng: eng}
-	net.Attach(1, stubs[0], 1, r)
-	net.Attach(2, stubs[5], 1, r)
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, r)
+	net.Attach(2, runtime.Endpoint{Host: stubs[5], Capacity: 1}, r)
 	net.SetFaults(NewFaults(FaultConfig{DropRate: 1, Seed: 7}))
 
 	for i := 0; i < 10; i++ {
@@ -34,8 +35,8 @@ func TestFaultDuplicateAll(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	stubs := topo.StubNodes()
 	r := &recorder{eng: eng}
-	net.Attach(1, stubs[0], 1, r)
-	net.Attach(2, stubs[5], 1, r)
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, r)
+	net.Attach(2, runtime.Endpoint{Host: stubs[5], Capacity: 1}, r)
 	net.SetFaults(NewFaults(FaultConfig{DupRate: 1, Seed: 7}))
 
 	net.Send(1, 2, 100, "x")
@@ -57,8 +58,8 @@ func TestFaultJitterBounded(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	stubs := topo.StubNodes()
 	r := &recorder{eng: eng}
-	net.Attach(1, stubs[0], 1, r)
-	net.Attach(2, stubs[5], 1, r)
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, r)
+	net.Attach(2, runtime.Endpoint{Host: stubs[5], Capacity: 1}, r)
 	base, err := net.Delay(1, 2, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -94,9 +95,9 @@ func TestFaultPartitionWindow(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	stubs := topo.StubNodes()
 	r := &recorder{eng: eng}
-	net.Attach(1, stubs[0], 1, r)
-	net.Attach(2, stubs[5], 1, r)
-	net.Attach(3, stubs[1], 1, r)
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, r)
+	net.Attach(2, runtime.Endpoint{Host: stubs[5], Capacity: 1}, r)
+	net.Attach(3, runtime.Endpoint{Host: stubs[1], Capacity: 1}, r)
 	f := NewFaults(FaultConfig{Seed: 7})
 	f.AddPartition(0, sim.Second, []int{stubs[0], stubs[1]})
 	net.SetFaults(f)
@@ -122,9 +123,9 @@ func TestFaultPerLinkOverride(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	stubs := topo.StubNodes()
 	r := &recorder{eng: eng}
-	net.Attach(1, stubs[0], 1, r)
-	net.Attach(2, stubs[5], 1, r)
-	net.Attach(3, stubs[6], 1, r)
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, r)
+	net.Attach(2, runtime.Endpoint{Host: stubs[5], Capacity: 1}, r)
+	net.Attach(3, runtime.Endpoint{Host: stubs[6], Capacity: 1}, r)
 	f := NewFaults(FaultConfig{Seed: 7}) // clean global policy
 	f.SetLink(1, 2, LinkFaults{DropRate: 1})
 	net.SetFaults(f)
@@ -141,7 +142,7 @@ func TestFaultPerLinkOverride(t *testing.T) {
 func TestFaultLocalSendImmune(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	r := &recorder{eng: eng}
-	net.Attach(1, topo.StubNodes()[0], 1, r)
+	net.Attach(1, runtime.Endpoint{Host: topo.StubNodes()[0], Capacity: 1}, r)
 	net.SetFaults(NewFaults(FaultConfig{DropRate: 1, Seed: 7}))
 
 	net.SendLocal(1, "self")
@@ -159,8 +160,8 @@ func TestFaultZeroRateIdentical(t *testing.T) {
 		eng, net, topo := testNet(t, DefaultConfig())
 		stubs := topo.StubNodes()
 		r := &recorder{eng: eng}
-		net.Attach(1, stubs[0], 1, r)
-		net.Attach(2, stubs[5], 1, r)
+		net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, r)
+		net.Attach(2, runtime.Endpoint{Host: stubs[5], Capacity: 1}, r)
 		if withFaults {
 			net.SetFaults(NewFaults(FaultConfig{Seed: 99}))
 		}

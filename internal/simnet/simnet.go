@@ -12,28 +12,25 @@ import (
 	"fmt"
 
 	"repro/internal/obs"
+	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
 // Addr identifies a peer endpoint. Each overlay peer is hosted on one
-// physical topology node; the mapping is set at Attach time.
-type Addr int
+// physical topology node; the mapping is set at Attach time. It is an alias
+// for runtime.Addr: simnet is the discrete-event implementation of the
+// runtime.Transport the protocols are written against.
+type Addr = runtime.Addr
 
 // None is the null address.
-const None Addr = -1
+const None = runtime.None
 
-// Handler receives delivered messages.
-type Handler interface {
-	// Recv is invoked inside the simulation loop when a message arrives.
-	Recv(from Addr, msg any)
-}
+// Handler receives delivered messages inside the simulation loop.
+type Handler = runtime.Handler
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(from Addr, msg any)
-
-// Recv calls f(from, msg).
-func (f HandlerFunc) Recv(from Addr, msg any) { f(from, msg) }
+type HandlerFunc = runtime.HandlerFunc
 
 // LinkKey identifies an undirected physical link by its ordered endpoints.
 type LinkKey struct {
@@ -107,19 +104,19 @@ func New(eng *sim.Engine, topo *topology.Graph, cfg Config) *Network {
 	}
 }
 
-// Attach registers a peer at the given physical host. Capacity is the
-// relative access-link speed (1 = slowest class; the paper's fastest class is
-// 10x the slowest).
-func (n *Network) Attach(a Addr, host int, capacity float64, h Handler) {
-	if host < 0 || host >= n.Topo.NumNodes() {
-		panic(fmt.Sprintf("simnet: host %d out of range", host))
+// Attach registers a peer at the endpoint's physical host. The endpoint
+// capacity is the relative access-link speed (1 = slowest class; the paper's
+// fastest class is 10x the slowest).
+func (n *Network) Attach(a Addr, ep runtime.Endpoint, h Handler) {
+	if ep.Host < 0 || ep.Host >= n.Topo.NumNodes() {
+		panic(fmt.Sprintf("simnet: host %d out of range", ep.Host))
 	}
-	if capacity < 1 {
-		capacity = 1
+	if ep.Capacity < 1 {
+		ep.Capacity = 1
 	}
 	n.handlers[a] = h
-	n.host[a] = host
-	n.capacity[a] = capacity
+	n.host[a] = ep.Host
+	n.capacity[a] = ep.Capacity
 }
 
 // Detach removes a peer; in-flight messages to it are dropped on delivery.

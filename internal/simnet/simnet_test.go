@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/topology"
 )
@@ -44,8 +45,8 @@ func TestSendDelivers(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	stubs := topo.StubNodes()
 	ra, rb := &recorder{eng: eng}, &recorder{eng: eng}
-	net.Attach(1, stubs[0], 1, ra)
-	net.Attach(2, stubs[5], 1, rb)
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, ra)
+	net.Attach(2, runtime.Endpoint{Host: stubs[5], Capacity: 1}, rb)
 
 	net.Send(1, 2, 100, "hello")
 	eng.Run()
@@ -64,8 +65,8 @@ func TestSendDelivers(t *testing.T) {
 func TestDelayComposition(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	stubs := topo.StubNodes()
-	net.Attach(1, stubs[0], 1, &recorder{eng: eng})
-	net.Attach(2, stubs[5], 1, &recorder{eng: eng})
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, &recorder{eng: eng})
+	net.Attach(2, runtime.Endpoint{Host: stubs[5], Capacity: 1}, &recorder{eng: eng})
 
 	small, err := net.Delay(1, 2, 10)
 	if err != nil {
@@ -87,9 +88,9 @@ func TestDelayComposition(t *testing.T) {
 func TestCapacityBoundedBySlowerSide(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	stubs := topo.StubNodes()
-	net.Attach(1, stubs[0], 10, &recorder{eng: eng}) // fast
-	net.Attach(2, stubs[5], 1, &recorder{eng: eng})  // slow
-	net.Attach(3, stubs[6], 10, &recorder{eng: eng}) // fast
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 10}, &recorder{eng: eng}) // fast
+	net.Attach(2, runtime.Endpoint{Host: stubs[5], Capacity: 1}, &recorder{eng: eng})  // slow
+	net.Attach(3, runtime.Endpoint{Host: stubs[6], Capacity: 10}, &recorder{eng: eng}) // fast
 
 	fastToSlow, _ := net.Delay(1, 2, 1000)
 	slowToFast, _ := net.Delay(2, 1, 1000)
@@ -111,8 +112,8 @@ func TestDetachDropsMessages(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	stubs := topo.StubNodes()
 	r := &recorder{eng: eng}
-	net.Attach(1, stubs[0], 1, r)
-	net.Attach(2, stubs[1], 1, r)
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, r)
+	net.Attach(2, runtime.Endpoint{Host: stubs[1], Capacity: 1}, r)
 
 	// Dropped at send time: receiver already gone.
 	net.Detach(2)
@@ -123,7 +124,7 @@ func TestDetachDropsMessages(t *testing.T) {
 	}
 
 	// Dropped at delivery time: receiver crashes while in flight.
-	net.Attach(2, stubs[1], 1, r)
+	net.Attach(2, runtime.Endpoint{Host: stubs[1], Capacity: 1}, r)
 	net.Send(1, 2, 10, "b")
 	net.Detach(2)
 	eng.Run()
@@ -137,7 +138,7 @@ func TestDetachDropsMessages(t *testing.T) {
 
 func TestSenderDetachedErrors(t *testing.T) {
 	_, net, topo := testNet(t, DefaultConfig())
-	net.Attach(2, topo.StubNodes()[0], 1, &recorder{})
+	net.Attach(2, runtime.Endpoint{Host: topo.StubNodes()[0], Capacity: 1}, &recorder{})
 	if _, err := net.Delay(1, 2, 10); err == nil {
 		t.Fatal("detached sender Delay should error")
 	}
@@ -150,7 +151,7 @@ func TestSenderDetachedErrors(t *testing.T) {
 func TestSendLocal(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	r := &recorder{eng: eng}
-	net.Attach(1, topo.StubNodes()[0], 1, r)
+	net.Attach(1, runtime.Endpoint{Host: topo.StubNodes()[0], Capacity: 1}, r)
 	net.SendLocal(1, "self")
 	eng.Run()
 	if len(r.msgs) != 1 || r.froms[0] != 1 {
@@ -161,7 +162,7 @@ func TestSendLocal(t *testing.T) {
 func TestAttachedHostCapacity(t *testing.T) {
 	_, net, topo := testNet(t, DefaultConfig())
 	h := topo.StubNodes()[3]
-	net.Attach(9, h, 5, &recorder{})
+	net.Attach(9, runtime.Endpoint{Host: h, Capacity: 5}, &recorder{})
 	if !net.Attached(9) || net.Attached(8) {
 		t.Fatal("Attached wrong")
 	}
@@ -172,7 +173,7 @@ func TestAttachedHostCapacity(t *testing.T) {
 		t.Fatal("Capacity wrong")
 	}
 	// Capacity below 1 clamps.
-	net.Attach(10, h, 0.1, &recorder{})
+	net.Attach(10, runtime.Endpoint{Host: h, Capacity: 0.1}, &recorder{})
 	if net.Capacity(10) != 1 {
 		t.Fatal("capacity not clamped to 1")
 	}
@@ -195,8 +196,8 @@ func TestLinkStress(t *testing.T) {
 		return eng, New(eng, topo, cfg), topo
 	}()
 	stubs := topo.StubNodes()
-	net.Attach(1, stubs[0], 1, &recorder{eng: eng})
-	net.Attach(2, stubs[len(stubs)-1], 1, &recorder{eng: eng})
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, &recorder{eng: eng})
+	net.Attach(2, runtime.Endpoint{Host: stubs[len(stubs)-1], Capacity: 1}, &recorder{eng: eng})
 	for i := 0; i < 5; i++ {
 		net.Send(1, 2, 10, i)
 	}
@@ -213,7 +214,7 @@ func TestLinkStress(t *testing.T) {
 func TestSendLocalAccounting(t *testing.T) {
 	eng, net, topo := testNet(t, DefaultConfig())
 	r := &recorder{eng: eng}
-	net.Attach(1, topo.StubNodes()[0], 1, r)
+	net.Attach(1, runtime.Endpoint{Host: topo.StubNodes()[0], Capacity: 1}, r)
 
 	// Delivered local send.
 	net.SendLocal(1, "self")
@@ -253,8 +254,8 @@ func TestLinkStressReturnsCopy(t *testing.T) {
 		return eng, New(eng, topo, cfg), topo
 	}()
 	stubs := topo.StubNodes()
-	net.Attach(1, stubs[0], 1, &recorder{eng: eng})
-	net.Attach(2, stubs[len(stubs)-1], 1, &recorder{eng: eng})
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, &recorder{eng: eng})
+	net.Attach(2, runtime.Endpoint{Host: stubs[len(stubs)-1], Capacity: 1}, &recorder{eng: eng})
 	net.Send(1, 2, 10, "x")
 	eng.Run()
 
@@ -283,8 +284,8 @@ func TestSendEmitsTraceEvents(t *testing.T) {
 	net.SetTracer(tr)
 	stubs := topo.StubNodes()
 	r := &recorder{eng: eng}
-	net.Attach(1, stubs[0], 1, r)
-	net.Attach(2, stubs[5], 1, r)
+	net.Attach(1, runtime.Endpoint{Host: stubs[0], Capacity: 1}, r)
+	net.Attach(2, runtime.Endpoint{Host: stubs[5], Capacity: 1}, r)
 
 	net.Send(1, 2, 100, "hello")
 	net.SendLocal(1, "self")

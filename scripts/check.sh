@@ -43,6 +43,12 @@ echo "== fault-layer-off determinism gate"
 go test ./internal/exp -count=1 \
     -run '^(TestFaultLayerOffIsByteIdentical|TestParallelSweepDeterminism)$'
 
+# Cross-runtime conformance gate: the same join/store/crash/lookup scenario
+# on the DES and the live goroutine runtime, the invariant checker green on
+# both, under the race detector. -count=1 so the live half always executes.
+echo "== cross-runtime conformance gate (DES vs live, -race)"
+go test -race ./internal/conformance -count=1
+
 if [ "${SKIP_BENCH_GUARD:-0}" = "1" ]; then
     echo "== bench guard skipped (SKIP_BENCH_GUARD=1)"
 else
