@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet staticcheck test race faultcheck determinism conformance bench bench-json bench-guard
+.PHONY: all build check vet staticcheck test race faultcheck determinism conformance bench bench-json bench-guard benchscale
 
 all: check
 
@@ -54,6 +54,12 @@ bench:
 # Re-record the benchmark baseline (see BENCH_PR1.json).
 bench-json:
 	$(GO) test -run=^$$ -bench=. -benchmem -benchtime=1x | $(GO) run ./cmd/benchjson
+
+# Short-mode scale sweep: one 10k-peer point of the Scale experiment,
+# reporting bytes/peer, peers/GB and events/sec (see EXPERIMENTS.md "Scale").
+# The full 10k/100k/1M ladder is `go run ./cmd/paperexp -run Scale`.
+benchscale:
+	$(GO) run ./cmd/paperexp -run Scale -quick -n 10000
 
 # Fail if BenchmarkEventEngine regresses >20% against the recorded baseline
 # (best of 3 runs, so a loaded machine does not read as a regression).

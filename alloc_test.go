@@ -1,0 +1,67 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Allocation guards for the two hot paths the memory work pinned down: the
+// event engine's schedule/dispatch cycle and a full no-churn lookup. The
+// guards use testing.AllocsPerRun so a regression fails `go test ./...`
+// outright instead of waiting for someone to compare benchmark output.
+
+// TestEventEngineAllocFree pins the engine hot path at zero allocations per
+// event: after warm-up every Event comes from the engine's free list and the
+// heap slice never grows, so a steady-state schedule/dispatch cycle touches
+// no allocator at all.
+func TestEventEngineAllocFree(t *testing.T) {
+	eng := sim.New(1)
+	tick := func() {}
+	// Warm-up: grow the heap array and the event pool past anything the
+	// measured loop needs.
+	for i := 0; i < 1024; i++ {
+		eng.After(sim.Time(i%100+1), tick)
+	}
+	eng.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			eng.After(sim.Time(i%100+1), tick)
+		}
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("event engine hot path allocates: %.2f allocs per 64-event cycle, want 0", avg)
+	}
+}
+
+// TestLookupAllocBudget pins the allocation cost of one no-churn lookup on a
+// settled system. The budget is the measured steady state (see BENCH_PR6.json)
+// plus headroom for run-to-run variation in routing distance; it exists to
+// catch order-of-magnitude regressions (a per-message or per-event allocation
+// sneaking back into the path), not single allocations.
+func TestLookupAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full system")
+	}
+	sys, peers := benchSystem(t, 0.7)
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		if _, err := sys.StoreSync(peers[i%len(peers)], fmt.Sprintf("ak-%04d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := sys.LookupSync(peers[(i*13)%len(peers)], fmt.Sprintf("ak-%04d", i%keys)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	const budget = 400 // measured ~140 allocs/lookup after the pooling work
+	if avg > budget {
+		t.Fatalf("lookup allocates %.1f allocs/op, budget %d", avg, budget)
+	}
+	t.Logf("lookup allocs/op: %.1f (budget %d)", avg, budget)
+}

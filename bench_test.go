@@ -183,7 +183,7 @@ func BenchmarkDijkstraShortestPath(b *testing.B) {
 }
 
 // benchSystem builds a reusable hybrid system for operation benchmarks.
-func benchSystem(b *testing.B, ps float64) (*core.System, []*core.Peer) {
+func benchSystem(b testing.TB, ps float64) (*core.System, []*core.Peer) {
 	b.Helper()
 	tc := topology.Config{
 		TransitDomains: 2, TransitNodesPerDomain: 2,

@@ -7,8 +7,9 @@
 //	go test -run='^$' -bench=. -benchmem -benchtime=1x | go run ./cmd/benchjson > BENCH_PR1.json
 //
 // With -baseline it instead acts as a regression guard: it parses the current
-// run from stdin, compares the named benchmark's ns/op against the baseline
-// file, and exits non-zero if the current value exceeds the baseline by more
+// run from stdin, compares the named benchmark's ns/op — and, when both runs
+// carry -benchmem statistics, its B/op and allocs/op — against the baseline
+// file, and exits non-zero if any current value exceeds the baseline by more
 // than -tolerance (a fraction; 0.2 = 20%).
 //
 //	go test -run='^$' -bench=BenchmarkEventEngine ./internal/sim/ | \
@@ -107,10 +108,13 @@ func parseRun(r io.Reader) (*Report, error) {
 }
 
 // compare checks the current run against a recorded baseline and returns an
-// error describing the first benchmark whose ns/op regressed past tolerance.
+// error describing the first benchmark whose ns/op, B/op or allocs/op
+// regressed past tolerance. The memory metrics are compared only when both
+// the current run and the baseline recorded them (-benchmem on both sides).
 // When the run repeats a benchmark (go test -count=N), the best (minimum)
-// ns/op per name is compared, so scheduler noise on a loaded machine does not
-// read as a regression.
+// value per name and metric is compared, so scheduler noise on a loaded
+// machine does not read as a regression; B/op and allocs/op barely vary
+// between repetitions, so the minimum is as good as any.
 func compare(cur *Report, baselinePath, benchName string, tolerance float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -125,18 +129,28 @@ func compare(cur *Report, baselinePath, benchName string, tolerance float64) err
 		baseBy[b.Name] = b
 	}
 
-	best := make(map[string]float64)
+	best := make(map[string]Benchmark)
 	var order []string
 	for _, c := range cur.Benchmarks {
 		if benchName != "" && c.Name != benchName {
 			continue
 		}
-		if v, ok := best[c.Name]; !ok || c.NsPerOp < v {
-			if !ok {
-				order = append(order, c.Name)
-			}
-			best[c.Name] = c.NsPerOp
+		v, ok := best[c.Name]
+		if !ok {
+			order = append(order, c.Name)
+			best[c.Name] = c
+			continue
 		}
+		if c.NsPerOp < v.NsPerOp {
+			v.NsPerOp = c.NsPerOp
+		}
+		if c.BytesPerOp < v.BytesPerOp {
+			v.BytesPerOp = c.BytesPerOp
+		}
+		if c.AllocsPerOp < v.AllocsPerOp {
+			v.AllocsPerOp = c.AllocsPerOp
+		}
+		best[c.Name] = v
 	}
 
 	checked := 0
@@ -145,14 +159,33 @@ func compare(cur *Report, baselinePath, benchName string, tolerance float64) err
 		if !ok {
 			continue // new benchmark, nothing to regress against
 		}
+		c := best[name]
 		checked++
 		limit := b.NsPerOp * (1 + tolerance)
-		if best[name] > limit {
+		if c.NsPerOp > limit {
 			return fmt.Errorf("%s regressed: %.2f ns/op vs baseline %.2f ns/op (limit %.2f, tolerance %.0f%%)",
-				name, best[name], b.NsPerOp, limit, tolerance*100)
+				name, c.NsPerOp, b.NsPerOp, limit, tolerance*100)
 		}
 		fmt.Printf("benchjson: %s ok: %.2f ns/op vs baseline %.2f ns/op (limit %.2f)\n",
-			name, best[name], b.NsPerOp, limit)
+			name, c.NsPerOp, b.NsPerOp, limit)
+		if b.BytesPerOp > 0 && c.BytesPerOp > 0 {
+			memLimit := int64(float64(b.BytesPerOp) * (1 + tolerance))
+			if c.BytesPerOp > memLimit {
+				return fmt.Errorf("%s regressed: %d B/op vs baseline %d B/op (limit %d, tolerance %.0f%%)",
+					name, c.BytesPerOp, b.BytesPerOp, memLimit, tolerance*100)
+			}
+			fmt.Printf("benchjson: %s ok: %d B/op vs baseline %d B/op (limit %d)\n",
+				name, c.BytesPerOp, b.BytesPerOp, memLimit)
+		}
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > 0 {
+			memLimit := int64(float64(b.AllocsPerOp) * (1 + tolerance))
+			if c.AllocsPerOp > memLimit {
+				return fmt.Errorf("%s regressed: %d allocs/op vs baseline %d allocs/op (limit %d, tolerance %.0f%%)",
+					name, c.AllocsPerOp, b.AllocsPerOp, memLimit, tolerance*100)
+			}
+			fmt.Printf("benchjson: %s ok: %d allocs/op vs baseline %d allocs/op (limit %d)\n",
+				name, c.AllocsPerOp, b.AllocsPerOp, memLimit)
+		}
 	}
 	if checked == 0 {
 		if benchName != "" {

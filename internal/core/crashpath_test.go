@@ -99,10 +99,7 @@ func TestCascadedChildCrashAccounting(t *testing.T) {
 	for _, sp := range sys.SPeers() {
 		if len(sp.children) > 0 {
 			parent = sp
-			for addr := range sp.children {
-				child = sys.Peer(addr)
-				break
-			}
+			child = sys.Peer(sp.children[0].Ref.Addr)
 			break
 		}
 	}

@@ -58,18 +58,21 @@ func (p *Peer) inLocalSegment(sid idspace.ID) bool {
 	return idspace.Between(p.segLo, sid, p.ID)
 }
 
-// newOp registers an in-flight operation with a timeout.
+// newOp registers an in-flight operation with a timeout. Records come from
+// the system-wide free list and go back to it in finishOp.
 func (p *Peer) newOp(kind, key string, done func(OpResult)) (*op, uint64) {
 	qid := p.sys.newQID()
-	o := &op{
-		kind:  kind,
-		key:   key,
-		qid:   qid,
-		did:   idspace.HashKey(key),
-		sid:   p.segmentID(key),
-		start: p.sys.rt.Now(),
-		ttl:   p.sys.Cfg.TTL,
-		done:  done,
+	o := p.sys.getOp()
+	o.kind = kind
+	o.key = key
+	o.qid = qid
+	o.did = idspace.HashKey(key)
+	o.sid = p.segmentID(key)
+	o.start = p.sys.rt.Now()
+	o.ttl = p.sys.Cfg.TTL
+	o.done = done
+	if p.pending == nil {
+		p.pending = make(map[uint64]*op)
 	}
 	p.pending[qid] = o
 	timerAt := p.sys.rt.Now() + p.sys.Cfg.LookupTimeout
@@ -98,8 +101,14 @@ func (p *Peer) finishOp(qid uint64, r OpResult) {
 	if !r.OK {
 		p.sys.trace(obs.EvLookupFail, qid, p.Addr, runtime.None, r.Hops, o.kind)
 	}
-	if o.done != nil {
-		o.done(r)
+	done := o.done
+	// Recycle before the callback runs: the timer is unscheduled and the
+	// pending entry is gone, so nothing references the record — and the
+	// callback may synchronously issue the next operation, which then reuses
+	// it immediately.
+	p.sys.putOp(o)
+	if done != nil {
+		done(r)
 	}
 }
 
@@ -146,6 +155,9 @@ func (p *Peer) Store(key, value string, done func(OpResult)) {
 // storeLocal inserts an item into the local database and, in tracker mode,
 // announces it to the s-network's tracker.
 func (p *Peer) storeLocal(it Item) {
+	if p.data == nil {
+		p.data = make(map[idspace.ID]Item)
+	}
 	p.data[it.DID] = it
 	if p.sys.Cfg.TrackerMode {
 		p.announceItems([]Item{it})
@@ -246,17 +258,18 @@ func (p *Peer) handleStoreReq(from runtime.Addr, m storeReq) {
 // the current peer picks uniformly among itself and its directly connected
 // downstream peers; picking itself ends the walk.
 func (p *Peer) handleSpreadReq(m spreadReq) {
-	candidates := p.Children()
-	// Index len(candidates) stands for "keep it here".
-	pick := p.sys.rt.Rand().Intn(len(candidates) + 1)
-	if pick == len(candidates) {
+	// Index len(p.children) stands for "keep it here". The child table is
+	// address-sorted, so indexing it directly draws the same candidate the
+	// old sorted-copy code did.
+	pick := p.sys.rt.Rand().Intn(len(p.children) + 1)
+	if pick == len(p.children) {
 		p.storeLocal(m.Item)
 		p.send(m.Origin.Addr, storeAck{Tag: m.Tag, Holder: p.Ref(), HolderSegLo: p.segLo, Hops: m.Hops})
 		return
 	}
 	m.From = p.Addr
 	m.Hops++
-	p.send(candidates[pick].Addr, m)
+	p.send(p.children[pick].Ref.Addr, m)
 }
 
 // handleStoreAck closes the store operation and creates a bypass link when

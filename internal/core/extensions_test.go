@@ -41,7 +41,7 @@ func TestWalkFindsReplicatedItem(t *testing.T) {
 	count := 0
 	for _, p := range sys.Peers() {
 		if r := snetOf(sys, p); r != nil && r.Addr == root.Addr {
-			p.data[idHash(key)] = Item{Key: key, Value: "v", DID: idHash(key)}
+			p.storeLocal(Item{Key: key, Value: "v", DID: idHash(key)})
 			count++
 		}
 	}
@@ -295,11 +295,11 @@ func TestSearchPrefixCollectsMatches(t *testing.T) {
 	kn := 0
 	for _, m := range members {
 		key := plantLocalKey(m, "music/track%03d.ogg", &kn)
-		m.data[idHash(key)] = Item{Key: key, Value: "v", DID: idHash(key)}
+		m.storeLocal(Item{Key: key, Value: "v", DID: idHash(key)})
 		want++
 		// Distractors must not match.
 		other := plantLocalKey(m, "docs/file%03d", &kn)
-		m.data[idHash(other)] = Item{Key: other, Value: "v", DID: idHash(other)}
+		m.storeLocal(Item{Key: other, Value: "v", DID: idHash(other)})
 	}
 	res, err := sys.SearchSync(origin, "music/", 0, 10*sim.Second)
 	if err != nil {
@@ -334,7 +334,7 @@ func TestSearchPrefixMaxResults(t *testing.T) {
 	for _, p := range sys.Peers() {
 		if r := snetOf(sys, p); r != nil && r.Addr == root.Addr {
 			key := plantLocalKey(p, "pics/img%03d", &kn)
-			p.data[idHash(key)] = Item{Key: key, Value: "v", DID: idHash(key)}
+			p.storeLocal(Item{Key: key, Value: "v", DID: idHash(key)})
 			n++
 		}
 	}

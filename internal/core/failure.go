@@ -21,9 +21,7 @@ func (p *Peer) neighborTimeout(nb runtime.Addr) {
 	// members stay in the s-network; any residual drift (a child that
 	// crashed along with its parent, a grandchild that rejoined elsewhere)
 	// is reconciled by the periodic absolute size sync (sSizeSync).
-	if _, ok := p.children[nb]; ok {
-		delete(p.children, nb)
-		delete(p.childSubtree, nb)
+	if p.removeChild(nb) {
 		root := p.tpeer
 		if p.Role == TPeer {
 			root = p.Ref()
@@ -90,11 +88,11 @@ func (p *Peer) neighborTimeout(nb runtime.Addr) {
 func (p *Peer) armReplaceRetry(crashed Ref) {
 	addr := p.Addr
 	p.sys.rt.Schedule(p.sys.Cfg.HelloTimeout, func() {
-		pp := p.sys.peers[addr]
+		pp := p.sys.peerAt(addr)
 		if pp == nil || !pp.alive || pp.Role != SPeer || pp.cp.Addr != crashed.Addr {
 			return // arbitration concluded: promoted, re-homed, or gone
 		}
-		if _, watching := pp.watchdog[crashed.Addr]; watching {
+		if pp.watching(crashed.Addr) {
 			// The connect point is back under active monitoring: the
 			// report was a false alarm (its HELLOs were lost) and the
 			// server steered us back under the same t-peer, so the cp
@@ -184,7 +182,7 @@ func (p *Peer) handleReplaceResp(m replaceResp) {
 		return
 	}
 	if p.cp.Valid() && p.cp.Addr == m.NewT.Addr {
-		if _, watching := p.watchdog[p.cp.Addr]; watching {
+		if p.watching(p.cp.Addr) {
 			// Stale or duplicate arbitration response — typically the
 			// server's false-alarm steer-back racing a re-attachment that
 			// already completed. We hang off the target through a
@@ -201,7 +199,7 @@ func (p *Peer) handleReplaceResp(m replaceResp) {
 	// Guard against the replacement crashing too.
 	addr := p.Addr
 	p.sys.rt.Schedule(p.sys.Cfg.HelloTimeout, func() {
-		pp := p.sys.peers[addr]
+		pp := p.sys.peerAt(addr)
 		if pp == nil || !pp.alive || pp.cp.Valid() || pp.Role != SPeer {
 			return
 		}

@@ -335,7 +335,7 @@ func TestWatchSelfIgnored(t *testing.T) {
 	}
 	p := peers[0]
 	p.watch(p.Addr)
-	if len(p.watchdog) != 0 {
+	if p.watching(p.Addr) {
 		t.Fatal("peer watches itself")
 	}
 	_ = idspace.ID(0)

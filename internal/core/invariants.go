@@ -94,7 +94,7 @@ func (s *System) CheckDataOwnership() error {
 				sid := p.segmentID(it.Key)
 				detail := fmt.Sprintf("sid=%s holder segLo=%s id=%s local=%v",
 					sid, p.segLo, p.ID, p.inLocalSegment(sid))
-				if rp := s.peers[root]; rp != nil && rp.Addr != p.Addr {
+				if rp := s.peerAt(root); rp != nil && rp.Addr != p.Addr {
 					detail += fmt.Sprintf("; root segLo=%s id=%s pred=%d", rp.segLo, rp.ID, rp.pred.Addr)
 				}
 				return fmt.Errorf("core: item %q stored at peer %d (s-network %d) but segment owner is t-peer %d (%s)",
@@ -111,8 +111,12 @@ func (s *System) CheckDataOwnership() error {
 // surviving one means a timeout handler leaked a timer on a dead address.
 func (s *System) CheckWatchdogs() error {
 	for _, p := range s.Peers() {
-		for nb := range p.watchdog {
-			if t := s.peers[nb]; t == nil || !t.alive {
+		for i := range p.nbrs {
+			if p.nbrs[i].timer == nil {
+				continue // retired entry kept for ack-suppression history
+			}
+			nb := p.nbrs[i].addr
+			if t := s.peerAt(nb); t == nil || !t.alive {
 				return fmt.Errorf("core: peer %d still watches dead peer %d", p.Addr, nb)
 			}
 		}

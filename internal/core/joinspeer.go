@@ -20,7 +20,7 @@ func (p *Peer) handleSJoinReq(m sJoinReq) {
 	}
 	if p.acceptChild() {
 		joiner := Ref{ID: p.ID, Addr: m.Joiner.Addr}
-		p.children[joiner.Addr] = joiner
+		p.addChild(joiner)
 		p.watch(joiner.Addr)
 		root := p.tpeer
 		if p.Role == TPeer {
@@ -42,20 +42,30 @@ func (p *Peer) handleSJoinReq(m sJoinReq) {
 	// branch — but never into the joiner itself (a rejoining subtree root
 	// may still be listed as a stale child somewhere; descending through it
 	// would attach the root beneath its own subtree).
-	children := p.Children()
-	eligible := children[:0:0]
-	for _, c := range children {
-		if c.Addr != m.Joiner.Addr {
-			eligible = append(eligible, c)
-		}
+	eligible := len(p.children)
+	if p.childIndex(m.Joiner.Addr) >= 0 {
+		eligible--
 	}
-	if len(eligible) == 0 {
+	if eligible == 0 {
 		// δ < 2 would make trees impossible; Validate prevents it, so a
 		// full peer always has a live branch unless the only one is the
 		// joiner — then the walk dies and the rejoin retry covers it.
 		return
 	}
-	next := eligible[p.sys.rt.Rand().Intn(len(eligible))]
+	// Draw among the eligible children (same address order, same draw as
+	// the old filtered-copy code) and step to the picked one.
+	pick := p.sys.rt.Rand().Intn(eligible)
+	var next Ref
+	for i := range p.children {
+		if p.children[i].Ref.Addr == m.Joiner.Addr {
+			continue
+		}
+		if pick == 0 {
+			next = p.children[i].Ref
+			break
+		}
+		pick--
+	}
 	m.Hops++
 	p.send(next.Addr, m)
 }
@@ -128,9 +138,7 @@ func (p *Peer) leaveSPeer() {
 // handleSLeave reacts to a neighbor's graceful departure: parents drop the
 // child; children whose connect point left rejoin through the t-peer.
 func (p *Peer) handleSLeave(from runtime.Addr) {
-	if _, isChild := p.children[from]; isChild {
-		delete(p.children, from)
-		delete(p.childSubtree, from)
+	if p.removeChild(from) {
 		p.unwatch(from)
 		return
 	}
@@ -156,7 +164,7 @@ func (p *Peer) rejoin() {
 	// nothing won't fire, so arm a retry through the server.
 	addr := p.Addr
 	p.sys.rt.Schedule(p.sys.Cfg.HelloTimeout, func() {
-		pp := p.sys.peers[addr]
+		pp := p.sys.peerAt(addr)
 		if pp == nil || !pp.alive || pp.cp.Valid() || pp.Role != SPeer {
 			return
 		}

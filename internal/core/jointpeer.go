@@ -72,13 +72,16 @@ func (p *Peer) armJoinTimer() {
 	})
 }
 
-// ensureFingers sizes the finger table.
+// ensureFingers sizes the finger table and its flat refresh-tag table.
 func (p *Peer) ensureFingers() {
 	if p.finger == nil {
 		p.finger = make([]Ref, FingerBits)
 		for i := range p.finger {
 			p.finger[i] = NilRef
 		}
+	}
+	if p.fingerTag == nil {
+		p.fingerTag = make([]uint64, FingerBits)
 	}
 }
 
@@ -339,9 +342,10 @@ func (p *Peer) handleLoadTransfer(from runtime.Addr, m loadTransferReq) {
 		return
 	}
 	m.TTL--
-	for _, c := range p.Children() {
-		if c.Addr != from {
-			p.send(c.Addr, m)
+	var fwd any = m
+	for i := range p.children {
+		if a := p.children[i].Ref.Addr; a != from {
+			p.send(a, fwd)
 		}
 	}
 }
@@ -359,6 +363,9 @@ func (p *Peer) handleItems(m itemsMsg) {
 			p.succ.Valid() && p.succ.Addr != p.Addr {
 			p.forwardTowardSegment(sid, storeReq{Item: it, SID: sid, Origin: p.Ref(), Hops: 1}, runtime.None)
 			continue
+		}
+		if p.data == nil {
+			p.data = make(map[idspace.ID]Item)
 		}
 		p.data[it.DID] = it
 		kept = append(kept, it)
@@ -545,11 +552,14 @@ func (p *Peer) handlePromote(m promoteMsg) {
 	p.succ = m.Succ
 	p.ensureFingers()
 	copy(p.finger, m.Fingers)
+	if len(m.Items) > 0 && p.data == nil {
+		p.data = make(map[idspace.ID]Item)
+	}
 	for _, it := range m.Items {
 		p.data[it.DID] = it
 	}
 	for _, c := range m.Children {
-		p.children[c.Addr] = c
+		p.addChild(c)
 		p.watch(c.Addr)
 	}
 	if p.pred.Valid() && p.pred.Addr != p.Addr {
@@ -678,24 +688,39 @@ func (p *Peer) refreshFingers() {
 	p.stabilizeRing()
 	p.ensureFingers()
 	const perRound = 8
+	start := p.nextFinger
+	var firstTag uint64
 	for i := 0; i < perRound; i++ {
 		idx := p.nextFinger
 		p.nextFinger = (p.nextFinger + 1) % FingerBits
 		target := idspace.FingerStart(p.ID, idx)
 		tag := p.sys.newTag()
-		p.pending[tag] = &op{kind: "fixfinger", fidx: idx}
-		// A refresh that never answers was routed into a dead finger (a
-		// crashed peer gives no error). Clearing the slot on timeout
-		// makes the next route fall back to lower fingers or the
-		// successor, un-wedging the refresh itself.
-		p.sys.rt.Schedule(p.sys.Cfg.FingerRefreshEvery, func() {
-			if o, ok := p.pending[tag]; ok && o.kind == "fixfinger" {
-				delete(p.pending, tag)
-				p.finger[o.fidx] = NilRef
-			}
-		})
-		p.routeFindSucc(findSuccReq{Target: target, Origin: p.Addr, Tag: tag})
+		if i == 0 {
+			firstTag = tag
+		}
+		p.fingerTag[idx] = tag
+		p.routeFindSucc(findSuccReq{Target: target, Origin: p.Addr, Tag: tag, Fidx: idx})
 	}
+	// A refresh that never answers was routed into a dead finger (a crashed
+	// peer gives no error). Clearing the slot on timeout makes the next
+	// route fall back to lower fingers or the successor, un-wedging the
+	// refresh itself. One timer covers the whole round: the loop draws its
+	// tags back to back, so slot k of this round holds exactly firstTag+k
+	// until the answer (or this timeout) clears it, and a slot is never
+	// re-issued before the timeout fires (the refresh cycles through all 64
+	// slots before returning, eight rounds later).
+	p.sys.rt.Schedule(p.sys.Cfg.FingerRefreshEvery, func() {
+		if !p.alive {
+			return
+		}
+		for k := 0; k < perRound; k++ {
+			idx := (start + k) % FingerBits
+			if p.fingerTag[idx] == firstTag+uint64(k) {
+				p.fingerTag[idx] = 0
+				p.finger[idx] = NilRef
+			}
+		}
+	})
 }
 
 // routeFindSucc forwards a successor query one step (or answers it).
@@ -704,11 +729,11 @@ func (p *Peer) routeFindSucc(m findSuccReq) {
 		return // looping route; the refresh timeout clears the finger slot
 	}
 	if !p.succ.Valid() || p.succ.Addr == p.Addr {
-		p.send(m.Origin, findSuccResp{Succ: p.Ref(), Tag: m.Tag, Hops: m.Hops})
+		p.send(m.Origin, findSuccResp{Succ: p.Ref(), Tag: m.Tag, Fidx: m.Fidx, Hops: m.Hops})
 		return
 	}
 	if idspace.Between(p.ID, m.Target, p.succ.ID) {
-		p.send(m.Origin, findSuccResp{Succ: p.succ, Tag: m.Tag, Hops: m.Hops + 1})
+		p.send(m.Origin, findSuccResp{Succ: p.succ, Tag: m.Tag, Fidx: m.Fidx, Hops: m.Hops + 1})
 		return
 	}
 	next := p.closestPreceding(m.Target)
@@ -727,11 +752,14 @@ func (p *Peer) handleFindSucc(m findSuccReq) {
 }
 
 func (p *Peer) handleFindSuccResp(m findSuccResp) {
-	o, ok := p.pending[m.Tag]
-	if !ok || o.kind != "fixfinger" {
+	// Accept only the answer to the probe currently in flight for the slot:
+	// a zero or stale tag means the probe timed out (or the peer changed
+	// role) and the slot has moved on, exactly as the old pending-record
+	// lookup decided.
+	if m.Fidx < 0 || m.Fidx >= len(p.fingerTag) ||
+		m.Tag == 0 || p.fingerTag[m.Fidx] != m.Tag {
 		return
 	}
-	delete(p.pending, m.Tag)
-	p.ensureFingers()
-	p.finger[o.fidx] = m.Succ
+	p.fingerTag[m.Fidx] = 0
+	p.finger[m.Fidx] = m.Succ
 }

@@ -47,7 +47,7 @@ func (p *Peer) lookupLocal(o *op, qid uint64) {
 		}
 		return
 	}
-	if len(p.neighbors()) == 0 {
+	if p.numNeighbors() == 0 {
 		// Nobody to flood to: the item cannot exist elsewhere locally.
 		p.finishOp(qid, OpResult{OK: false})
 		return
@@ -66,7 +66,7 @@ func (p *Peer) lookupLocal(o *op, qid uint64) {
 // s-network is searched in parallel, which lets spread or cached copies
 // answer without a ring round-trip.
 func (p *Peer) lookupRemote(o *op, qid uint64) {
-	if !p.sys.Cfg.TrackerMode && len(p.neighbors()) > 0 {
+	if !p.sys.Cfg.TrackerMode && p.numNeighbors() > 0 {
 		o.localFlood = true
 		if p.sys.Cfg.RandomWalk {
 			p.startWalks(qid, o.did, p.Ref())
@@ -91,11 +91,12 @@ func (p *Peer) lookupRemote(o *op, qid uint64) {
 // peer: the query travels every tree edge away from the entry point, so
 // each peer of the s-network receives it exactly once within the TTL.
 func (p *Peer) floodOut(qid uint64, did idspace.ID, ttl int, origin Ref) {
-	m := floodReq{QID: qid, DID: did, Origin: origin, TTL: ttl, Hops: 1}
-	for _, nb := range p.neighbors() {
+	// One interface boxing for the whole fan-out instead of one per edge.
+	var m any = floodReq{QID: qid, DID: did, Origin: origin, TTL: ttl, Hops: 1}
+	p.forEachNeighbor(func(nb Ref) {
 		p.sys.stats.FloodsSent++
 		p.send(nb.Addr, m)
-	}
+	})
 }
 
 // handleLookupReq advances a routed lookup one step: toward the owning
@@ -130,16 +131,15 @@ func (p *Peer) handleLookupReq(from runtime.Addr, m lookupReq) {
 		p.startWalks(m.QID, m.DID, m.Origin)
 		return
 	}
-	nbs := p.neighbors()
 	// Flood away from where the request came from; for requests arriving
 	// off-tree (ring hop or bypass link) every tree edge qualifies.
-	targets := nbs[:0:0]
-	for _, nb := range nbs {
-		if nb.Addr != from {
-			targets = append(targets, nb)
-		}
+	targets := p.numNeighbors()
+	if p.Role == SPeer && p.cp.Valid() && p.cp.Addr == from {
+		targets--
+	} else if p.childIndex(from) >= 0 {
+		targets--
 	}
-	if len(targets) == 0 {
+	if targets == 0 {
 		// Owning peer with no s-network and no local copy: definitive miss.
 		p.send(m.Origin.Addr, notFoundMsg{QID: m.QID, Hops: m.Hops + 1})
 		return
@@ -148,11 +148,13 @@ func (p *Peer) handleLookupReq(from runtime.Addr, m lookupReq) {
 	if ttl <= 0 {
 		ttl = p.sys.Cfg.TTL
 	}
-	fm := floodReq{QID: m.QID, DID: m.DID, Origin: m.Origin, TTL: ttl, Hops: m.Hops + 1}
-	for _, nb := range targets {
-		p.sys.stats.FloodsSent++
-		p.send(nb.Addr, fm)
-	}
+	var fm any = floodReq{QID: m.QID, DID: m.DID, Origin: m.Origin, TTL: ttl, Hops: m.Hops + 1}
+	p.forEachNeighbor(func(nb Ref) {
+		if nb.Addr != from {
+			p.sys.stats.FloodsSent++
+			p.send(nb.Addr, fm)
+		}
+	})
 }
 
 // handleFlood processes one hop of an s-network flood: check the database,
@@ -174,12 +176,13 @@ func (p *Peer) handleFlood(from runtime.Addr, m floodReq) {
 	}
 	m.TTL--
 	m.Hops++
-	for _, nb := range p.neighbors() {
+	var fwd any = m
+	p.forEachNeighbor(func(nb Ref) {
 		if nb.Addr != from {
 			p.sys.stats.FloodsSent++
-			p.send(nb.Addr, m)
+			p.send(nb.Addr, fwd)
 		}
-	}
+	})
 }
 
 // handleFound closes a successful lookup and creates a bypass link when the

@@ -209,7 +209,7 @@ func TestTLeaveBySubstitution(t *testing.T) {
 		t.Fatal("no t-peer with children")
 	}
 	// Seed some data on the victim so the promotion must carry it.
-	victim.data[idspace.HashKey("carried")] = Item{Key: "carried", Value: "v", DID: idspace.HashKey("carried")}
+	victim.storeLocal(Item{Key: "carried", Value: "v", DID: idspace.HashKey("carried")})
 	id := victim.ID
 	nT := len(sys.TPeers())
 
@@ -255,7 +255,7 @@ func TestTLeaveEmptyUsesTriangle(t *testing.T) {
 	// Give it data: the leave must dump it on the successor (Table 1,
 	// n.loaddump).
 	did := idspace.HashKey("dumped")
-	victim.data[did] = Item{Key: "dumped", Value: "v", DID: did}
+	victim.storeLocal(Item{Key: "dumped", Value: "v", DID: did})
 	succ := sys.Peer(victim.succ.Addr)
 	nT := len(sys.TPeers())
 
@@ -335,7 +335,7 @@ func TestSLeaveReattachesChildren(t *testing.T) {
 		t.Fatal("no interior s-peer found")
 	}
 	children := victim.Children()
-	victim.data[idspace.HashKey("heirloom")] = Item{Key: "heirloom", Value: "v", DID: idspace.HashKey("heirloom")}
+	victim.storeLocal(Item{Key: "heirloom", Value: "v", DID: idspace.HashKey("heirloom")})
 
 	victim.Leave()
 	sys.Settle(20 * sim.Second)

@@ -210,16 +210,21 @@ type ringLocate struct {
 }
 
 // findSuccReq resolves the successor of Target on the t-network; used for
-// finger maintenance.
+// finger maintenance. Fidx is the finger slot being refreshed; it rides the
+// request and is echoed in the response so the issuer can match the answer
+// against its flat per-slot tag table (fingerTag) instead of keeping one
+// pending-op record per probe.
 type findSuccReq struct {
 	Target idspace.ID
 	Origin runtime.Addr
 	Tag    uint64
+	Fidx   int
 	Hops   int
 }
 type findSuccResp struct {
 	Succ Ref
 	Tag  uint64
+	Fidx int
 	Hops int
 }
 

@@ -38,6 +38,11 @@ type Peer struct {
 	suspect    map[runtime.Addr]bool
 	finger     []Ref // lazily sized to FingerBits
 	nextFinger int
+	// fingerTag is the flat per-slot refresh table (sized with finger): a
+	// non-zero entry is the tag of the in-flight findSuccReq refreshing that
+	// slot. It replaces the per-probe pending-op records — eight fresh op
+	// structs and timeout closures per refresh tick — with two array writes.
+	fingerTag []uint64
 	// joining/leaving are the §3.3 mutex variables; joinQueue serializes
 	// join requests that arrive while a triangle is in flight.
 	joining    bool
@@ -53,22 +58,19 @@ type Peer struct {
 	segLo idspace.ID
 	// cp is the connect point (tree parent); invalid for t-peers.
 	cp Ref
-	// children are downstream tree neighbors.
-	children map[runtime.Addr]Ref
-	// childSubtree holds the latest subtree-size report per child
-	// (piggybacked on HELLO). Summing them gives this peer's own subtree
-	// size, which t-peers report to the server so the s-network size
-	// registry self-corrects after cascaded crashes and cross-network
-	// rejoins that the event-by-event accounting cannot see.
-	childSubtree map[runtime.Addr]int
+	// children are the downstream tree neighbors, kept sorted by address so
+	// iteration order is deterministic without per-call sorting. The tree
+	// degree is bounded by δ (plus one inheritance), so a sorted slice beats
+	// the two maps it replaced on both lookup cost and per-peer footprint.
+	children []childLink
 
 	// --- failure detection ---
 	helloTicker *runtime.Ticker
-	// watchdog holds one failure-detection timer per monitored neighbor.
-	watchdog map[runtime.Addr]*runtime.Timer
-	// lastAck is the per-neighbor suppress clock: an ack is sent only if
-	// the suppress timeout elapsed since the previous one (§3.2.2).
-	lastAck map[runtime.Addr]runtime.Time
+	// nbrs is the flat failure-detection table: one entry per neighbor this
+	// peer has ever monitored, merging the watchdog timer and the ack
+	// suppress clock. An entry whose timer is nil is not being watched but
+	// keeps its suppress history (the previous map never forgot it either).
+	nbrs []nbrWatch
 
 	// --- data ---
 	data map[idspace.ID]Item
@@ -122,6 +124,28 @@ type Peer struct {
 	deferLeave bool
 
 	fingerTicker *runtime.Ticker
+}
+
+// childLink is one s-tree child edge plus the latest subtree-size report
+// piggybacked on the child's HELLOs (0 = not reported yet, counted as a bare
+// leaf). Summing the reports gives this peer's own subtree size, which
+// t-peers report to the server so the s-network size registry self-corrects
+// after cascaded crashes and cross-network rejoins that the event-by-event
+// accounting cannot see.
+type childLink struct {
+	Ref     Ref
+	Subtree int
+}
+
+// nbrWatch is one monitored neighbor: the failure-detection timer plus the
+// ack suppress clock (§3.2.2). timer is nil while the neighbor is not being
+// watched; the suppress fields outlive the watch, matching the old lastAck
+// map which was never pruned.
+type nbrWatch struct {
+	addr    runtime.Addr
+	timer   *runtime.Timer
+	lastAck runtime.Time
+	acked   bool
 }
 
 // op is an in-flight store or lookup issued by this peer.
@@ -184,14 +208,66 @@ func (p *Peer) Degree() int {
 	return d
 }
 
-// Children returns the tree children sorted by address.
+// Children returns the tree children sorted by address. The backing table is
+// kept sorted, so this is a straight copy; hot paths iterate p.children
+// directly instead.
 func (p *Peer) Children() []Ref {
-	out := make([]Ref, 0, len(p.children))
-	for _, r := range p.children {
-		out = append(out, r)
+	out := make([]Ref, len(p.children))
+	for i := range p.children {
+		out[i] = p.children[i].Ref
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
+}
+
+// childIndex returns the position of the child with the given address, or -1.
+func (p *Peer) childIndex(a runtime.Addr) int {
+	i := sort.Search(len(p.children), func(i int) bool { return p.children[i].Ref.Addr >= a })
+	if i < len(p.children) && p.children[i].Ref.Addr == a {
+		return i
+	}
+	return -1
+}
+
+// addChild inserts (or refreshes) a child edge, keeping the table address-
+// sorted.
+func (p *Peer) addChild(r Ref) {
+	i := sort.Search(len(p.children), func(i int) bool { return p.children[i].Ref.Addr >= r.Addr })
+	if i < len(p.children) && p.children[i].Ref.Addr == r.Addr {
+		p.children[i].Ref = r
+		return
+	}
+	p.children = append(p.children, childLink{})
+	copy(p.children[i+1:], p.children[i:])
+	p.children[i] = childLink{Ref: r}
+}
+
+// removeChild drops a child edge (and its subtree report), reporting whether
+// the address was a child.
+func (p *Peer) removeChild(a runtime.Addr) bool {
+	i := p.childIndex(a)
+	if i < 0 {
+		return false
+	}
+	p.children = append(p.children[:i], p.children[i+1:]...)
+	return true
+}
+
+// nbrIndex returns the position of the failure-detection entry for the given
+// address, or -1. The table is small (tree degree plus ring neighbors), so a
+// linear scan beats a map.
+func (p *Peer) nbrIndex(a runtime.Addr) int {
+	for i := range p.nbrs {
+		if p.nbrs[i].addr == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// watching reports whether the address is under an armed failure detector.
+func (p *Peer) watching(a runtime.Addr) bool {
+	i := p.nbrIndex(a)
+	return i >= 0 && p.nbrs[i].timer != nil
 }
 
 // NumItems returns the number of locally stored items.
@@ -332,14 +408,39 @@ func (p *Peer) recv(from runtime.Addr, msg any) {
 }
 
 // neighbors returns every s-network tree neighbor (parent first, then
-// children) in deterministic order.
+// children in address order). Cold paths only; the flood/hello/lookup hot
+// paths iterate the parent pointer and child table in place via
+// forEachNeighbor instead of materializing a slice per event.
 func (p *Peer) neighbors() []Ref {
-	var out []Ref
+	out := make([]Ref, 0, len(p.children)+1)
 	if p.Role == SPeer && p.cp.Valid() {
 		out = append(out, p.cp)
 	}
-	out = append(out, p.Children()...)
+	for i := range p.children {
+		out = append(out, p.children[i].Ref)
+	}
 	return out
+}
+
+// forEachNeighbor visits every tree neighbor in the same order neighbors
+// returns them, without allocating. The callback must not mutate the child
+// table.
+func (p *Peer) forEachNeighbor(fn func(Ref)) {
+	if p.Role == SPeer && p.cp.Valid() {
+		fn(p.cp)
+	}
+	for i := range p.children {
+		fn(p.children[i].Ref)
+	}
+}
+
+// numNeighbors counts tree neighbors without materializing them.
+func (p *Peer) numNeighbors() int {
+	n := len(p.children)
+	if p.Role == SPeer && p.cp.Valid() {
+		n++
+	}
+	return n
 }
 
 // --- HELLO / failure detection ----------------------------------------------
@@ -366,13 +467,13 @@ func (p *Peer) broadcastHello() {
 		return
 	}
 	// Every child must stay under a failure detector: ring-pointer churn can
-	// unwatch an address that still sits in the children map (the watchdog
+	// unwatch an address that still sits in the child table (the watchdog
 	// entry is shared per address), which would leave a stale child edge
 	// unreapable. Re-arm; a real child's hellos refresh it, a stale one
 	// expires into the child-crash cleanup.
-	for _, c := range p.Children() {
-		if _, ok := p.watchdog[c.Addr]; !ok {
-			p.watch(c.Addr)
+	for i := range p.children {
+		if a := p.children[i].Ref.Addr; !p.watching(a) {
+			p.watch(a)
 		}
 	}
 	// Self-heal a wedged rejoin: an s-peer can lose its connect point and
@@ -397,11 +498,14 @@ func (p *Peer) broadcastHello() {
 	if p.joined && !p.leaving && (p.Role == TPeer || p.cp.Valid()) {
 		p.rehomeForeignItems()
 	}
-	hello := helloMsg{Root: p.tpeer, SegLo: p.segLo, Subtree: p.subtreeSize()}
-	for _, nb := range p.neighbors() {
+	// Box the heartbeat into an interface value once per tick, not once per
+	// neighbor: every peer runs this forever, so per-send boxing dominates
+	// steady-state allocation.
+	var hello any = helloMsg{Root: p.tpeer, SegLo: p.segLo, Subtree: p.subtreeSize()}
+	p.forEachNeighbor(func(nb Ref) {
 		p.send(nb.Addr, hello)
 		p.sys.stats.HellosSent++
-	}
+	})
 	if p.Role == TPeer {
 		if p.pred.Valid() && p.pred.Addr != p.Addr {
 			p.send(p.pred.Addr, hello)
@@ -429,8 +533,8 @@ func (p *Peer) broadcastHello() {
 // reported yet counts as a bare leaf).
 func (p *Peer) subtreeSize() int {
 	n := 1
-	for a := range p.children {
-		if r, ok := p.childSubtree[a]; ok {
+	for i := range p.children {
+		if r := p.children[i].Subtree; r > 0 {
 			n += r
 		} else {
 			n++
@@ -444,17 +548,16 @@ func (p *Peer) subtreeSize() int {
 // reference, the segment lower bound and the s-network's shared p_id.
 func (p *Peer) handleHello(from runtime.Addr, m helloMsg) {
 	p.refreshWatchdog(from)
-	if _, isChild := p.children[from]; isChild {
+	if ci := p.childIndex(from); ci >= 0 {
 		if m.Root.Valid() && m.Root.Addr == from {
 			// The listed child announces itself as a root: a retried join
 			// re-assigned it as a t-peer, so the child edge is stale. (Its
 			// ring hellos would otherwise keep the stale edge's subtree
 			// count fresh forever.) The watchdog entry stays — it may be
 			// doing ring-neighbor duty for the same address.
-			delete(p.children, from)
-			delete(p.childSubtree, from)
+			p.removeChild(from)
 		} else if m.Subtree > 0 {
-			p.childSubtree[from] = m.Subtree
+			p.children[ci].Subtree = m.Subtree
 		}
 	}
 	if p.Role != SPeer || p.cp.Addr != from || !m.Root.Valid() {
@@ -487,31 +590,38 @@ func (p *Peer) watch(nb runtime.Addr) {
 	if nb == p.Addr || nb == runtime.None {
 		return
 	}
-	if t, ok := p.watchdog[nb]; ok {
-		t.Reset()
+	i := p.nbrIndex(nb)
+	if i >= 0 && p.nbrs[i].timer != nil {
+		p.nbrs[i].timer.Reset()
 		return
+	}
+	if i < 0 {
+		p.nbrs = append(p.nbrs, nbrWatch{addr: nb})
+		i = len(p.nbrs) - 1
 	}
 	nbCopy := nb
 	t := runtime.NewTimer(p.sys.rt, p.sys.Cfg.HelloTimeout, func() {
 		p.neighborTimeout(nbCopy)
 	})
-	p.watchdog[nb] = t
+	p.nbrs[i].timer = t
 	t.Start()
 }
 
-// unwatch stops monitoring a neighbor.
+// unwatch stops monitoring a neighbor. The table entry stays so the ack
+// suppress history survives a watch/unwatch cycle, exactly like the old
+// never-pruned lastAck map.
 func (p *Peer) unwatch(nb runtime.Addr) {
-	if t, ok := p.watchdog[nb]; ok {
-		t.Stop()
-		delete(p.watchdog, nb)
+	if i := p.nbrIndex(nb); i >= 0 && p.nbrs[i].timer != nil {
+		p.nbrs[i].timer.Stop()
+		p.nbrs[i].timer = nil
 	}
 }
 
 // refreshWatchdog resets the failure detector for a neighbor on any
 // liveness signal (HELLO or ack).
 func (p *Peer) refreshWatchdog(from runtime.Addr) {
-	if t, ok := p.watchdog[from]; ok {
-		t.Reset()
+	if i := p.nbrIndex(from); i >= 0 && p.nbrs[i].timer != nil {
+		p.nbrs[i].timer.Reset()
 	}
 	if len(p.suspect) != 0 {
 		// Any liveness signal clears the routing suspicion (a partition
@@ -532,15 +642,17 @@ func (p *Peer) markSuspect(nb runtime.Addr) {
 // suppress timer says one was sent recently (§3.2.2). Acks double as
 // liveness signals, letting failure detection accelerate under query load.
 func (p *Peer) maybeAck(to runtime.Addr) {
-	if _, monitored := p.watchdog[to]; !monitored {
+	i := p.nbrIndex(to)
+	if i < 0 || p.nbrs[i].timer == nil {
 		return // acks only matter between tree neighbors
 	}
 	now := p.sys.rt.Now()
-	if last, ok := p.lastAck[to]; ok && now-last < p.sys.Cfg.SuppressTimeout {
+	if p.nbrs[i].acked && now-p.nbrs[i].lastAck < p.sys.Cfg.SuppressTimeout {
 		p.sys.stats.AcksSuppressed++
 		return
 	}
-	p.lastAck[to] = now
+	p.nbrs[i].acked = true
+	p.nbrs[i].lastAck = now
 	p.send(to, ackMsg{})
 	p.sys.stats.AcksSent++
 }
@@ -554,10 +666,12 @@ func (p *Peer) stop() {
 	if p.fingerTicker != nil {
 		p.fingerTicker.Stop()
 	}
-	for _, t := range p.watchdog {
-		t.Stop()
+	for i := range p.nbrs {
+		if p.nbrs[i].timer != nil {
+			p.nbrs[i].timer.Stop()
+		}
 	}
-	p.watchdog = make(map[runtime.Addr]*runtime.Timer)
+	p.nbrs = nil
 	p.sys.rt.Unschedule(p.joinTimer)
 	// Fail in-flight operations instead of silently dropping them: a live
 	// client blocked in LookupSync/StoreSync on this peer must get its
@@ -586,7 +700,7 @@ func (p *Peer) stop() {
 		p.finishSearch(qid)
 	}
 	p.sys.rt.Detach(p.Addr)
-	delete(p.sys.peers, p.Addr)
+	p.sys.removePeer(p.Addr)
 }
 
 // Crash removes the peer abruptly: no notifications, all stored data lost.

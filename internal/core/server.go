@@ -23,6 +23,21 @@ type Server struct {
 
 	// ring mirrors the live t-network, ordered by id.
 	ring []Ref
+	// ringMember mirrors ring's address set so the hot per-HELLO paths
+	// (size sync, dead-peer bookkeeping) check membership in O(1) instead
+	// of scanning the registry; at scale the scan made every sync round
+	// quadratic in the number of t-peers.
+	ringMember map[runtime.Addr]bool
+	// ringUnsorted flips when an in-place update (id change on
+	// re-registration, address change on crash substitution) may have
+	// broken the (id, addr) sort order. While set, insertion falls back to
+	// append+sort — the pre-existing behavior — and clears the flag.
+	ringUnsorted bool
+	// detachDirty flips whenever a peer detaches (or a registration
+	// arrives from an already-dead peer) and arms the next sweepDead scan.
+	// Without the gate the sweep walks the whole registry on every size
+	// sync even when nobody has crashed since the last one.
+	detachDirty bool
 	// snetSize tracks s-peers per s-network, keyed by t-peer address.
 	snetSize map[runtime.Addr]int
 	// tCount/sCount track how many role assignments were made.
@@ -76,6 +91,7 @@ func newServer(sys *System, host int) *Server {
 	sv := &Server{
 		sys:         sys,
 		Host:        host,
+		ringMember:  make(map[runtime.Addr]bool),
 		snetSize:    make(map[runtime.Addr]int),
 		clusterRR:   make(map[string]int),
 		replaced:    make(map[runtime.Addr]Ref),
@@ -168,11 +184,9 @@ func (sv *Server) send(to runtime.Addr, msg any) {
 // dead senders are ignored so a late sync cannot resurrect them.
 func (sv *Server) handleSizeSync(m sSizeSync) {
 	sv.sweepDead()
-	for _, e := range sv.ring {
-		if e.Addr == m.Self.Addr {
-			sv.snetSize[m.Self.Addr] = m.Size
-			return
-		}
+	if sv.ringMember[m.Self.Addr] {
+		sv.snetSize[m.Self.Addr] = m.Size
+		return
 	}
 	if !sv.sys.rt.Attached(m.Self.Addr) {
 		return
@@ -187,6 +201,14 @@ func (sv *Server) handleSizeSync(m sSizeSync) {
 // the periodic size sync, so the registry converges while at least one
 // t-peer is alive, without a dedicated server timer.
 func (sv *Server) sweepDead() {
+	// Scan only when something detached since the last sweep. Skipped
+	// sweeps change nothing: noteDead is idempotent (replaced/deadPending
+	// guard every path after the first handling), so re-noticing the same
+	// corpses on every sync round did only wasted work.
+	if !sv.detachDirty {
+		return
+	}
+	sv.detachDirty = false
 	var dead []Ref
 	for _, r := range sv.ring {
 		if !sv.sys.rt.Attached(r.Addr) {
@@ -208,7 +230,7 @@ func (sv *Server) noteDead(crashed Ref) {
 	if sv.sys.rt.Attached(crashed.Addr) {
 		return
 	}
-	if _, _, registered := sv.ringNeighbors(crashed.Addr); !registered {
+	if !sv.ringMember[crashed.Addr] {
 		return
 	}
 	if sv.snetSize[crashed.Addr] > 0 {
@@ -220,7 +242,7 @@ func (sv *Server) noteDead(crashed Ref) {
 				if _, done := sv.replaced[c.Addr]; done {
 					return
 				}
-				if _, _, still := sv.ringNeighbors(c.Addr); still {
+				if sv.ringMember[c.Addr] {
 					sv.patchAround(c)
 				}
 			})
@@ -428,22 +450,58 @@ func (sv *Server) assignByCluster(coord string) Ref {
 // --- ring registry -----------------------------------------------------------
 
 func (sv *Server) ringInsert(r Ref) {
-	for i, e := range sv.ring {
-		if e.Addr == r.Addr {
-			sv.ring[i] = r
-			return
+	if sv.ringMember[r.Addr] {
+		for i, e := range sv.ring {
+			if e.Addr == r.Addr {
+				if e.ID != r.ID {
+					// The id changed under an existing entry; the array may
+					// now violate the sort order, exactly as it did before
+					// sorted insertion existed. The next append re-sorts.
+					sv.ringUnsorted = true
+				}
+				sv.ring[i] = r
+				return
+			}
 		}
 	}
-	sv.ring = append(sv.ring, r)
-	sort.Slice(sv.ring, func(i, j int) bool {
-		if sv.ring[i].ID != sv.ring[j].ID {
-			return sv.ring[i].ID < sv.ring[j].ID
+	if !sv.sys.rt.Attached(r.Addr) {
+		// A registration from a peer that crashed before it arrived: arm the
+		// sweep, or the corpse would sit in the registry with no surviving
+		// witness to report it.
+		sv.detachDirty = true
+	}
+	sv.ringMember[r.Addr] = true
+	if sv.ringUnsorted {
+		sv.ring = append(sv.ring, r)
+		sort.Slice(sv.ring, func(i, j int) bool {
+			if sv.ring[i].ID != sv.ring[j].ID {
+				return sv.ring[i].ID < sv.ring[j].ID
+			}
+			return sv.ring[i].Addr < sv.ring[j].Addr
+		})
+		sv.ringUnsorted = false
+		return
+	}
+	// Sorted insert: (id, addr) is a strict total order (addresses are
+	// unique), so the result is byte-identical to append+sort at a fraction
+	// of the cost — building a 10k-entry registry no longer re-sorts 10k
+	// times.
+	i := sort.Search(len(sv.ring), func(i int) bool {
+		if sv.ring[i].ID != r.ID {
+			return sv.ring[i].ID > r.ID
 		}
-		return sv.ring[i].Addr < sv.ring[j].Addr
+		return sv.ring[i].Addr > r.Addr
 	})
+	sv.ring = append(sv.ring, Ref{})
+	copy(sv.ring[i+1:], sv.ring[i:])
+	sv.ring[i] = r
 }
 
 func (sv *Server) ringRemove(addr runtime.Addr) {
+	if !sv.ringMember[addr] {
+		return
+	}
+	delete(sv.ringMember, addr)
 	for i, e := range sv.ring {
 		if e.Addr == addr {
 			sv.ring = append(sv.ring[:i], sv.ring[i+1:]...)
@@ -459,10 +517,18 @@ func (sv *Server) ringRemove(addr runtime.Addr) {
 }
 
 func (sv *Server) ringSubstitute(old, new Ref) {
-	for i, e := range sv.ring {
-		if e.Addr == old.Addr {
-			sv.ring[i] = new
-			return
+	if sv.ringMember[old.Addr] {
+		for i, e := range sv.ring {
+			if e.Addr == old.Addr {
+				sv.ring[i] = new
+				delete(sv.ringMember, old.Addr)
+				sv.ringMember[new.Addr] = true
+				// Same id, different address: the (id, addr) tiebreak may
+				// now be out of order, so fall back to append+sort on the
+				// next insert (which is what always happened before).
+				sv.ringUnsorted = true
+				return
+			}
 		}
 	}
 	sv.ringInsert(new)

@@ -90,7 +90,7 @@ func TestRingNotifyTransfersLoad(t *testing.T) {
 	// The successor now believes it owns x's segment; move x's items there
 	// to simulate the worst case (data landed at the wrong owner).
 	for did, it := range x.data {
-		succ.data[did] = it
+		succ.storeLocal(it)
 		delete(x.data, did)
 	}
 	sys.Settle(10 * sys.Cfg.FingerRefreshEvery)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/idspace"
 	"repro/internal/obs"
 	"repro/internal/runtime"
 )
@@ -21,13 +20,28 @@ type System struct {
 	serverAddr runtime.Addr
 
 	server *Server
-	peers  map[runtime.Addr]*Peer
+	// peers is the dense peer table, indexed by Addr.Index() (both runtimes
+	// allocate addresses sequentially — see runtime.Addr.Index). A nil slot
+	// is a departed or never-used address. Replacing the former map keys
+	// every peer lookup to one bounds-checked load and makes iteration
+	// order the address order for free.
+	peers    []*Peer
+	numPeers int // live peers (maintained by Join and Peer.stop)
 
 	// nextQID numbers lookups/stores globally so contact counts can be
 	// attributed per query.
 	nextQID uint64
 	// contacts counts peers contacted per in-flight query (connum).
 	contacts map[uint64]int
+	// opFree recycles op records: every client operation allocates one, and
+	// at sweep scale the churn of short-lived ops dominated the heap
+	// profile. Release happens only in finishOp, after the timeout timer is
+	// unscheduled, so no path can touch a recycled record.
+	opFree []*op
+	// coordCache memoizes landmarkCoord per host: the landmark set is fixed
+	// for the server's lifetime, so the coordinate is a pure function of
+	// the host index.
+	coordCache map[int]string
 
 	stats  SystemStats
 	tracer *obs.Tracer
@@ -81,7 +95,6 @@ func NewSystem(rt runtime.Runtime, cfg Config, serverHost int) (*System, error) 
 		Cfg:        cfg,
 		rt:         rt,
 		serverAddr: rt.ServerAddr(),
-		peers:      make(map[runtime.Addr]*Peer),
 		contacts:   make(map[uint64]int),
 	}
 	s.server = newServer(s, serverHost)
@@ -113,17 +126,48 @@ func (s *System) trace(kind obs.Kind, qid uint64, from, to runtime.Addr, hops in
 func (s *System) Stats() SystemStats { return s.stats }
 
 // Peer returns the peer at the given address, or nil.
-func (s *System) Peer(a runtime.Addr) *Peer { return s.peers[a] }
+func (s *System) Peer(a runtime.Addr) *Peer { return s.peerAt(a) }
 
-// Peers returns all live peers sorted by address.
+// peerAt resolves an address against the dense peer table.
+func (s *System) peerAt(a runtime.Addr) *Peer {
+	if i := a.Index(); i >= 0 && i < len(s.peers) {
+		return s.peers[i]
+	}
+	return nil
+}
+
+// setPeer registers a peer in the dense table, growing it as needed.
+func (s *System) setPeer(p *Peer) {
+	i := p.Addr.Index()
+	for i >= len(s.peers) {
+		s.peers = append(s.peers, nil)
+	}
+	s.peers[i] = p
+	s.numPeers++
+}
+
+// removePeer clears a departed peer's table slot.
+func (s *System) removePeer(a runtime.Addr) {
+	if i := a.Index(); i >= 0 && i < len(s.peers) && s.peers[i] != nil {
+		s.peers[i] = nil
+		s.numPeers--
+	}
+	// Every departure — graceful or crash — arms the server's next
+	// dead-registry sweep; see Server.sweepDead.
+	if s.server != nil {
+		s.server.detachDirty = true
+	}
+}
+
+// Peers returns all live peers sorted by address. The dense table is already
+// in address order, so this is a filtered copy.
 func (s *System) Peers() []*Peer {
-	out := make([]*Peer, 0, len(s.peers))
+	out := make([]*Peer, 0, s.numPeers)
 	for _, p := range s.peers {
-		if p.alive {
+		if p != nil && p.alive {
 			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }
 
@@ -131,7 +175,7 @@ func (s *System) Peers() []*Peer {
 func (s *System) TPeers() []*Peer {
 	var out []*Peer
 	for _, p := range s.peers {
-		if p.alive && p.Role == TPeer {
+		if p != nil && p.alive && p.Role == TPeer {
 			out = append(out, p)
 		}
 	}
@@ -148,24 +192,15 @@ func (s *System) TPeers() []*Peer {
 func (s *System) SPeers() []*Peer {
 	var out []*Peer
 	for _, p := range s.peers {
-		if p.alive && p.Role == SPeer {
+		if p != nil && p.alive && p.Role == SPeer {
 			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }
 
 // NumPeers returns the live peer count.
-func (s *System) NumPeers() int {
-	n := 0
-	for _, p := range s.peers {
-		if p.alive {
-			n++
-		}
-	}
-	return n
-}
+func (s *System) NumPeers() int { return s.numPeers }
 
 // JoinStats reports how a join went.
 type JoinStats struct {
@@ -197,6 +232,9 @@ func (s *System) Join(opts JoinOpts, done func(*Peer, JoinStats)) *Peer {
 	if opts.Capacity < 1 {
 		opts.Capacity = 1
 	}
+	// The data and pending maps are allocated lazily on first write and the
+	// child/watchdog tables are slices, so an idle peer costs one struct —
+	// the difference between 10k peers and 1M peers fitting in memory.
 	p := &Peer{
 		Addr:     s.rt.NewAddr(),
 		Host:     opts.Host,
@@ -205,19 +243,13 @@ func (s *System) Join(opts JoinOpts, done func(*Peer, JoinStats)) *Peer {
 		sys:      s,
 		alive:    true,
 
-		pred:         NilRef,
-		succ:         NilRef,
-		succ2:        NilRef,
-		tpeer:        NilRef,
-		cp:           NilRef,
-		children:     make(map[runtime.Addr]Ref),
-		childSubtree: make(map[runtime.Addr]int),
-		data:         make(map[idspace.ID]Item),
-		pending:      make(map[uint64]*op),
-		watchdog:     make(map[runtime.Addr]*runtime.Timer),
-		lastAck:      make(map[runtime.Addr]runtime.Time),
+		pred:  NilRef,
+		succ:  NilRef,
+		succ2: NilRef,
+		tpeer: NilRef,
+		cp:    NilRef,
 	}
-	s.peers[p.Addr] = p
+	s.setPeer(p)
 	s.rt.Attach(p.Addr, runtime.Endpoint{Host: opts.Host, Capacity: opts.Capacity}, runtime.HandlerFunc(p.recv))
 
 	p.joinStart = s.rt.Now()
@@ -248,6 +280,9 @@ func (s *System) Join(opts JoinOpts, done func(*Peer, JoinStats)) *Peer {
 // landmark; the simulated probe returns exactly the shortest-path latency,
 // so we read it from the topology directly.
 func (s *System) landmarkCoord(host int) string {
+	if c, ok := s.coordCache[host]; ok {
+		return c
+	}
 	lms := s.server.landmarks
 	type dl struct {
 		idx int
@@ -278,7 +313,29 @@ func (s *System) landmarkCoord(host int) string {
 	for _, e := range ds {
 		coord = append(coord, byte('A'+e.idx/26), byte('A'+e.idx%26))
 	}
-	return string(coord)
+	if s.coordCache == nil {
+		s.coordCache = make(map[int]string)
+	}
+	s.coordCache[host] = string(coord)
+	return s.coordCache[host]
+}
+
+// getOp pops a recycled op record or allocates a fresh one.
+func (s *System) getOp() *op {
+	if n := len(s.opFree); n > 0 {
+		o := s.opFree[n-1]
+		s.opFree = s.opFree[:n-1]
+		return o
+	}
+	return new(op)
+}
+
+// putOp zeroes a finished op and returns it to the free list. Callers must
+// guarantee no timer or handler still references the record; finishOp is the
+// single release site and unschedules the op's timeout first.
+func (s *System) putOp(o *op) {
+	*o = op{}
+	s.opFree = append(s.opFree, o)
 }
 
 // newQID allocates a globally unique query id and its contact counter.
@@ -346,7 +403,7 @@ func (s *System) CheckRing() error {
 			}
 			state += fmt.Sprintf("; cur id=%s joining=%v leaving=%v; next id=%s joining=%v leaving=%v",
 				cur.ID, cur.joining, cur.leaving, next.ID, next.joining, next.leaving)
-			_, watched := next.watchdog[next.pred.Addr]
+			watched := next.watching(next.pred.Addr)
 			return fmt.Errorf("core: t-peer %d predecessor is %d (%s, watched=%v, suspect=%v), want %d",
 				next.Addr, next.pred.Addr, state, watched, next.suspect[next.pred.Addr], cur.Addr)
 		}
@@ -371,24 +428,24 @@ func (s *System) CheckTrees() error {
 			return fmt.Errorf("core: s-peer %d has no connect point (joined=%v joining=%v leaving=%v epoch=%d ticks=%d ticker=%v tpeer=%d)",
 				p.Addr, p.joined, p.joining, p.leaving, p.joinEpoch, p.cpLostTicks, p.helloTicker != nil, p.tpeer.Addr)
 		}
-		parent := s.peers[p.cp.Addr]
+		parent := s.peerAt(p.cp.Addr)
 		if parent == nil || !parent.alive {
 			return fmt.Errorf("core: s-peer %d connect point %d is dead", p.Addr, p.cp.Addr)
 		}
-		if _, ok := parent.children[p.Addr]; !ok {
+		if parent.childIndex(p.Addr) < 0 {
 			return fmt.Errorf("core: peer %d does not list s-peer %d as a child", parent.Addr, p.Addr)
 		}
 		// Walk to the root.
 		cur := p
 		steps := 0
 		for cur.Role == SPeer {
-			next := s.peers[cur.cp.Addr]
+			next := s.peerAt(cur.cp.Addr)
 			if next == nil || !next.alive {
 				return fmt.Errorf("core: s-peer %d ancestry broken at %d", p.Addr, cur.cp.Addr)
 			}
 			cur = next
 			steps++
-			if steps > len(s.peers) {
+			if steps > s.numPeers {
 				return fmt.Errorf("core: s-peer %d connect-point cycle", p.Addr)
 			}
 		}
@@ -403,7 +460,7 @@ func (s *System) CheckTrees() error {
 func (s *System) TotalItems() int {
 	total := 0
 	for _, p := range s.peers {
-		if p.alive {
+		if p != nil && p.alive {
 			total += len(p.data)
 		}
 	}
@@ -425,12 +482,15 @@ func (s *System) ItemsPerPeer() []int {
 // for tests and debugging.
 func (s *System) DebugPendingOps() map[runtime.Addr][]string {
 	out := make(map[runtime.Addr][]string)
-	for addr, p := range s.peers {
+	for _, p := range s.peers {
+		if p == nil {
+			continue
+		}
 		for _, o := range p.pending {
 			if o.kind == "fixfinger" {
 				continue
 			}
-			out[addr] = append(out[addr], fmt.Sprintf("%s %s timer=%v", o.kind, o.key, s.rt.Scheduled(o.timer)))
+			out[p.Addr] = append(out[p.Addr], fmt.Sprintf("%s %s timer=%v", o.kind, o.key, s.rt.Scheduled(o.timer)))
 		}
 	}
 	return out

@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	want := []string{"Fig3a", "Fig3b", "Fig4", "Fig5a", "Fig5b", "Fig6a", "Fig6b", "Table2",
 		"AblationTree", "AblationBypass", "Baselines",
-		"ExtCaching", "ExtWalk", "LinkStress", "Churn", "ChurnStorm"}
+		"ExtCaching", "ExtWalk", "LinkStress", "Churn", "ChurnStorm", "Scale"}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
 	}

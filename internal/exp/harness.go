@@ -172,6 +172,7 @@ func Registry() []Experiment {
 		{ID: "LinkStress", Title: "Extension: physical link stress with/without topology awareness", Run: RunLinkStress},
 		{ID: "Churn", Title: "Extension: lookups under live Poisson churn", Run: RunChurn},
 		{ID: "ChurnStorm", Title: "Hardening: churn storm under injected faults, invariants checked every epoch", Run: RunChurnStorm},
+		{ID: "Scale", Title: "Scale sweep: memory density (peers/GB) and event throughput, 10k to 1M peers", Run: RunScale},
 	}
 }
 

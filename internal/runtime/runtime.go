@@ -37,13 +37,22 @@ func (t Time) String() string {
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // Addr identifies a peer endpoint. Addresses are opaque to the protocol: the
-// only operations it may rely on are comparison and use as a map key. Each
-// runtime allocates its own addresses via NewAddr and designates one bootstrap
-// server address via ServerAddr.
+// only operations it may rely on are comparison, use as a map key, and Index.
+// Each runtime allocates its own addresses via NewAddr and designates one
+// bootstrap server address via ServerAddr.
 type Addr int
 
 // None is the null address.
 const None Addr = -1
+
+// Index returns the address's dense non-negative integer identity, or -1 for
+// None. Every runtime in this repository allocates addresses densely from
+// small integers (the bootstrap server at 0, peers at 1, 2, 3, ...), and this
+// accessor is the sanctioned way to exploit that: flat array-backed peer and
+// routing tables index by Addr.Index() instead of hashing the address into a
+// map, while the Addr type itself stays opaque. A runtime implementation that
+// broke the density contract would have to change this accessor too.
+func (a Addr) Index() int { return int(a) }
 
 // Handler receives delivered messages. The runtime guarantees handlers for a
 // given address are invoked one at a time (per-node serialized execution);

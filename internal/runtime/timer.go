@@ -13,6 +13,7 @@ type Timer struct {
 	clk    Clock
 	d      Time
 	fn     func()
+	run    func() // the expiry thunk, bound once at construction
 	ev     Handle
 	active bool
 	fires  int
@@ -21,7 +22,17 @@ type Timer struct {
 
 // NewTimer returns a stopped timer that runs fn after d once started.
 func NewTimer(clk Clock, d Time, fn func()) *Timer {
-	return &Timer{clk: clk, d: d, fn: fn}
+	t := &Timer{clk: clk, d: d, fn: fn}
+	// Bind the expiry thunk once: HELLO watchdogs are reset on every
+	// heartbeat, and allocating a fresh closure per (re)arm puts timer
+	// maintenance on the allocation profile of every simulated second.
+	t.run = func() {
+		t.active = false
+		t.ev = Handle{}
+		t.fires++
+		t.fn()
+	}
+	return t
 }
 
 // Start arms the timer. Starting an armed timer restarts it.
@@ -34,12 +45,7 @@ func (t *Timer) Start() {
 func (t *Timer) StartAfter(d Time) {
 	t.Stop()
 	t.active = true
-	t.ev = t.clk.Schedule(d, func() {
-		t.active = false
-		t.ev = Handle{}
-		t.fires++
-		t.fn()
-	})
+	t.ev = t.clk.Schedule(d, t.run)
 }
 
 // Reset restarts the timer with its default duration, counting the reset.
@@ -78,13 +84,23 @@ type Ticker struct {
 	clk    Clock
 	period Time
 	fn     func()
+	run    func() // the tick thunk, bound once at construction
 	ev     Handle
 	ticks  int
 }
 
 // NewTicker returns a stopped ticker with the given period.
 func NewTicker(clk Clock, period Time, fn func()) *Ticker {
-	return &Ticker{clk: clk, period: period, fn: fn}
+	t := &Ticker{clk: clk, period: period, fn: fn}
+	// One closure for the ticker's whole lifetime instead of one per tick;
+	// every peer runs a HELLO ticker forever, so per-tick closures dominate
+	// steady-state maintenance allocations.
+	t.run = func() {
+		t.ticks++
+		t.schedule()
+		t.fn()
+	}
+	return t
 }
 
 // Start begins periodic firing one period from now.
@@ -94,11 +110,7 @@ func (t *Ticker) Start() {
 }
 
 func (t *Ticker) schedule() {
-	t.ev = t.clk.Schedule(t.period, func() {
-		t.ticks++
-		t.schedule()
-		t.fn()
-	})
+	t.ev = t.clk.Schedule(t.period, t.run)
 }
 
 // Stop halts the ticker.

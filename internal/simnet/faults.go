@@ -21,6 +21,12 @@ import (
 // no randomness and schedules exactly the events the bare network would —
 // sweeps stay byte-identical with the layer compiled in but disabled, which
 // exp's determinism guard asserts.
+//
+// Allocation note: a duplicated message is not copied here — the verdict only
+// asks the network for a second delivery, and every delivery (original and
+// duplicate alike) is a pooled record drawn from the Network's free list (see
+// Network.schedule), so fault-heavy runs recycle delivery memory exactly like
+// clean ones.
 
 // FaultConfig is the global fault policy applied to every overlay message
 // (per-link overrides and partitions are added on the Faults value).

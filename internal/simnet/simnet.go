@@ -74,18 +74,72 @@ func DefaultConfig() Config {
 }
 
 // Network delivers overlay messages over a physical topology.
+//
+// Endpoint state is kept in flat slices indexed by Addr.Index() rather than
+// maps: runtimes allocate addresses densely from 0, so the tables stay dense,
+// every per-message lookup is a bounds-checked load, and a million attached
+// peers cost three machine words each instead of three map entries.
 type Network struct {
 	Eng  *sim.Engine
 	Topo *topology.Graph
 
 	cfg      Config
-	handlers map[Addr]Handler
-	host     map[Addr]int      // peer address -> physical node
-	capacity map[Addr]float64  // relative access-link capacity (>= 1)
+	handlers []Handler         // Addr.Index() -> handler (nil = detached)
+	host     []int32           // Addr.Index() -> physical node (-1 = detached)
+	capacity []float64         // Addr.Index() -> relative access-link capacity
 	stress   map[LinkKey]int64 // physical link -> messages carried
 	stats    Stats
 	tracer   *obs.Tracer
 	faults   *Faults
+
+	// free is the delivery-event free list. Delivery events are pooled for
+	// the same reason the engine pools its Event structs: scheduling one
+	// delivery per overlay message through a fresh closure was the single
+	// largest allocation site in the whole simulator. A pooled delivery
+	// carries its pre-bound run thunk, so steady-state sends allocate
+	// nothing — including the duplicated copies the fault layer injects,
+	// which schedule through the same pool.
+	free []*delivery
+}
+
+// delivery is one pooled in-flight message. run is bound to dispatch once,
+// when the struct is first created, and reused across recycles.
+type delivery struct {
+	n        *Network
+	from, to Addr
+	note     string
+	msg      any
+	run      func()
+}
+
+// dispatch delivers (or drops) the message, releasing the struct back to the
+// pool first so handlers that send messages can reuse it immediately.
+func (dv *delivery) dispatch() {
+	n, from, to, note, msg := dv.n, dv.from, dv.to, dv.note, dv.msg
+	dv.msg = nil
+	dv.note = ""
+	n.free = append(n.free, dv)
+	if h := n.handlerOf(to); h != nil {
+		n.stats.MessagesDelivered++
+		n.tracer.Emit(obs.EvMsgDeliver, n.Eng.Now(), 0, int(from), int(to), 0, note)
+		h.Recv(from, msg)
+		return
+	}
+	n.stats.MessagesDropped++
+	n.tracer.Emit(obs.EvMsgDrop, n.Eng.Now(), 0, int(from), int(to), 0, note)
+}
+
+// getDelivery pops a pooled delivery (or makes one, binding its run thunk).
+func (n *Network) getDelivery() *delivery {
+	if ln := len(n.free); ln > 0 {
+		dv := n.free[ln-1]
+		n.free[ln-1] = nil
+		n.free = n.free[:ln-1]
+		return dv
+	}
+	dv := &delivery{n: n}
+	dv.run = dv.dispatch
+	return dv
 }
 
 // New creates a network over the given engine and topology.
@@ -94,14 +148,36 @@ func New(eng *sim.Engine, topo *topology.Graph, cfg Config) *Network {
 		cfg.BaseCapacity = DefaultConfig().BaseCapacity
 	}
 	return &Network{
-		Eng:      eng,
-		Topo:     topo,
-		cfg:      cfg,
-		handlers: make(map[Addr]Handler),
-		host:     make(map[Addr]int),
-		capacity: make(map[Addr]float64),
-		stress:   make(map[LinkKey]int64),
+		Eng:    eng,
+		Topo:   topo,
+		cfg:    cfg,
+		stress: make(map[LinkKey]int64),
 	}
+}
+
+// grow extends the endpoint tables to cover index i.
+func (n *Network) grow(i int) {
+	for len(n.handlers) <= i {
+		n.handlers = append(n.handlers, nil)
+		n.host = append(n.host, -1)
+		n.capacity = append(n.capacity, 0)
+	}
+}
+
+// handlerOf returns the live handler for an address, or nil.
+func (n *Network) handlerOf(a Addr) Handler {
+	if i := a.Index(); i >= 0 && i < len(n.handlers) {
+		return n.handlers[i]
+	}
+	return nil
+}
+
+// hostOf returns the physical host for an address, or -1 if detached.
+func (n *Network) hostOf(a Addr) int {
+	if i := a.Index(); i >= 0 && i < len(n.host) {
+		return int(n.host[i])
+	}
+	return -1
 }
 
 // Attach registers a peer at the endpoint's physical host. The endpoint
@@ -114,35 +190,41 @@ func (n *Network) Attach(a Addr, ep runtime.Endpoint, h Handler) {
 	if ep.Capacity < 1 {
 		ep.Capacity = 1
 	}
-	n.handlers[a] = h
-	n.host[a] = ep.Host
-	n.capacity[a] = ep.Capacity
+	i := a.Index()
+	if i < 0 {
+		panic(fmt.Sprintf("simnet: attaching invalid address %d", a))
+	}
+	n.grow(i)
+	n.handlers[i] = h
+	n.host[i] = int32(ep.Host)
+	n.capacity[i] = ep.Capacity
 }
 
 // Detach removes a peer; in-flight messages to it are dropped on delivery.
 // This models an abrupt crash.
 func (n *Network) Detach(a Addr) {
-	delete(n.handlers, a)
-	delete(n.host, a)
-	delete(n.capacity, a)
+	if i := a.Index(); i >= 0 && i < len(n.handlers) {
+		n.handlers[i] = nil
+		n.host[i] = -1
+		n.capacity[i] = 0
+	}
 }
 
 // Attached reports whether the address currently has a live handler.
 func (n *Network) Attached(a Addr) bool {
-	_, ok := n.handlers[a]
-	return ok
+	return n.handlerOf(a) != nil
 }
 
 // Host returns the physical node hosting the peer, or -1 if detached.
-func (n *Network) Host(a Addr) int {
-	if h, ok := n.host[a]; ok {
-		return h
-	}
-	return -1
-}
+func (n *Network) Host(a Addr) int { return n.hostOf(a) }
 
 // Capacity returns the peer's relative access-link capacity (0 if detached).
-func (n *Network) Capacity(a Addr) float64 { return n.capacity[a] }
+func (n *Network) Capacity(a Addr) float64 {
+	if i := a.Index(); i >= 0 && i < len(n.capacity) {
+		return n.capacity[i]
+	}
+	return 0
+}
 
 // Stats returns a copy of the accounting counters; mutating the returned
 // value does not affect the network.
@@ -185,12 +267,12 @@ func (n *Network) MaxLinkStress() int64 {
 // Delay returns the latency a message of the given size would experience
 // between two attached peers right now.
 func (n *Network) Delay(from, to Addr, size int) (sim.Time, error) {
-	hf, ok := n.host[from]
-	if !ok {
+	hf := n.hostOf(from)
+	if hf < 0 {
 		return 0, fmt.Errorf("simnet: sender %d not attached", from)
 	}
-	ht, ok := n.host[to]
-	if !ok {
+	ht := n.hostOf(to)
+	if ht < 0 {
 		return 0, fmt.Errorf("simnet: receiver %d not attached", to)
 	}
 	prop, err := n.Topo.Latency(hf, ht)
@@ -199,8 +281,8 @@ func (n *Network) Delay(from, to Addr, size int) (sim.Time, error) {
 	}
 	// The transfer speed between two peers is bounded by the slower
 	// access link (paper, section 5.1).
-	cap := n.capacity[from]
-	if c := n.capacity[to]; c < cap {
+	cap := n.capacity[from.Index()]
+	if c := n.capacity[to.Index()]; c < cap {
 		cap = c
 	}
 	ser := float64(size) / (n.cfg.BaseCapacity * cap)
@@ -228,7 +310,7 @@ func (n *Network) Send(from, to Addr, size int, msg any) {
 	}
 	copies := 1
 	if n.faults != nil {
-		v := n.faults.apply(n.Eng.Now(), n.host[from], n.host[to], from, to)
+		v := n.faults.apply(n.Eng.Now(), n.hostOf(from), n.hostOf(to), from, to)
 		if v.drop {
 			// An injected loss looks exactly like a packet that never
 			// arrived: the send was counted, the delivery never happens.
@@ -247,7 +329,7 @@ func (n *Network) Send(from, to Addr, size int, msg any) {
 		d += v.extra
 	}
 	if n.cfg.TrackLinkStress {
-		if path, err := n.Topo.Path(n.host[from], n.host[to]); err == nil {
+		if path, err := n.Topo.Path(n.hostOf(from), n.hostOf(to)); err == nil {
 			for i := 1; i < len(path); i++ {
 				n.stress[linkKey(path[i-1], path[i])] += int64(copies)
 			}
@@ -257,19 +339,12 @@ func (n *Network) Send(from, to Addr, size int, msg any) {
 }
 
 // schedule enqueues one delivery attempt after delay d; the message is
-// dropped if the destination handler is gone by delivery time.
+// dropped if the destination handler is gone by delivery time. The event
+// rides a pooled delivery struct instead of a fresh closure.
 func (n *Network) schedule(d sim.Time, from, to Addr, note string, msg any) {
-	n.Eng.After(d, func() {
-		h, ok := n.handlers[to]
-		if !ok {
-			n.stats.MessagesDropped++
-			n.tracer.Emit(obs.EvMsgDrop, n.Eng.Now(), 0, int(from), int(to), 0, note)
-			return
-		}
-		n.stats.MessagesDelivered++
-		n.tracer.Emit(obs.EvMsgDeliver, n.Eng.Now(), 0, int(from), int(to), 0, note)
-		h.Recv(from, msg)
-	})
+	dv := n.getDelivery()
+	dv.from, dv.to, dv.note, dv.msg = from, to, note, msg
+	n.Eng.After(d, dv.run)
 }
 
 // SendLocal schedules a message from a peer to itself with negligible delay.
@@ -279,14 +354,5 @@ func (n *Network) schedule(d sim.Time, from, to Addr, note string, msg any) {
 func (n *Network) SendLocal(a Addr, msg any) {
 	n.stats.MessagesSent++
 	n.stats.LocalSent++
-	n.Eng.After(sim.Microsecond, func() {
-		if h, ok := n.handlers[a]; ok {
-			n.stats.MessagesDelivered++
-			n.tracer.Emit(obs.EvMsgDeliver, n.Eng.Now(), 0, int(a), int(a), 0, "local")
-			h.Recv(a, msg)
-		} else {
-			n.stats.MessagesDropped++
-			n.tracer.Emit(obs.EvMsgDrop, n.Eng.Now(), 0, int(a), int(a), 0, "local")
-		}
-	})
+	n.schedule(sim.Microsecond, a, a, "local", msg)
 }

@@ -49,6 +49,19 @@ go test ./internal/exp -count=1 \
 echo "== cross-runtime conformance gate (DES vs live, -race)"
 go test -race ./internal/conformance -count=1
 
+# Allocation budgets: the event-engine hot path must stay at zero allocs per
+# event, and a no-churn lookup must stay within its per-op budget. -count=1
+# defeats the cache; these are the cheap tripwires for the pooling work.
+echo "== allocation budget gate (event engine, lookup path)"
+go test . -count=1 -run '^(TestEventEngineAllocFree|TestLookupAllocBudget)$'
+
+# Quick scale point: one reduced build-and-drive pass through the Scale
+# experiment (peers/GB, events/sec). Catches OOM-class regressions in the
+# dense peer/finger tables; the full 10k/100k/1M ladder is `make benchscale`
+# and `go run ./cmd/paperexp -run Scale`.
+echo "== quick scale sweep (Scale, n=2000)"
+go run ./cmd/paperexp -run Scale -quick -n 2000 >/dev/null
+
 if [ "${SKIP_BENCH_GUARD:-0}" = "1" ]; then
     echo "== bench guard skipped (SKIP_BENCH_GUARD=1)"
 else
