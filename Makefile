@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet staticcheck test race faultcheck determinism conformance bench bench-json bench-guard benchscale
+.PHONY: all build check vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke bench bench-json bench-guard benchscale
 
 all: check
 
@@ -21,7 +21,7 @@ staticcheck:
 
 # The verify loop: everything a change must pass before it lands.
 # Set SKIP_BENCH_GUARD=1 to skip the benchmark regression guard.
-check: build vet staticcheck test race faultcheck determinism conformance bench-guard
+check: build vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke bench-guard
 
 test:
 	$(GO) test ./...
@@ -47,6 +47,17 @@ determinism:
 # live runtime's whole point is real concurrency, so -race is load-bearing).
 conformance:
 	$(GO) test -race ./internal/conformance -count=1
+
+# Allocation budgets: the event-engine hot path and Histogram.Record must
+# stay at zero allocs, and a no-churn lookup within its per-op budget.
+allocguard:
+	$(GO) test . -count=1 -run '^(TestEventEngineAllocFree|TestLookupAllocBudget)$$'
+	$(GO) test ./internal/obs -count=1 -run '^TestHistogramRecordAllocFree$$'
+
+# Introspection smoke gate: boot a live hybridnode with -http, poll /healthz
+# until healthy, and assert /metrics serves well-formed Prometheus exposition.
+introspect-smoke:
+	sh ./scripts/introspect_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -23,7 +23,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/introspect"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/runtime/live"
 	"repro/internal/workload"
@@ -42,6 +44,8 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "RNG seed (runs stay nondeterministic: real concurrency orders the draws)")
 		delay      = flag.Duration("delay", 200*time.Microsecond, "artificial one-way message delay on the loopback transport")
 		minSuccess = flag.Float64("minsuccess", 0.75, "minimum post-crash lookup success rate")
+		httpAddr   = flag.String("http", "", "serve live introspection (\"/metrics\", \"/healthz\", \"/ring\", \"/trace\") on this address, e.g. 127.0.0.1:8080")
+		linger     = flag.Duration("linger", 0, "keep the cluster (and -http server) running this long after the phases finish")
 	)
 	flag.Parse()
 	if *n < 64 {
@@ -79,6 +83,27 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hybridnode:", err)
 		return 1
+	}
+
+	// Live introspection (opt-in): lookup/store histograms, a continuous
+	// ring-health sampler, a bounded trace ring, and an HTTP server exposing
+	// all of it. None of this feeds back into protocol behavior.
+	if *httpAddr != "" {
+		reg := obs.NewRegistry()
+		tr := obs.NewTracer(0)
+		sys.SetMetrics(reg)
+		sys.SetTracer(tr)
+		sampler := core.NewHealthSampler(sys, reg, cfg.HelloEvery)
+		rt.Do(sampler.Start)
+		srv, err := introspect.Start(introspect.Config{
+			Addr: *httpAddr, Sys: sys, Reg: reg, Tracer: tr, Sampler: sampler,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hybridnode:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Printf("introspection: http://%s/{metrics,healthz,ring,trace}\n", srv.Addr())
 	}
 
 	wallStart := time.Now()
@@ -154,6 +179,10 @@ func run() int {
 		return 1
 	}
 	rate := float64(okAfter) / float64(*lookups)
+	if *linger > 0 {
+		fmt.Printf("lingering %v for introspection...\n", *linger)
+		time.Sleep(*linger)
+	}
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(wallStart).Round(time.Millisecond))
 	if rate < *minSuccess {
 		fmt.Fprintf(os.Stderr, "hybridnode: post-crash success %.2f below minimum %.2f\n", rate, *minSuccess)

@@ -63,6 +63,7 @@ type simParams struct {
 	walk           bool
 	caching        bool
 	linear         bool
+	hist           bool
 
 	// Fault injection (see internal/simnet.FaultConfig).
 	dropRate, dupRate  float64
@@ -101,6 +102,7 @@ func run() int {
 		walk      = flag.Bool("walk", false, "random-walk s-network search instead of flooding")
 		caching   = flag.Bool("caching", false, "enable the future-work hot-data caching scheme")
 		linear    = flag.Bool("linear", false, "successor-only ring routing (the paper's simulated behavior)")
+		hist      = flag.Bool("hist", false, "record lookup/store histograms and print latency/hop percentiles")
 
 		dropRate  = flag.Float64("droprate", 0, "fault injection: per-message drop probability (0..1)")
 		dupRate   = flag.Float64("duprate", 0, "fault injection: per-message duplication probability (0..1)")
@@ -162,7 +164,7 @@ func run() int {
 			hetero: *hetero, topoaware: *topoaware, landmarks: *landmarks,
 			bypass: *bypass, tracker: *tracker, interests: *interests,
 			crash: *crash, zipf: *zipf, walk: *walk, caching: *caching,
-			linear:   *linear,
+			linear: *linear, hist: *hist,
 			dropRate: *dropRate, dupRate: *dupRate, jitter: sim.Time(jitter.Microseconds()),
 			partStart: partStart, partEnd: partEnd, hasPartition: hasPartition,
 			faultSeed: *faultSeed,
@@ -203,7 +205,7 @@ func run() int {
 			"hetero": *hetero, "topoaware": *topoaware, "landmarks": *landmarks,
 			"bypass": *bypass, "tracker": *tracker, "interests": *interests,
 			"crash": *crash, "zipf": *zipf, "walk": *walk, "caching": *caching,
-			"linear":   *linear,
+			"linear": *linear, "hist": *hist,
 			"droprate": *dropRate, "duprate": *dupRate, "jitter": jitter.String(),
 			"partition": *partition, "faultseed": *faultSeed,
 		})
@@ -362,6 +364,18 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams, tr *obs.Tracer, rec 
 		net.SetTracer(tr)
 		sys.SetTracer(tr)
 	}
+	// The registry exists up front so -hist can record lookup/store
+	// histograms while the run executes; the manifest snapshot at the end
+	// reuses it. Recording never feeds back into the simulation (no
+	// randomness, no extra clock reads), so the report above these added
+	// percentile lines stays byte-identical with -hist on or off.
+	var reg *obs.Registry
+	if p.hist || rec != nil {
+		reg = obs.NewRegistry()
+	}
+	if p.hist {
+		sys.SetMetrics(reg)
+	}
 
 	fmt.Fprintf(w, "building %d peers (ps=%.2f δ=%d ttl=%d placement=%s)...\n", p.n, p.ps, p.delta, p.ttl, cfg.Placement)
 	var caps []float64
@@ -469,6 +483,15 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams, tr *obs.Tracer, rec 
 	fmt.Fprintf(w, "  hops     %s\n", &hops)
 	fmt.Fprintf(w, "  latency  %s ms\n", &lat)
 	fmt.Fprintf(w, "  contacts %s (total connum %d)\n", &contacts, int64(contacts.Mean()*float64(contacts.N())))
+	if p.hist {
+		hl := reg.Histogram("lookup.latency_us").Snapshot()
+		hh := reg.Histogram("lookup.hops").Snapshot()
+		const ms = 1000.0
+		fmt.Fprintf(w, "  latency percentiles (ms): p50=%.3f p90=%.3f p99=%.3f p999=%.3f max=%.3f n=%d\n",
+			hl.P50/ms, hl.P90/ms, hl.P99/ms, hl.P999/ms, hl.Max/ms, hl.Count)
+		fmt.Fprintf(w, "  hop percentiles: p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
+			hh.P50, hh.P90, hh.P99, hh.Max)
+	}
 
 	st := sys.Stats()
 	if p.caching {
@@ -491,7 +514,6 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams, tr *obs.Tracer, rec 
 	fmt.Fprintf(w, "simulated time: %v; events: %d\n", eng.Now(), eng.Dispatched())
 
 	if rec != nil {
-		reg := obs.NewRegistry()
 		reg.Counter("sim.events").Add(int64(eng.Dispatched()))
 		reg.Gauge("sim.time_s").Set(float64(eng.Now()) / float64(sim.Second))
 		reg.Counter("net.sent").Add(int64(ns.MessagesSent))

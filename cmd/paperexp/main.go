@@ -46,6 +46,7 @@ func run() int {
 		seed    = flag.Int64("seed", 42, "random seed")
 		workers = flag.Int("workers", 0, "parallel sweep workers (0 = all CPUs, 1 = sequential)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		hist    = flag.Bool("hist", false, "record lookup histograms; lookup experiments append a percentile table")
 
 		tracePath    = flag.String("trace", "", "write a JSONL structured event trace to this file")
 		traceCap     = flag.Int("tracecap", obs.DefaultTraceCap, "trace ring-buffer capacity (with -trace)")
@@ -77,6 +78,7 @@ func run() int {
 		opts.Seed = exp.SeedZero
 	}
 	opts.Workers = *workers
+	opts.Hist = *hist
 	if *n > 0 {
 		opts.N = *n
 	}

@@ -101,6 +101,9 @@ func (p *Peer) finishOp(qid uint64, r OpResult) {
 	if !r.OK {
 		p.sys.trace(obs.EvLookupFail, qid, p.Addr, runtime.None, r.Hops, o.kind)
 	}
+	if p.sys.met != nil {
+		p.sys.met.recordOp(o.kind, r)
+	}
 	done := o.done
 	// Recycle before the callback runs: the timer is unscheduled and the
 	// pending entry is gone, so nothing references the record — and the

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/idspace"
+	"repro/internal/runtime"
+)
+
+// This file builds the read-only JSON view the introspection server serves at
+// /ring: the t-network ring with each root's s-tree summarized, plus
+// system-wide totals. Like HealthScore, the summary must be computed under
+// the runtime's execution guarantee (Runtime.Do); the returned value is a
+// deep copy, safe to marshal from any goroutine afterwards.
+
+// RefView is a peer reference in the introspection JSON.
+type RefView struct {
+	Addr runtime.Addr `json:"addr"`
+	ID   idspace.ID   `json:"id"`
+}
+
+func refView(r Ref) *RefView {
+	if !r.Valid() {
+		return nil
+	}
+	return &RefView{Addr: r.Addr, ID: r.ID}
+}
+
+// TPeerView summarizes one live t-peer: its ring pointers, finger table, and
+// the s-tree rooted at it.
+type TPeerView struct {
+	Addr runtime.Addr `json:"addr"`
+	ID   idspace.ID   `json:"id"`
+
+	Pred  *RefView `json:"pred,omitempty"`
+	Succ  *RefView `json:"succ,omitempty"`
+	Succ2 *RefView `json:"succ2,omitempty"`
+
+	// Fingers lists the distinct valid finger targets in slot order.
+	Fingers []RefView `json:"fingers,omitempty"`
+	// Suspects lists neighbors this root currently suspects dead.
+	Suspects []runtime.Addr `json:"suspects,omitempty"`
+
+	// Children are the direct s-tree children; Subtree is the total number of
+	// peers in this root's s-network per the latest aggregated reports.
+	Children []RefView `json:"children,omitempty"`
+	Subtree  int       `json:"subtree"`
+	// Items is the number of data items stored at the root itself.
+	Items int `json:"items"`
+}
+
+// RingView is the full introspection snapshot served at /ring.
+type RingView struct {
+	At runtime.Time `json:"t_us"`
+
+	LivePeers  int `json:"live_peers"`
+	LiveTPeers int `json:"live_tpeers"`
+	LiveSPeers int `json:"live_speers"`
+	Items      int `json:"items"`
+	PendingOps int `json:"pending_ops"`
+
+	// TreeDepthMax is the deepest live s-peer's distance to its root.
+	TreeDepthMax int `json:"stree_depth_max"`
+
+	// Ring lists the live t-peers in id order (ring order).
+	Ring []TPeerView `json:"ring"`
+}
+
+// RingSummary builds the /ring snapshot. Read-only; must run under the
+// runtime's execution guarantee.
+func (s *System) RingSummary() RingView {
+	v := RingView{At: s.rt.Now()}
+
+	for _, p := range s.peers {
+		if p == nil || !p.alive {
+			continue
+		}
+		v.LivePeers++
+		v.Items += len(p.data)
+		v.PendingOps += len(p.pending)
+		if p.Role == SPeer {
+			v.LiveSPeers++
+			if d := s.treeDepth(p); d > v.TreeDepthMax {
+				v.TreeDepthMax = d
+			}
+			continue
+		}
+		v.LiveTPeers++
+
+		tv := TPeerView{
+			Addr:  p.Addr,
+			ID:    p.ID,
+			Pred:  refView(p.pred),
+			Succ:  refView(p.succ),
+			Succ2: refView(p.succ2),
+			Items: len(p.data),
+		}
+		seen := map[runtime.Addr]bool{}
+		for _, f := range p.finger {
+			if f.Valid() && !seen[f.Addr] {
+				seen[f.Addr] = true
+				tv.Fingers = append(tv.Fingers, RefView{Addr: f.Addr, ID: f.ID})
+			}
+		}
+		for a := range p.suspect {
+			tv.Suspects = append(tv.Suspects, a)
+		}
+		sortAddrs(tv.Suspects)
+		tv.Subtree = 1
+		for _, c := range p.children {
+			tv.Children = append(tv.Children, RefView{Addr: c.Ref.Addr, ID: c.Ref.ID})
+			tv.Subtree += c.Subtree
+		}
+		v.Ring = append(v.Ring, tv)
+	}
+
+	sortTPeerViews(v.Ring)
+	return v
+}
+
+// treeDepth walks an s-peer's connect-point chain to its root, bounded by the
+// peer count so a transiently cyclic chain cannot hang the walk.
+func (s *System) treeDepth(p *Peer) int {
+	depth := 0
+	cur := p
+	for cur.Role == SPeer {
+		next := s.peerAt(cur.cp.Addr)
+		if next == nil || !next.alive {
+			break
+		}
+		cur = next
+		depth++
+		if depth > s.numPeers {
+			break
+		}
+	}
+	return depth
+}
+
+func sortAddrs(a []runtime.Addr) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+func sortTPeerViews(v []TPeerView) {
+	sort.Slice(v, func(i, j int) bool { return v[i].ID < v[j].ID })
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestSetMetricsRecordsLookups checks the hot-path instrumentation: every
+// synchronous store and lookup lands in the registry histograms with
+// plausible values, and detaching the registry stops recording.
+func TestSetMetricsRecordsLookups(t *testing.T) {
+	sys := newTestSystem(t, 21, func(c *Config) { c.Ps = 0.5 })
+	reg := obs.NewRegistry()
+	sys.SetMetrics(reg)
+
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 50})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	sys.Settle(10 * sim.Second)
+
+	const ops = 30
+	for i := 0; i < ops; i++ {
+		if _, err := sys.StoreSync(peers[i], keyf("met-%03d", i), "v"); err != nil {
+			t.Fatalf("store: %v", err)
+		}
+	}
+	okCount := 0
+	for i := 0; i < ops; i++ {
+		r, err := sys.LookupSync(peers[(i*7+1)%len(peers)], keyf("met-%03d", i))
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		if r.OK {
+			okCount++
+		}
+	}
+
+	lat := reg.Histogram("lookup.latency_us")
+	hops := reg.Histogram("lookup.hops")
+	if got := reg.Counter("lookup.ok").Value(); got != int64(okCount) {
+		t.Fatalf("lookup.ok = %d, want %d", got, okCount)
+	}
+	if got := reg.Counter("lookup.fail").Value(); got != int64(ops-okCount) {
+		t.Fatalf("lookup.fail = %d, want %d", got, ops-okCount)
+	}
+	if lat.Count() != uint64(okCount) || hops.Count() != uint64(okCount) {
+		t.Fatalf("histogram counts lat=%d hops=%d, want %d", lat.Count(), hops.Count(), okCount)
+	}
+	if st := reg.Histogram("store.latency_us"); st.Count() != ops {
+		t.Fatalf("store.latency_us count = %d, want %d", st.Count(), ops)
+	}
+	// Latencies are end-to-end simulated microseconds: nonzero for any
+	// lookup that left the origin, bounded by the op timeout.
+	if max := lat.Quantile(1); max <= 0 || max > float64(sys.Cfg.LookupTimeout) {
+		t.Fatalf("lookup latency max %v outside (0, %v]", max, sys.Cfg.LookupTimeout)
+	}
+
+	sys.SetMetrics(nil)
+	if _, err := sys.LookupSync(peers[1], "met-000"); err != nil {
+		t.Fatalf("lookup after detach: %v", err)
+	}
+	if got := lat.Count(); got != uint64(okCount) {
+		t.Fatalf("recording continued after SetMetrics(nil): %d", got)
+	}
+}

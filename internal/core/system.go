@@ -45,6 +45,9 @@ type System struct {
 
 	stats  SystemStats
 	tracer *obs.Tracer
+	// met caches registry metric pointers for the protocol hot paths; nil
+	// (the default) disables recording. See SetMetrics in obsmetrics.go.
+	met *sysMetrics
 
 	// traceHook, when non-nil, receives protocol trace lines (tests only).
 	// Per-System rather than package-global so concurrent systems (parallel

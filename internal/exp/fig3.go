@@ -91,29 +91,29 @@ func RunFig3b(o Options) (*Result, error) {
 	}
 
 	keys := keysFor(o)
-	simHops, err := sweepPoints(o, points, func(_ int, ps float64) (float64, error) {
+	simHops, err := sweepPoints(o, points, func(_ int, ps float64) (histVal, error) {
 		cfg := expConfig(ps)
 		cfg.TTL = ttl
 		sc, err := buildScenario(o, cfg, o.Seed+100+int64(ps*100), nil, nil)
 		if err != nil {
-			return 0, err
+			return histVal{}, err
 		}
 		if _, err := sc.storeItems(keys); err != nil {
-			return 0, err
+			return histVal{}, err
 		}
 		rs, err := sc.lookupBatch(o.Lookups, ttl, keys, func(i int) int { return i })
 		if err != nil {
-			return 0, err
+			return histVal{}, err
 		}
 		sc.observe(o, fmt.Sprintf("Fig3b ps=%.2f", ps))
-		return meanHops(rs), nil
+		return histVal{meanHops(rs), sc.histPoint()}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	simSeries := &metrics.Series{Name: "simulated δ=3"}
 	for i, ps := range points {
-		simSeries.Add(ps, simHops[i])
+		simSeries.Add(ps, simHops[i].v)
 	}
 	curves = append(curves, simSeries)
 
@@ -127,6 +127,17 @@ func RunFig3b(o Options) (*Result, error) {
 		t.AddRow(row...)
 	}
 	res.Tables = append(res.Tables, t)
+
+	if o.Hist {
+		labels := make([]string, len(points))
+		hps := make([]histPoint, len(points))
+		for i, ps := range points {
+			labels[i] = fmt.Sprintf("ps=%.2f", ps)
+			hps[i] = simHops[i].hp
+		}
+		res.Tables = append(res.Tables, histTable(
+			"Fig 3b supplement: simulated lookup percentiles per p_s", labels, hps))
+	}
 
 	first, _ := simSeries.YAt(points[0])
 	last, _ := simSeries.YAt(points[len(points)-1])

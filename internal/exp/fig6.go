@@ -26,24 +26,24 @@ func RunFig6a(o Options) (*Result, error) {
 		{"heterogeneity", true},
 	}
 
-	lats, err := sweep(o, len(modes)*len(points), func(i int) (float64, error) {
+	lats, err := sweep(o, len(modes)*len(points), func(i int) (histVal, error) {
 		mode := modes[i/len(points)]
 		ps := points[i%len(points)]
 		cfg := paperRoutingConfig(ps)
 		cfg.Heterogeneity = mode.hetero
 		sc, err := buildScenario(o, cfg, o.Seed+400+int64(ps*100), capacities13(o.N), nil)
 		if err != nil {
-			return 0, err
+			return histVal{}, err
 		}
 		if _, err := sc.storeItems(keys); err != nil {
-			return 0, err
+			return histVal{}, err
 		}
 		rs, err := sc.lookupBatch(o.Lookups/2, 4, keys, func(k int) int { return k })
 		if err != nil {
-			return 0, err
+			return histVal{}, err
 		}
 		sc.observe(o, fmt.Sprintf("Fig6a %s ps=%.2f", mode.name, ps))
-		return meanLatencyMs(rs), nil
+		return histVal{meanLatencyMs(rs), sc.histPoint()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -52,7 +52,7 @@ func RunFig6a(o Options) (*Result, error) {
 	for i, mode := range modes {
 		curves[i] = &metrics.Series{Name: mode.name}
 		for pi, ps := range points {
-			curves[i].Add(ps, lats[i*len(points)+pi])
+			curves[i].Add(ps, lats[i*len(points)+pi].v)
 		}
 	}
 
@@ -66,6 +66,16 @@ func RunFig6a(o Options) (*Result, error) {
 		t.AddRow(row...)
 	}
 	res.Tables = append(res.Tables, t)
+	if o.Hist {
+		labels := make([]string, len(lats))
+		hps := make([]histPoint, len(lats))
+		for i := range lats {
+			labels[i] = fmt.Sprintf("%s ps=%.2f", modes[i/len(points)].name, points[i%len(points)])
+			hps[i] = lats[i].hp
+		}
+		res.Tables = append(res.Tables, histTable(
+			"Fig 6a supplement: lookup latency percentiles per mode and p_s", labels, hps))
+	}
 
 	mid := pointNear(points, 0.7)
 	base, _ := curves[0].YAt(mid)
@@ -100,7 +110,7 @@ func RunFig6b(o Options) (*Result, error) {
 		{"topo-aware L=12", true, 12},
 	}
 
-	lats, err := sweep(o, len(modes)*len(points), func(i int) (float64, error) {
+	lats, err := sweep(o, len(modes)*len(points), func(i int) (histVal, error) {
 		mode := modes[i/len(points)]
 		ps := points[i%len(points)]
 		cfg := paperRoutingConfig(ps)
@@ -111,17 +121,17 @@ func RunFig6b(o Options) (*Result, error) {
 		}
 		sc, err := buildScenario(o, cfg, o.Seed+500+int64(ps*100), nil, nil)
 		if err != nil {
-			return 0, err
+			return histVal{}, err
 		}
 		if _, err := sc.storeItems(keys); err != nil {
-			return 0, err
+			return histVal{}, err
 		}
 		rs, err := sc.lookupBatch(o.Lookups/3, 4, keys, func(k int) int { return k })
 		if err != nil {
-			return 0, err
+			return histVal{}, err
 		}
 		sc.observe(o, fmt.Sprintf("Fig6b %s ps=%.2f", mode.name, ps))
-		return meanLatencyMs(rs), nil
+		return histVal{meanLatencyMs(rs), sc.histPoint()}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -130,7 +140,7 @@ func RunFig6b(o Options) (*Result, error) {
 	for i, mode := range modes {
 		curves[i] = &metrics.Series{Name: mode.name}
 		for pi, ps := range points {
-			curves[i].Add(ps, lats[i*len(points)+pi])
+			curves[i].Add(ps, lats[i*len(points)+pi].v)
 		}
 	}
 
@@ -144,6 +154,16 @@ func RunFig6b(o Options) (*Result, error) {
 		t.AddRow(row...)
 	}
 	res.Tables = append(res.Tables, t)
+	if o.Hist {
+		labels := make([]string, len(lats))
+		hps := make([]histPoint, len(lats))
+		for i := range lats {
+			labels[i] = fmt.Sprintf("%s ps=%.2f", modes[i/len(points)].name, points[i%len(points)])
+			hps[i] = lats[i].hp
+		}
+		res.Tables = append(res.Tables, histTable(
+			"Fig 6b supplement: lookup latency percentiles per mode and p_s", labels, hps))
+	}
 
 	mid := pointNear(points, 0.3)
 	basic, _ := curves[0].YAt(mid)

@@ -48,6 +48,12 @@ type Options struct {
 	// builds. A nil Faults and an all-zero FaultConfig must render
 	// byte-identical results; TestFaultLayerOffIsByteIdentical guards that.
 	Faults *simnet.FaultConfig
+	// Hist attaches a lockless histogram registry to every scenario
+	// (lookup/store latency and hop distributions) and appends a percentile
+	// table per sweep to the lookup-measuring experiments. Recording never
+	// feeds back into the simulation, so the primary tables stay
+	// byte-identical with Hist on or off.
+	Hist bool
 }
 
 // SeedZero is a sentinel requesting the literal random seed 0, which would

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// This file is the experiment-side view of the lockless histograms: with
+// Options.Hist set, every scenario registers lookup/store histograms
+// (core.SetMetrics) and the lookup-measuring experiments append a
+// supplemental percentile table per sweep point. Recording never feeds back
+// into the simulation, so the primary tables stay byte-identical with Hist
+// on or off; TestHistOutputUnchanged guards that.
+
+// histPoint captures one sweep point's lookup latency and hop percentiles.
+// The zero value (no registry attached or no successful lookups) renders as
+// an all-zero row.
+type histPoint struct {
+	n                           uint64
+	p50ms, p90ms, p99ms, p999ms float64
+	maxMs                       float64
+	hopP50, hopP90, hopP99      float64
+	hopMax                      float64
+}
+
+// histVal pairs a sweep point's primary scalar with its percentile capture,
+// so existing sweeps can carry both through the worker pool.
+type histVal struct {
+	v  float64
+	hp histPoint
+}
+
+// histPoint reads the scenario's registry histograms. Returns the zero value
+// when the scenario has no registry (Options.Hist off).
+func (s *scenario) histPoint() histPoint {
+	if s.Reg == nil {
+		return histPoint{}
+	}
+	const ms = float64(sim.Millisecond)
+	lat := s.Reg.Histogram("lookup.latency_us").Snapshot()
+	hops := s.Reg.Histogram("lookup.hops").Snapshot()
+	return histPoint{
+		n:     lat.Count,
+		p50ms: lat.P50 / ms, p90ms: lat.P90 / ms,
+		p99ms: lat.P99 / ms, p999ms: lat.P999 / ms,
+		maxMs:  lat.Max / ms,
+		hopP50: hops.P50, hopP90: hops.P90, hopP99: hops.P99,
+		hopMax: hops.Max,
+	}
+}
+
+// histTable renders per-point percentiles as a supplemental table appended
+// after an experiment's primary table when Options.Hist is set.
+func histTable(title string, labels []string, hps []histPoint) *metrics.Table {
+	t := metrics.NewTable(title)
+	t.Headers = []string{"point", "n",
+		"lat p50 ms", "lat p90 ms", "lat p99 ms", "lat p999 ms", "lat max ms",
+		"hops p50", "hops p90", "hops p99", "hops max"}
+	for i, hp := range hps {
+		t.AddRow(labels[i], float64(hp.n),
+			hp.p50ms, hp.p90ms, hp.p99ms, hp.p999ms, hp.maxMs,
+			hp.hopP50, hp.hopP90, hp.hopP99, hp.hopMax)
+	}
+	return t
+}
+
+// mergeHistSnapshot folds the scenario registry's expanded metrics (histogram
+// quantiles included) into a point snapshot destined for the run manifest.
+func (s *scenario) mergeHistSnapshot(snap map[string]float64) map[string]float64 {
+	if s.Reg == nil {
+		return snap
+	}
+	for k, v := range s.Reg.Snapshot() {
+		snap[k] = v
+	}
+	return snap
+}

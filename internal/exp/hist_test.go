@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistOutputUnchanged guards the obs-never-feeds-back acceptance
+// criterion at the experiment layer: turning Options.Hist on must leave the
+// primary tables and key values byte-identical, only appending the
+// supplemental percentile table.
+func TestHistOutputUnchanged(t *testing.T) {
+	o := testOptions()
+	plain, err := RunFig3b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Hist = true
+	hist, err := RunFig3b(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(hist.Tables) != len(plain.Tables)+1 {
+		t.Fatalf("Hist appended %d tables, want exactly 1", len(hist.Tables)-len(plain.Tables))
+	}
+	for i := range plain.Tables {
+		if plain.Tables[i].CSV() != hist.Tables[i].CSV() {
+			t.Fatalf("Hist changed primary table %d:\n--- plain ---\n%s\n--- hist ---\n%s",
+				i, plain.Tables[i].CSV(), hist.Tables[i].CSV())
+		}
+	}
+	for k, v := range plain.Values {
+		if hist.Values[k] != v {
+			t.Fatalf("Hist changed value %q: %v -> %v", k, v, hist.Values[k])
+		}
+	}
+
+	sup := hist.Tables[len(hist.Tables)-1]
+	if !strings.Contains(sup.Title, "percentiles") {
+		t.Fatalf("supplemental table title %q", sup.Title)
+	}
+	csv := sup.CSV()
+	if !strings.Contains(csv, "lat p50 ms") || !strings.Contains(csv, "hops p99") {
+		t.Fatalf("supplemental table missing percentile columns:\n%s", csv)
+	}
+	// Each sweep point measured o.Lookups lookups; a point whose histogram
+	// saw none would mean the registry was not attached.
+	rows := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(rows) != len(o.psPoints())+1 {
+		t.Fatalf("supplement has %d rows, want header + %d points", len(rows), len(o.psPoints()))
+	}
+	for _, row := range rows[1:] {
+		if strings.HasPrefix(row, "ps=") && strings.Contains(row, ",0.0000,") {
+			t.Fatalf("sweep point recorded no lookups: %s", row)
+		}
+	}
+}

@@ -130,6 +130,9 @@ type scenario struct {
 	Topo  *topology.Graph
 	Peers []*core.Peer
 	Joins []core.JoinStats
+	// Reg is the per-scenario metrics registry (lookup/store histograms);
+	// nil unless Options.Hist is set.
+	Reg *obs.Registry
 	// wallStart is when the scenario build began; observe reports the
 	// point's wall-clock cost relative to it.
 	wallStart time.Time
@@ -158,6 +161,11 @@ func buildScenario(o Options, cfg core.Config, seed int64, capacities []float64,
 		sys.SetTracer(o.Trace)
 		net.SetTracer(o.Trace)
 	}
+	var reg *obs.Registry
+	if o.Hist {
+		reg = obs.NewRegistry()
+		sys.SetMetrics(reg)
+	}
 	peers, joins, err := sys.BuildPopulation(core.PopulationOpts{
 		N:          o.N,
 		Capacities: capacities,
@@ -167,7 +175,7 @@ func buildScenario(o Options, cfg core.Config, seed int64, capacities []float64,
 		return nil, err
 	}
 	sys.Settle(2 * cfg.HelloEvery)
-	return &scenario{Sys: sys, Eng: eng, Net: net, Topo: topo, Peers: peers, Joins: joins, wallStart: start}, nil
+	return &scenario{Sys: sys, Eng: eng, Net: net, Topo: topo, Peers: peers, Joins: joins, Reg: reg, wallStart: start}, nil
 }
 
 // observe snapshots the scenario's engine, network and protocol counters into
@@ -207,7 +215,7 @@ func (s *scenario) observe(o Options, label string) {
 	if !s.wallStart.IsZero() {
 		wall = time.Since(s.wallStart)
 	}
-	o.Obs.Point(label, wall, reg.Snapshot())
+	o.Obs.Point(label, wall, s.mergeHistSnapshot(reg.Snapshot()))
 }
 
 // alivePeer returns the i-th peer if alive, else scans forward for a live

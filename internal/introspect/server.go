@@ -1,0 +1,135 @@
+// Package introspect is the live-cluster introspection server: a small
+// net/http server exposing the observability layer of a running system —
+// Prometheus metrics, the ring-health sampler's verdict, a JSON ring summary,
+// and the bounded trace ring — without ever touching protocol state outside
+// the runtime's execution guarantee. It lives above both internal/core and
+// internal/obs (core already imports obs, so the HTTP view cannot live in
+// either package without a cycle) and is wired in by cmd/hybridnode's -http
+// flag.
+//
+// Endpoints:
+//
+//	/metrics  Prometheus text exposition (0.0.4) of the whole registry
+//	/healthz  JSON health verdict; 200 when healthy, 503 when not
+//	/ring     JSON ring/finger/s-tree summary (core.RingSummary)
+//	/trace    JSONL tail of the bounded tracer (?n=, default 256)
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Config wires a server to a running system. Sys and Reg are required; a nil
+// Tracer serves an empty /trace and a nil Sampler makes /healthz compute a
+// fresh score per request instead of reporting the last sampled one.
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port).
+	Addr    string
+	Sys     *core.System
+	Reg     *obs.Registry
+	Tracer  *obs.Tracer
+	Sampler *core.HealthSampler
+}
+
+// Server is a running introspection HTTP server.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	srv *http.Server
+}
+
+// defaultTraceTail bounds /trace responses when no ?n= is given.
+const defaultTraceTail = 256
+
+// Start binds the listen address and serves in a background goroutine.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Sys == nil || cfg.Reg == nil {
+		return nil, fmt.Errorf("introspect: Config.Sys and Config.Reg are required")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("introspect: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{cfg: cfg, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/ring", s.handleRing)
+	mux.HandleFunc("/trace", s.handleTrace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the port.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.PromContentType)
+	if err := s.cfg.Reg.WritePromText(w); err != nil {
+		// Headers are gone; nothing useful left to do but drop the conn.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	var (
+		score   core.HealthScore
+		sampled bool
+	)
+	if s.cfg.Sampler != nil {
+		score, sampled = s.cfg.Sampler.Last()
+	}
+	if !sampled {
+		// No sampler (or it has not ticked yet): compute a fresh score under
+		// the execution guarantee.
+		s.cfg.Sys.Runtime().Do(func() { score = s.cfg.Sys.HealthScore() })
+	}
+	status := http.StatusOK
+	if !score.Healthy() {
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct { //nolint:errcheck // best-effort response body
+		Healthy bool             `json:"healthy"`
+		Sampled bool             `json:"sampled"`
+		Score   core.HealthScore `json:"score"`
+	}{score.Healthy(), sampled, score})
+}
+
+func (s *Server) handleRing(w http.ResponseWriter, _ *http.Request) {
+	var view core.RingView
+	s.cfg.Sys.Runtime().Do(func() { view = s.cfg.Sys.RingSummary() })
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(view) //nolint:errcheck // best-effort response body
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := defaultTraceTail
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			http.Error(w, "introspect: bad ?n=", http.StatusBadRequest)
+			return
+		}
+		n = v // n <= 0 means "all retained events"
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	s.cfg.Tracer.WriteJSONLTail(w, n) //nolint:errcheck // best-effort body
+}

@@ -158,10 +158,24 @@ func (t *Tracer) Events() []Event {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.eventsLocked()
+}
+
+// eventsLocked copies the ring in emission order. Callers hold t.mu.
+func (t *Tracer) eventsLocked() []Event {
 	out := make([]Event, 0, len(t.buf))
 	out = append(out, t.buf[t.start:]...)
 	out = append(out, t.buf[:t.start]...)
 	return out
+}
+
+// snapshot returns the label and retained events under one lock acquisition,
+// so a concurrent SetLabel can never produce a torn label/event pairing in an
+// export.
+func (t *Tracer) snapshot() (string, []Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.label, t.eventsLocked()
 }
 
 // LookupEvents returns the retained events for one lookup id, in emission
@@ -189,16 +203,27 @@ type jsonEvent struct {
 	Note   string `json:"note,omitempty"`
 }
 
-// WriteJSONL exports the retained events as one JSON object per line.
+// WriteJSONL exports the retained events as one JSON object per line. The
+// label and event list are captured under a single lock acquisition, so the
+// exported lines are always a consistent (label, events) pairing even when a
+// concurrent SetLabel races the export.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return t.WriteJSONLTail(w, 0)
+}
+
+// WriteJSONLTail exports the last n retained events (all of them when
+// n <= 0) as one JSON object per line — the bounded "what just happened"
+// view the introspection server serves at /trace.
+func (t *Tracer) WriteJSONLTail(w io.Writer, n int) error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	label := t.label
-	t.mu.Unlock()
+	label, events := t.snapshot()
+	if n > 0 && n < len(events) {
+		events = events[len(events)-n:]
+	}
 	enc := json.NewEncoder(w)
-	for _, e := range t.Events() {
+	for _, e := range events {
 		je := jsonEvent{
 			Seq: e.Seq, TUs: int64(e.At), Kind: e.Kind.String(), Point: label,
 			Lookup: e.Lookup, From: e.From, To: e.To, Hops: e.Hops, Note: e.Note,

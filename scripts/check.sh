@@ -52,8 +52,15 @@ go test -race ./internal/conformance -count=1
 # Allocation budgets: the event-engine hot path must stay at zero allocs per
 # event, and a no-churn lookup must stay within its per-op budget. -count=1
 # defeats the cache; these are the cheap tripwires for the pooling work.
-echo "== allocation budget gate (event engine, lookup path)"
+echo "== allocation budget gate (event engine, lookup path, histogram record)"
 go test . -count=1 -run '^(TestEventEngineAllocFree|TestLookupAllocBudget)$'
+go test ./internal/obs -count=1 -run '^TestHistogramRecordAllocFree$'
+
+# Introspection smoke gate: boot a live hybridnode with -http, poll /healthz
+# until the ring-health sampler reports healthy, and assert /metrics serves
+# well-formed Prometheus exposition (see scripts/introspect_smoke.sh).
+echo "== introspection smoke gate (hybridnode -http)"
+sh ./scripts/introspect_smoke.sh
 
 # Quick scale point: one reduced build-and-drive pass through the Scale
 # experiment (peers/GB, events/sec). Catches OOM-class regressions in the
