@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke bench bench-json bench-guard benchscale
+.PHONY: all build check vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke net-smoke cluster bench bench-json bench-guard benchscale
 
 all: check
 
@@ -21,7 +21,7 @@ staticcheck:
 
 # The verify loop: everything a change must pass before it lands.
 # Set SKIP_BENCH_GUARD=1 to skip the benchmark regression guard.
-check: build vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke bench-guard
+check: build vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke net-smoke bench-guard
 
 test:
 	$(GO) test ./...
@@ -42,9 +42,10 @@ determinism:
 	$(GO) test ./internal/exp -count=1 \
 		-run '^(TestFaultLayerOffIsByteIdentical|TestParallelSweepDeterminism)$$'
 
-# Cross-runtime conformance gate: the same scenario on the DES and the live
-# goroutine runtime, invariant-checked on both, under the race detector (the
-# live runtime's whole point is real concurrency, so -race is load-bearing).
+# Cross-runtime conformance gate: the same scenario on the DES, the live
+# goroutine runtime and the TCP socket runtime, audited on all three, under
+# the race detector (the wall-clock runtimes' whole point is real
+# concurrency, so -race is load-bearing).
 conformance:
 	$(GO) test -race ./internal/conformance -count=1
 
@@ -58,6 +59,17 @@ allocguard:
 # until healthy, and assert /metrics serves well-formed Prometheus exposition.
 introspect-smoke:
 	sh ./scripts/introspect_smoke.sh
+
+# Multi-process smoke gate: 3-process hybridnode TCP cluster on loopback,
+# cross-process lookups, a SIGKILLed worker, /healthz green again on the
+# survivors, clean SIGTERM shutdown.
+net-smoke:
+	sh ./scripts/net_smoke.sh
+
+# Interactive: launch an N-process TCP cluster with per-node logs and a
+# servers.json manifest; Ctrl-C stops it (see scripts/run_cluster.sh).
+cluster:
+	sh ./scripts/run_cluster.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x

@@ -1,25 +1,43 @@
-// Command hybridnode runs the hybrid protocol as a live in-process system:
-// every peer is a real node on the loopback transport of the live runtime
-// (goroutines, channels, wall-clock timers) instead of a discrete-event
-// simulation. The exact same internal/core protocol code that regenerates the
+// Command hybridnode runs the hybrid protocol as a live system: every peer is
+// a real node answering heartbeats, joins, stores and lookups against a wall
+// clock. The exact same internal/core protocol code that regenerates the
 // paper's figures under paperexp here forms a ring, builds s-networks, runs
-// heartbeats and failure detection against the wall clock, survives a
-// scripted crash, and answers store/lookup requests.
+// failure detection, survives a scripted crash, and answers store/lookup
+// requests.
 //
-// Example:
+// Two transports are available:
+//
+//   - the default in-process mode runs every peer on the loopback transport
+//     of the live runtime (goroutines, channels, wall-clock timers);
+//   - with -addr the process becomes one node of a multi-process TCP cluster
+//     on the socket runtime (internal/runtime/net). The process with no
+//     -bootstrap hosts the well-known server and brokers address allocation;
+//     every other process points -bootstrap at it and joins the same ring
+//     over real sockets.
+//
+// Examples:
 //
 //	hybridnode -n 96 -items 200 -lookups 400 -crash 8
 //	hybridnode -n 200 -ps 0.7 -delay 500us -seed 3
 //
+//	# 3-process TCP cluster on loopback:
+//	hybridnode -addr 127.0.0.1:7000 -n 8 -items 40 -linger 1m &
+//	hybridnode -addr 127.0.0.1:7001 -bootstrap 127.0.0.1:7000 -n 8 -items 0 -keys 40 -linger 1m &
+//	hybridnode -addr 127.0.0.1:7002 -bootstrap 127.0.0.1:7000 -n 8 -items 0 -keys 40 -linger 1m &
+//
 // The run exits 0 only if the cluster passes every phase: all joins complete,
-// the invariant checker is satisfied before and after the crash, and the
-// post-crash lookup success rate stays above -minsuccess.
+// the structural audit is satisfied before and after the crash, and the
+// post-crash lookup success rate stays above -minsuccess. During -linger,
+// SIGINT or SIGTERM shuts the node down cleanly (runtime and introspection
+// server closed) and exits with the verdict computed so far.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/runtime/live"
+	rnet "repro/internal/runtime/net"
 	"repro/internal/workload"
 )
 
@@ -35,25 +54,40 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
-		n          = flag.Int("n", 96, "number of peers (min 64)")
+		n          = flag.Int("n", 96, "number of peers this process joins (min 64 in-process, 1 with -addr)")
 		ps         = flag.Float64("ps", 0.6, "proportion of s-peers (0..1)")
 		delta      = flag.Int("delta", 3, "s-network degree constraint")
-		items      = flag.Int("items", 200, "data items to store")
+		items      = flag.Int("items", 200, "data items to store from this process")
+		keys       = flag.Int("keys", 0, "size of the shared key universe to look up (0: the keys stored here); lets one cluster process look up items another stored")
 		lookups    = flag.Int("lookups", 400, "lookups per measurement phase")
 		crash      = flag.Int("crash", 8, "peers to crash abruptly mid-run")
 		seed       = flag.Int64("seed", 1, "RNG seed (runs stay nondeterministic: real concurrency orders the draws)")
-		delay      = flag.Duration("delay", 200*time.Microsecond, "artificial one-way message delay on the loopback transport")
+		delay      = flag.Duration("delay", 200*time.Microsecond, "artificial one-way message delay (in-process transport only)")
 		minSuccess = flag.Float64("minsuccess", 0.75, "minimum post-crash lookup success rate")
 		httpAddr   = flag.String("http", "", "serve live introspection (\"/metrics\", \"/healthz\", \"/ring\", \"/trace\") on this address, e.g. 127.0.0.1:8080")
 		linger     = flag.Duration("linger", 0, "keep the cluster (and -http server) running this long after the phases finish")
+		addr       = flag.String("addr", "", "TCP endpoint to listen on (e.g. 127.0.0.1:7000); selects the multi-process socket transport")
+		advertise  = flag.String("advertise", "", "endpoint other cluster processes dial to reach this one (default: the -addr listener)")
+		bootstrap  = flag.String("bootstrap", "", "the cluster bootstrap's endpoint; empty with -addr set makes this process the bootstrap")
 	)
 	flag.Parse()
-	if *n < 64 {
-		fmt.Fprintf(os.Stderr, "hybridnode: -n %d below the 64-node minimum\n", *n)
+	netMode := *addr != ""
+	minN := 64
+	if netMode {
+		// A cluster process contributes its slice of the population; the
+		// 64-node floor applies to the deployment, not to each process.
+		minN = 1
+	}
+	if *n < minN {
+		fmt.Fprintf(os.Stderr, "hybridnode: -n %d below the %d-node minimum\n", *n, minN)
 		return 2
 	}
 	if *crash < 0 || *crash > *n/2 {
 		fmt.Fprintf(os.Stderr, "hybridnode: -crash %d outside [0, n/2]\n", *crash)
+		return 2
+	}
+	if !netMode && *bootstrap != "" {
+		fmt.Fprintln(os.Stderr, "hybridnode: -bootstrap requires -addr")
 		return 2
 	}
 
@@ -72,28 +106,67 @@ func run() int {
 	cfg.JoinTimeout = 3 * runtime.Second
 	cfg.FingerRefreshEvery = 250 * runtime.Millisecond
 
-	rt := live.New(live.Config{
-		Seed:         *seed,
-		Delay:        *delay,
-		AwaitTimeout: 60 * time.Second,
-	})
-	defer rt.Close()
+	var rt runtime.Runtime
+	var closeRT func()
+	if netMode {
+		nrt, err := rnet.New(rnet.Config{
+			Listen:       *addr,
+			Advertise:    *advertise,
+			Bootstrap:    *bootstrap,
+			Messages:     core.WireMessages(),
+			Seed:         *seed,
+			AwaitTimeout: 60 * time.Second,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hybridnode:", err)
+			return 1
+		}
+		rt, closeRT = nrt, nrt.Close
+		role := "worker"
+		if nrt.IsBootstrap() {
+			role = "bootstrap"
+		}
+		fmt.Printf("socket transport: %s node at %s\n", role, nrt.Endpoint())
+	} else {
+		lrt := live.New(live.Config{
+			Seed:         *seed,
+			Delay:        *delay,
+			AwaitTimeout: 60 * time.Second,
+		})
+		rt, closeRT = lrt, lrt.Close
+	}
+	defer closeRT()
 
-	sys, err := core.NewSystem(rt, cfg, 0)
+	var sys *core.System
+	var err error
+	if netMode && *bootstrap != "" {
+		// Worker process: the real server lives with the bootstrap; this
+		// system hosts peers only.
+		sys, err = core.NewPeerSystem(rt, cfg)
+	} else {
+		sys, err = core.NewSystem(rt, cfg, 0)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hybridnode:", err)
 		return 1
+	}
+	if netMode {
+		// Even the bootstrap's peer table is a partial view once workers
+		// join: structural audits must consult the cluster directory for
+		// remote liveness instead of treating unknown addresses as dead.
+		sys.MarkPartial()
 	}
 
 	// Live introspection (opt-in): lookup/store histograms, a continuous
 	// ring-health sampler, a bounded trace ring, and an HTTP server exposing
 	// all of it. None of this feeds back into protocol behavior.
+	var sampler *core.HealthSampler
 	if *httpAddr != "" {
 		reg := obs.NewRegistry()
 		tr := obs.NewTracer(0)
 		sys.SetMetrics(reg)
 		sys.SetTracer(tr)
-		sampler := core.NewHealthSampler(sys, reg, cfg.HelloEvery)
+		sampler = core.NewHealthSampler(sys, reg, cfg.HelloEvery)
 		rt.Do(sampler.Start)
 		srv, err := introspect.Start(introspect.Config{
 			Addr: *httpAddr, Sys: sys, Reg: reg, Tracer: tr, Sampler: sampler,
@@ -107,7 +180,7 @@ func run() int {
 	}
 
 	wallStart := time.Now()
-	fmt.Printf("joining %d live peers (ps=%.2f δ=%d delay=%v)...\n", *n, *ps, *delta, *delay)
+	fmt.Printf("joining %d live peers (ps=%.2f δ=%d)...\n", *n, *ps, *delta)
 	peers, joins, err := sys.BuildPopulation(core.PopulationOpts{N: *n})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hybridnode:", err)
@@ -119,32 +192,41 @@ func run() int {
 	}
 	var tp, sp int
 	rt.Do(func() { tp, sp = len(sys.TPeers()), len(sys.SPeers()) })
-	fmt.Printf("cluster up in %v: %d t-peers, %d s-peers; join hops %s\n",
+	fmt.Printf("cluster up in %v: %d t-peers, %d s-peers here; join hops %s\n",
 		time.Since(wallStart).Round(time.Millisecond), tp, sp, &joinHops)
 
 	// Let a few heartbeat and finger-refresh rounds run before auditing.
 	sys.Settle(5 * cfg.HelloEvery)
-	if err := awaitInvariants(rt, sys, 10*time.Second); err != nil {
-		fmt.Fprintln(os.Stderr, "hybridnode: invariants after build:", err)
+	if err := awaitConsistent(rt, sys, 10*time.Second); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridnode: audit after build:", err)
 		return 1
 	}
-	fmt.Println("invariants: all hold after build")
+	fmt.Println("audit: structure consistent after build")
 
-	keys := workload.Keys(*items)
-	stored := 0
-	for i, key := range keys {
-		r, err := sys.StoreSync(peers[(i*31)%len(peers)], key, "value-of-"+key)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hybridnode:", err)
-			return 1
-		}
-		if r.OK {
-			stored++
-		}
+	universe := workload.Keys(*items)
+	if *keys > 0 {
+		// The shared universe: workload.Keys is deterministic, so every
+		// process in a cluster derives the same key names and lookups here
+		// can hit items stored by a different process.
+		universe = workload.Keys(*keys)
 	}
-	fmt.Printf("stored %d/%d items\n", stored, *items)
+	stored := 0
+	if *items > 0 {
+		for i := 0; i < *items; i++ {
+			key := universe[i%len(universe)]
+			r, err := sys.StoreSync(peers[(i*31)%len(peers)], key, "value-of-"+key)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hybridnode:", err)
+				return 1
+			}
+			if r.OK {
+				stored++
+			}
+		}
+		fmt.Printf("stored %d/%d items\n", stored, *items)
+	}
 
-	okBefore := lookupPhase(sys, peers, keys, *lookups, "pre-crash")
+	okBefore := lookupPhase(sys, peers, universe, *lookups, "pre-crash")
 	if okBefore < 0 {
 		return 1
 	}
@@ -155,33 +237,49 @@ func run() int {
 		// serialized against the protocol for the same reason.
 		rt.Do(func() {
 			live := sys.Peers()
-			for _, idx := range rt.Rand().Perm(len(live))[:*crash] {
+			c := *crash
+			if c > len(live)/2 {
+				c = len(live) / 2
+			}
+			for _, idx := range rt.Rand().Perm(len(live))[:c] {
 				live[idx].Crash()
 			}
 		})
 		// Give the failure detectors a few timeout windows of wall time,
-		// then poll the invariant checker until repair converges.
+		// then poll the audit until repair converges.
 		sys.Settle(3 * cfg.HelloTimeout)
-		if err := awaitInvariants(rt, sys, 20*time.Second); err != nil {
-			fmt.Fprintln(os.Stderr, "hybridnode: invariants after crash:", err)
+		if err := awaitConsistent(rt, sys, 20*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "hybridnode: audit after crash:", err)
 			return 1
 		}
 		var survivors int
 		var st core.SystemStats
 		rt.Do(func() { survivors = sys.NumPeers(); st = sys.Stats() })
-		fmt.Printf("crashed %d peers; %d survive; promotions=%d rejoins=%d\n",
+		fmt.Printf("crashed %d peers; %d survive here; promotions=%d rejoins=%d\n",
 			*crash, survivors, st.Promotions, st.Rejoins)
-		fmt.Println("invariants: all hold after crash recovery")
+		fmt.Println("audit: structure consistent after crash recovery")
 	}
 
-	okAfter := lookupPhase(sys, peers, keys, *lookups, "post-crash")
+	okAfter := lookupPhase(sys, peers, universe, *lookups, "post-crash")
 	if okAfter < 0 {
 		return 1
 	}
 	rate := float64(okAfter) / float64(*lookups)
 	if *linger > 0 {
+		// A lingering node is a server: SIGINT/SIGTERM must shut it down
+		// cleanly — runtime and introspection closed by the deferred
+		// handlers on this return path — and still report the verdict,
+		// instead of dying on the default signal action with the sockets
+		// mid-frame.
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 		fmt.Printf("lingering %v for introspection...\n", *linger)
-		time.Sleep(*linger)
+		select {
+		case <-time.After(*linger):
+		case sig := <-sigCh:
+			fmt.Printf("received %v; shutting down\n", sig)
+		}
+		signal.Stop(sigCh)
 	}
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(wallStart).Round(time.Millisecond))
 	if rate < *minSuccess {
@@ -195,6 +293,9 @@ func run() int {
 // prints a summary line. It returns the success count, or -1 on a runtime
 // error (an Await timeout, i.e. the cluster wedged).
 func lookupPhase(sys *core.System, peers []*core.Peer, keys []string, count int, label string) int {
+	if len(keys) == 0 || count == 0 {
+		return 0
+	}
 	rt := sys.Runtime()
 	var hops, lat metrics.Summary
 	ok := 0
@@ -224,15 +325,28 @@ func lookupPhase(sys *core.System, peers []*core.Peer, keys []string, count int,
 	return ok
 }
 
-// awaitInvariants polls the invariant checker under the executor lock until
-// it passes or the wall-clock deadline expires. Live runs need the poll: the
-// checker can observe a repair mid-flight (a watchdog not yet cancelled, an
+// awaitConsistent polls the structural audit under the executor lock until it
+// passes or the wall-clock deadline expires. Live runs need the poll: the
+// audit can observe a repair mid-flight (a watchdog not yet cancelled, an
 // operation not yet drained) that the next heartbeat round resolves.
-func awaitInvariants(rt runtime.Runtime, sys *core.System, timeout time.Duration) error {
+//
+// A full-view system runs the white-box invariant checker. A partial system
+// (one process of a multi-process cluster) cannot — ring and tree edges cross
+// process boundaries — so it runs the scored HealthScore pass, which consults
+// the cluster directory for remote liveness, and requires a clean bill.
+func awaitConsistent(rt runtime.Runtime, sys *core.System, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
 		var err error
-		rt.Do(func() { err = sys.CheckInvariants() })
+		rt.Do(func() {
+			if sys.Partial() {
+				if h := sys.HealthScore(); !h.Healthy() {
+					err = fmt.Errorf("health: %+v", h)
+				}
+			} else {
+				err = sys.CheckInvariants()
+			}
+		})
 		if err == nil {
 			return nil
 		}

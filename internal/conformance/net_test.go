@@ -1,0 +1,89 @@
+package conformance
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	rnet "repro/internal/runtime/net"
+)
+
+// netConfig mirrors liveConfig: the socket runtime is also wall-clock, so it
+// shares the live timer scale.
+func netConfig() core.Config {
+	return liveConfig()
+}
+
+// netOutcome runs the shared scenario on the TCP socket runtime. A single
+// bootstrap process hosts every peer, but delivery is not in-process: the
+// socket runtime routes every Send through the codec, the wire envelope and
+// a real loopback TCP connection (self-dial), so the whole scenario — joins,
+// heartbeats, crash repair, lookups — exercises the serialization path.
+// Multi-process operation is covered by scripts/net_smoke.sh.
+func netOutcome(t *testing.T) outcome {
+	t.Helper()
+	rt, err := rnet.New(rnet.Config{
+		Listen:       "127.0.0.1:0",
+		Messages:     core.WireMessages(),
+		Seed:         scenarioSeed,
+		AwaitTimeout: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return runScenario(t, rt, netConfig())
+}
+
+// TestConformanceDESvsNet runs the shared scenario on the socket runtime and
+// holds it to the same outcome bands as the DES reference: same address
+// sequence, same membership split, full storage, equivalent lookup success
+// before and after the crash wave.
+func TestConformanceDESvsNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket half needs wall-clock seconds")
+	}
+	des := desOutcome(t)
+	nt := netOutcome(t)
+
+	if len(des.addrs) != len(nt.addrs) {
+		t.Fatalf("peer counts differ: des=%d net=%d", len(des.addrs), len(nt.addrs))
+	}
+	for i := range des.addrs {
+		if des.addrs[i] != nt.addrs[i] {
+			t.Fatalf("addr sequence diverges at %d: des=%d net=%d", i, des.addrs[i], nt.addrs[i])
+		}
+	}
+
+	for name, o := range map[string]outcome{"des": des, "net": nt} {
+		if o.tPeers == 0 || o.sPeers == 0 {
+			t.Errorf("%s: degenerate split: %d t-peers, %d s-peers", name, o.tPeers, o.sPeers)
+		}
+		if o.tPeers+o.sPeers != scenarioN {
+			t.Errorf("%s: %d+%d peers, want %d", name, o.tPeers, o.sPeers, scenarioN)
+		}
+		if o.stored != scenarioItems {
+			t.Errorf("%s: stored %d/%d items", name, o.stored, scenarioItems)
+		}
+		if o.okBefore < scenarioLookups*98/100 {
+			t.Errorf("%s: pre-crash lookups %d/%d", name, o.okBefore, scenarioLookups)
+		}
+		if o.survivors != scenarioN-scenarioCrash {
+			t.Errorf("%s: %d survivors, want %d", name, o.survivors, scenarioN-scenarioCrash)
+		}
+		if o.okAfter < scenarioLookups*70/100 {
+			t.Errorf("%s: post-crash lookups %d/%d below 70%%", name, o.okAfter, scenarioLookups)
+		}
+	}
+
+	diff := des.okAfter - nt.okAfter
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > scenarioLookups*25/100 {
+		t.Errorf("post-crash success diverges: des=%d net=%d (Δ%d of %d)",
+			des.okAfter, nt.okAfter, diff, scenarioLookups)
+	}
+	t.Logf("des: %+v", des)
+	t.Logf("net: %+v", nt)
+}

@@ -69,7 +69,11 @@ func (h HealthScore) Healthy() bool {
 // HealthScore computes one scored invariant pass. It is strictly read-only
 // and must run under the runtime's execution guarantee (inside a handler, a
 // timer callback, or Runtime.Do); it never mutates protocol state, draws no
-// randomness and sends no messages, so sampling cannot change behavior.
+// randomness and sends no protocol messages, so sampling cannot change
+// behavior. On a partial system the liveness of remote ring and tree
+// pointers is read through the runtime's Attached, which on the socket
+// runtime is a directory query to the bootstrap — transport traffic, not
+// protocol traffic, and explicitly safe under the execution guarantee.
 func (s *System) HealthScore() HealthScore {
 	h := HealthScore{At: s.rt.Now()}
 
@@ -102,8 +106,11 @@ func (s *System) HealthScore() HealthScore {
 
 		// Data ownership (counted, not failed): same rule as
 		// CheckDataOwnership, skipping mid-rejoin s-peers whose root is
-		// unknown.
-		if len(p.data) > 0 && len(tps) > 0 {
+		// unknown. A partial system cannot compute it at all — the owner
+		// function needs the full t-peer ring, and this process holds only
+		// its slice — so the count stays zero there rather than reporting
+		// correctly-placed items as violations.
+		if len(p.data) > 0 && len(tps) > 0 && !s.partial {
 			root := p.Addr
 			known := true
 			if p.Role == SPeer {
@@ -131,7 +138,15 @@ func (s *System) HealthScore() HealthScore {
 					h.DeadRingPtrs++
 					continue
 				}
-				if t := s.peerAt(r.Addr); t == nil || !t.alive || t.Role != TPeer {
+				if t := s.peerAt(r.Addr); t != nil {
+					if !t.alive || t.Role != TPeer {
+						h.DeadRingPtrs++
+					}
+				} else if !s.partial || !s.rt.Attached(r.Addr) {
+					// Not in the local table. On a full-view system that
+					// means dead; on a partial one the peer may live in
+					// another process, so ask the runtime, which consults
+					// the cluster directory.
 					h.DeadRingPtrs++
 				}
 			}
@@ -149,9 +164,15 @@ func (s *System) HealthScore() HealthScore {
 			h.DeltaViolations++
 		}
 		parent := s.peerAt(p.cp.Addr)
-		if !p.cp.Valid() || parent == nil || !parent.alive {
+		if parent != nil && !parent.alive {
+			parent = nil
+		}
+		if !p.cp.Valid() || (parent == nil && (!s.partial || !s.rt.Attached(p.cp.Addr))) {
 			h.OrphanSPeers++
 			continue
+		}
+		if parent == nil {
+			continue // remote connect point, alive per the directory; depth unknowable here
 		}
 		depth := 0
 		cur := p

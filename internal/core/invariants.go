@@ -150,6 +150,9 @@ func (s *System) CheckOpsDrained() error {
 // crash report is still parked awaiting a replacement.
 func (s *System) CheckServerAccounting() error {
 	sv := s.server
+	if sv == nil {
+		return nil // peer-only system: the server lives in another process
+	}
 	tps := s.TPeers()
 	liveT := make(map[runtime.Addr]bool, len(tps))
 	for _, p := range tps {

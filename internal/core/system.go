@@ -20,6 +20,12 @@ type System struct {
 	serverAddr runtime.Addr
 
 	server *Server
+	// partial marks a system that hosts only a slice of the deployment's
+	// peers (a worker process on the socket runtime): the dense peer table
+	// is a partial view, so checks that need the full membership either
+	// consult the runtime's Attached (ring/tree liveness) or are skipped
+	// (global data ownership). See HealthScore.
+	partial bool
 	// peers is the dense peer table, indexed by Addr.Index() (both runtimes
 	// allocate addresses sequentially — see runtime.Addr.Index). A nil slot
 	// is a departed or never-used address. Replacing the former map keys
@@ -104,8 +110,39 @@ func NewSystem(rt runtime.Runtime, cfg Config, serverHost int) (*System, error) 
 	return s, nil
 }
 
-// Server returns the bootstrap server.
+// NewPeerSystem creates a system that hosts peers but not the bootstrap
+// server: a worker process in a multi-process deployment on the socket
+// runtime. Peers joined here talk to the cluster's real server at the
+// runtime's bootstrap address, exactly as they would talk to a local one —
+// the protocol is message-pure, so it cannot tell the difference. The
+// system is marked partial: structural checks fall back to the runtime's
+// view of remote liveness (see HealthScore).
+func NewPeerSystem(rt runtime.Runtime, cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{
+		Cfg:        cfg,
+		rt:         rt,
+		serverAddr: rt.ServerAddr(),
+		contacts:   make(map[uint64]int),
+		partial:    true,
+	}, nil
+}
+
+// Server returns the bootstrap server, or nil on a peer-only system.
 func (s *System) Server() *Server { return s.server }
+
+// Partial reports whether this system hosts only a slice of the deployment
+// (a worker process in a multi-process cluster).
+func (s *System) Partial() bool { return s.partial }
+
+// MarkPartial marks the system as hosting only a slice of the deployment.
+// The bootstrap process of a multi-process cluster needs this: it owns the
+// server (so it is built with NewSystem), but other processes' peers join
+// the same ring, so its peer table is still a partial view.
+func (s *System) MarkPartial() { s.partial = true }
 
 // Runtime returns the runtime the system executes on.
 func (s *System) Runtime() runtime.Runtime { return s.rt }
@@ -283,6 +320,11 @@ func (s *System) Join(opts JoinOpts, done func(*Peer, JoinStats)) *Peer {
 // landmark; the simulated probe returns exactly the shortest-path latency,
 // so we read it from the topology directly.
 func (s *System) landmarkCoord(host int) string {
+	if s.server == nil {
+		// Peer-only system: the landmark set lives with the real server in
+		// another process, and topology awareness is a simulation feature.
+		return ""
+	}
 	if c, ok := s.coordCache[host]; ok {
 		return c
 	}

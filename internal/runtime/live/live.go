@@ -69,6 +69,12 @@ type Runtime struct {
 	next   runtime.Addr
 	closed bool
 
+	// delayed tracks in-flight cfg.Delay sends so Close can cancel them:
+	// without the ledger a firing scheduled before Close would touch the
+	// nodes map of a runtime that has already shut down.
+	delayed    map[uint64]*time.Timer
+	delayedSeq uint64
+
 	wg sync.WaitGroup // live mailbox goroutines
 }
 
@@ -108,11 +114,12 @@ func New(cfg Config) *Runtime {
 		cfg.AwaitTimeout = 30 * time.Second
 	}
 	return &Runtime{
-		cfg:   cfg,
-		start: time.Now(),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		nodes: make(map[runtime.Addr]*node),
-		next:  serverAddr + 1,
+		cfg:     cfg,
+		start:   time.Now(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		nodes:   make(map[runtime.Addr]*node),
+		next:    serverAddr + 1,
+		delayed: make(map[uint64]*time.Timer),
 	}
 }
 
@@ -195,17 +202,34 @@ func (r *Runtime) Attached(a runtime.Addr) bool {
 
 // Send enqueues msg for delivery. Size only matters to transports that model
 // serialization delay; the loopback transport ignores it. With cfg.Delay set,
-// delivery is deferred by that much wall time.
+// delivery is deferred by that much wall time, and the destination is
+// resolved when the delay fires, not when Send is called: an address that
+// detaches and re-attaches while the message is in flight is live again and
+// must receive it, exactly as a packet addressed to a rebooted host would
+// arrive. (Capturing the *node* at send time silently dropped such messages
+// into the old incarnation's closed mailbox.)
 func (r *Runtime) Send(from, to runtime.Addr, size int, msg any) {
-	n, ok := r.nodes[to]
-	if !ok {
-		return // destination crashed or never existed: drop silently
-	}
 	if r.cfg.Delay > 0 {
-		time.AfterFunc(r.cfg.Delay, func() { n.enqueue(from, msg) })
+		// No liveness check here: with a delay the destination's liveness
+		// is judged at delivery time, like any packet in flight.
+		seq := r.delayedSeq
+		r.delayedSeq++
+		r.delayed[seq] = time.AfterFunc(r.cfg.Delay, func() {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			delete(r.delayed, seq)
+			if r.closed {
+				return
+			}
+			if n, ok := r.nodes[to]; ok {
+				n.enqueue(from, msg)
+			}
+		})
 		return
 	}
-	n.enqueue(from, msg)
+	if n, ok := r.nodes[to]; ok {
+		n.enqueue(from, msg)
+	}
 }
 
 // SendLocal enqueues a self-message; it is delivered like any other, on a
@@ -314,8 +338,11 @@ func (r *Runtime) Sleep(d runtime.Time) {
 	time.Sleep(time.Duration(d) * time.Microsecond)
 }
 
-// Close shuts the runtime down: every mailbox goroutine exits and pending
-// timer firings become no-ops. Close blocks until the mailboxes are gone.
+// Close shuts the runtime down: every mailbox goroutine exits, pending timer
+// firings become no-ops, and every delayed send still in flight is cancelled
+// (a firing that already won the race to its AfterFunc observes the closed
+// flag under the lock and delivers nothing). Close blocks until the
+// mailboxes are gone.
 func (r *Runtime) Close() {
 	r.mu.Lock()
 	if r.closed {
@@ -323,6 +350,10 @@ func (r *Runtime) Close() {
 		return
 	}
 	r.closed = true
+	for seq, t := range r.delayed {
+		t.Stop()
+		delete(r.delayed, seq)
+	}
 	for a, n := range r.nodes {
 		n.close()
 		delete(r.nodes, a)

@@ -1,0 +1,38 @@
+package net_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	rnet "repro/internal/runtime/net"
+)
+
+// TestCoreWireMessagesEncodable pins the codec contract for the real
+// protocol: every message type core puts on the transport registers cleanly
+// (all field kinds encodable, no unexported fields) and round-trips its zero
+// value byte-exactly. A new message type with an unencodable field fails
+// here at build time, not on a live socket.
+func TestCoreWireMessagesEncodable(t *testing.T) {
+	protos := core.WireMessages()
+	if len(protos) == 0 {
+		t.Fatal("core.WireMessages returned nothing")
+	}
+	c, err := rnet.NewCodec(protos...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range protos {
+		code, payload, err := c.Encode(p)
+		if err != nil {
+			t.Fatalf("encode %T: %v", p, err)
+		}
+		got, err := c.Decode(code, payload)
+		if err != nil {
+			t.Fatalf("decode %T: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("round trip %T: %#v -> %#v", p, p, got)
+		}
+	}
+}

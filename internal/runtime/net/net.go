@@ -1,0 +1,857 @@
+// Package net is the TCP-socket implementation of runtime.Runtime: the same
+// hybrid protocol that runs under the discrete-event simulation
+// (internal/simnet) and the in-process goroutine runtime
+// (internal/runtime/live) here runs across real sockets, so a cluster can
+// span processes and machines (cmd/hybridnode -addr/-bootstrap).
+//
+// # Topology
+//
+// Every process listens on one TCP endpoint and may host any number of
+// protocol addresses. One process is the bootstrap: it hosts address 0 (the
+// protocol's well-known server) and brokers the two pieces of cluster-global
+// state the runtime contract requires:
+//
+//   - address allocation: NewAddr on a non-bootstrap process is a JOIN-ALLOC
+//     request to the bootstrap, which hands out dense addresses 1, 2, 3, …
+//     from a single counter. This preserves the Addr.Index density contract
+//     (flat array-backed routing tables) across process boundaries.
+//   - the directory: Attach registers "address A lives at endpoint E";
+//     senders resolve unknown addresses through the bootstrap and cache the
+//     result forever (addresses are never re-homed, so entries cannot go
+//     stale). Liveness is tracked only at the bootstrap: explicit detaches
+//     mark entries dead, and a process's connection dropping marks every
+//     address it registered dead — TCP is the failure detector of last
+//     resort for whole-process crashes.
+//
+// # Execution model
+//
+// Identical to internal/runtime/live, because it solves the same problem:
+// the protocol wants run-to-completion semantics and peers on one process
+// share a System. All protocol execution serializes behind one executor
+// mutex; each attached address has a mailbox goroutine; timers are
+// time.AfterFunc firings that take the executor lock. What differs is only
+// Send: every message — including one whose destination is hosted by the
+// sending process — is encoded by the codec (codec.go), framed in the wire
+// envelope (wire.go), and written to the destination process's socket. The
+// uniform path means the conformance suite exercises the codec and framing
+// even in a single process.
+//
+// Each connection has exactly one reader goroutine, and it never blocks on
+// protocol execution: data frames are decoded and appended to the target
+// mailbox (dropped if the address is not attached here — a packet to a dead
+// host), control responses are handed to the waiter parked in the
+// inflight[msgID] map, and control requests touch only the directory and
+// allocator locks, never the executor. A slow or wedged peer therefore
+// cannot stall delivery to anyone else.
+//
+// Message-level guarantees match the live runtime: sends are asynchronous
+// and unreliable (an unresolvable address, unreachable endpoint, or dead
+// connection drops the message silently), and delivery between a pair of
+// processes is FIFO because it shares one connection.
+package net
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	nnet "net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Config tunes the socket runtime.
+type Config struct {
+	// Listen is the TCP endpoint to listen on, e.g. "127.0.0.1:7000" or
+	// "127.0.0.1:0" (tests). Required.
+	Listen string
+	// Advertise is the endpoint other processes dial to reach this one. It
+	// defaults to the listener's address, with an unspecified host
+	// rewritten to 127.0.0.1 — set it explicitly when crossing machines.
+	Advertise string
+	// Bootstrap is the bootstrap process's advertised endpoint. Empty means
+	// this process IS the bootstrap: it hosts address 0 and serves
+	// allocation and directory requests.
+	Bootstrap string
+	// Messages are the codec prototypes, in the cluster-wide shared order
+	// (core.WireMessages). Required.
+	Messages []any
+	// Seed seeds the runtime's RNG (execution stays nondeterministic).
+	Seed int64
+	// AwaitTimeout bounds a single Await call. Default 30s.
+	AwaitTimeout time.Duration
+	// DialTimeout bounds one connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// RPCTimeout bounds one broker request. Default 5s.
+	RPCTimeout time.Duration
+	// WriteTimeout bounds one frame write. Default 10s.
+	WriteTimeout time.Duration
+	// Logf receives transport diagnostics (encode failures, broker errors).
+	// Defaults to stderr.
+	Logf func(format string, args ...any)
+}
+
+// Runtime is the TCP implementation of runtime.Runtime.
+//
+// Clock, Transport, Rand and NewAddr must only be called under the execution
+// guarantee — from inside a handler, a timer callback, or Do. Do, Await,
+// Sleep and Close are the external entry points and may be called from any
+// goroutine.
+type Runtime struct {
+	cfg    Config
+	codec  *Codec
+	start  time.Time
+	isBoot bool
+	self   string // advertised endpoint
+	boot   string // bootstrap endpoint (== self on the bootstrap)
+
+	ln nnet.Listener
+
+	mu     sync.Mutex // the executor lock: all protocol execution holds it
+	rng    *rand.Rand
+	closed bool
+
+	// nodes has its own lock (not the executor's) because connection
+	// readers must find mailboxes without ever waiting on protocol
+	// execution. Lock order: mu before nmu; readers take nmu alone.
+	nmu   sync.RWMutex
+	nodes map[runtime.Addr]*node
+
+	// amu guards the bootstrap's address counter; readers answering
+	// JOIN-ALLOC take it, so it must not be the executor lock.
+	amu  sync.Mutex
+	next runtime.Addr
+
+	dir *directory
+
+	// cmu guards the connection cache, the inbound set and the negative
+	// dial cache.
+	cmu        sync.Mutex
+	conns      map[string]*wconn
+	inbound    map[*wconn]struct{}
+	dialFailAt map[string]time.Time
+	connsDown  bool // set by Close before sweeping, so no conn leaks past it
+
+	// inflight parks one waiter channel per outstanding broker request,
+	// keyed by MsgID; the bootstrap connection's reader completes them.
+	imu      sync.Mutex
+	inflight map[uint64]chan envelope
+	msgID    atomic.Uint64
+
+	closedCh chan struct{}
+	wg       sync.WaitGroup // mailbox goroutines
+	readers  sync.WaitGroup // accept loop + connection readers
+}
+
+// serverAddr is the bootstrap server's protocol address, hosted by the
+// bootstrap process; NewAddr allocations start right above it.
+const serverAddr runtime.Addr = 0
+
+// node is one attached address: a handler plus its mailbox (identical to the
+// live runtime's — see that package for the lock-ordering discussion).
+type node struct {
+	h runtime.Handler
+
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	queue  []envelopeLocal
+	closed bool
+}
+
+type envelopeLocal struct {
+	from runtime.Addr
+	msg  any
+}
+
+type timer struct {
+	t         *time.Timer
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// New creates a socket runtime: it binds the listener, starts accepting,
+// and (on non-bootstrap processes) is immediately able to reach the
+// bootstrap at cfg.Bootstrap.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Listen == "" {
+		return nil, errors.New("net: Config.Listen is required")
+	}
+	if len(cfg.Messages) == 0 {
+		return nil, errors.New("net: Config.Messages is required (see core.WireMessages)")
+	}
+	if cfg.AwaitTimeout <= 0 {
+		cfg.AwaitTimeout = 30 * time.Second
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 5 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "net: "+format+"\n", args...)
+		}
+	}
+	codec, err := NewCodec(cfg.Messages...)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := nnet.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("net: listen %s: %w", cfg.Listen, err)
+	}
+	r := &Runtime{
+		cfg:        cfg,
+		codec:      codec,
+		start:      time.Now(),
+		isBoot:     cfg.Bootstrap == "",
+		ln:         ln,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		nodes:      make(map[runtime.Addr]*node),
+		next:       serverAddr + 1,
+		dir:        newDirectory(),
+		conns:      make(map[string]*wconn),
+		inbound:    make(map[*wconn]struct{}),
+		dialFailAt: make(map[string]time.Time),
+		inflight:   make(map[uint64]chan envelope),
+		closedCh:   make(chan struct{}),
+	}
+	r.self = cfg.Advertise
+	if r.self == "" {
+		r.self = advertisable(ln.Addr())
+	}
+	if r.isBoot {
+		r.boot = r.self
+	} else {
+		r.boot = cfg.Bootstrap
+		// The server's address is bootstrap information, not something to
+		// discover: seed the resolution cache so the very first join can
+		// reach address 0.
+		r.dir.set(int64(serverAddr), r.boot, true)
+	}
+	r.readers.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// advertisable rewrites a listener address into something another process
+// can dial: the unspecified host (listen ":0" / "0.0.0.0") becomes loopback.
+func advertisable(a nnet.Addr) string {
+	host, port, err := nnet.SplitHostPort(a.String())
+	if err != nil {
+		return a.String()
+	}
+	if ip := nnet.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return nnet.JoinHostPort(host, port)
+}
+
+// Endpoint returns this process's advertised endpoint.
+func (r *Runtime) Endpoint() string { return r.self }
+
+// IsBootstrap reports whether this process hosts address 0 and the broker.
+func (r *Runtime) IsBootstrap() bool { return r.isBoot }
+
+// --- Clock -----------------------------------------------------------------
+
+// Now returns the wall-clock time since the runtime was created.
+func (r *Runtime) Now() runtime.Time {
+	return runtime.Time(time.Since(r.start) / time.Microsecond)
+}
+
+// Schedule arms a wall-clock timer; the callback takes the executor lock.
+func (r *Runtime) Schedule(d runtime.Time, fn func()) runtime.Handle {
+	if d < 0 {
+		panic(fmt.Sprintf("net: negative delay %v", d))
+	}
+	if r.closed {
+		return runtime.Handle{}
+	}
+	tm := &timer{fn: fn}
+	tm.t = time.AfterFunc(time.Duration(d)*time.Microsecond, func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if tm.cancelled || r.closed {
+			return
+		}
+		tm.fired = true
+		tm.fn()
+	})
+	return runtime.MakeHandle(tm, 0)
+}
+
+// Unschedule cancels a pending firing.
+func (r *Runtime) Unschedule(h runtime.Handle) bool {
+	tm, ok := h.Impl().(*timer)
+	if !ok || tm.cancelled || tm.fired {
+		return false
+	}
+	tm.cancelled = true
+	tm.t.Stop()
+	return true
+}
+
+// Scheduled reports whether the firing is still pending.
+func (r *Runtime) Scheduled(h runtime.Handle) bool {
+	tm, ok := h.Impl().(*timer)
+	return ok && !tm.cancelled && !tm.fired
+}
+
+// --- Transport -------------------------------------------------------------
+
+// Attach registers a handler, starts its mailbox goroutine, and announces
+// the address to the bootstrap's directory so other processes can route to
+// it. The announcement is synchronous: when Attach returns, a response sent
+// to this address by any process resolves.
+func (r *Runtime) Attach(a runtime.Addr, _ runtime.Endpoint, h runtime.Handler) {
+	if r.closed {
+		return
+	}
+	n := &node{h: h}
+	n.qcond = sync.NewCond(&n.qmu)
+	r.nmu.Lock()
+	if old, ok := r.nodes[a]; ok {
+		old.close()
+	}
+	r.nodes[a] = n
+	r.nmu.Unlock()
+	r.wg.Add(1)
+	go r.deliverLoop(a, n)
+
+	r.dir.set(int64(a), r.self, true)
+	if !r.isBoot {
+		if _, err := r.rpc(ctrlRegisterReq, registerPayload(int64(a), r.self)); err != nil {
+			r.cfg.Logf("register addr %d: %v", a, err)
+		}
+	}
+}
+
+// Detach removes an address and reports it dead to the bootstrap. Frames
+// already in flight to it are dropped on arrival, like packets to a crashed
+// host.
+func (r *Runtime) Detach(a runtime.Addr) {
+	r.nmu.Lock()
+	if n, ok := r.nodes[a]; ok {
+		n.close()
+		delete(r.nodes, a)
+	}
+	r.nmu.Unlock()
+	r.dir.markDead(int64(a))
+	if !r.isBoot {
+		if c, err := r.connTo(r.boot); err == nil {
+			if err := c.write(envelope{Type: ctrlDetach, From: -1, To: -1, Payload: addrPayload(int64(a))}, r.cfg.WriteTimeout); err != nil {
+				r.dropConn(r.boot, c)
+			}
+		}
+	}
+}
+
+// Attached reports whether the address currently has a live handler
+// anywhere in the cluster: locally via the node table, elsewhere via the
+// bootstrap's directory (a broker round trip on non-bootstrap processes).
+func (r *Runtime) Attached(a runtime.Addr) bool {
+	r.nmu.RLock()
+	_, local := r.nodes[a]
+	r.nmu.RUnlock()
+	if local {
+		return true
+	}
+	if r.isBoot {
+		return r.dir.alive(int64(a))
+	}
+	resp, err := r.rpc(ctrlAttachedReq, addrPayload(int64(a)))
+	if err != nil || len(resp.Payload) < 1 {
+		return false
+	}
+	return resp.Payload[0] != 0
+}
+
+// Send encodes the message and writes it to the destination's process. An
+// unknown address, unreachable endpoint or dead connection drops the
+// message silently — the transport contract is unreliable delivery. size
+// only models serialization cost on the simulated transports; here the real
+// bytes are the cost.
+func (r *Runtime) Send(from, to runtime.Addr, size int, msg any) {
+	if r.closed {
+		return
+	}
+	ep, ok := r.endpointOf(to)
+	if !ok {
+		return
+	}
+	code, payload, err := r.codec.Encode(msg)
+	if err != nil {
+		r.cfg.Logf("send %d->%d: %v", from, to, err)
+		return
+	}
+	c, err := r.connTo(ep)
+	if err != nil {
+		return
+	}
+	env := envelope{Type: code, From: int64(from), To: int64(to), Payload: payload}
+	if err := c.write(env, r.cfg.WriteTimeout); err != nil {
+		r.dropConn(ep, c)
+	}
+}
+
+// SendLocal enqueues a self-message directly — it never touches the socket,
+// mirroring the negligible-delay contract.
+func (r *Runtime) SendLocal(a runtime.Addr, msg any) {
+	r.nmu.RLock()
+	n, ok := r.nodes[a]
+	r.nmu.RUnlock()
+	if ok {
+		n.enqueue(a, msg)
+	}
+}
+
+// endpointOf resolves an address to its hosting process's endpoint: local
+// cache first, then a broker round trip. Endpoints are immutable once
+// registered, so positive results are cached forever; negative results are
+// not cached (the address may be registered a moment later).
+func (r *Runtime) endpointOf(a runtime.Addr) (string, bool) {
+	if ep, ok := r.dir.endpoint(int64(a)); ok {
+		return ep, true
+	}
+	if r.isBoot {
+		return "", false
+	}
+	resp, err := r.rpc(ctrlResolveReq, addrPayload(int64(a)))
+	if err != nil {
+		return "", false
+	}
+	found, ep, err := readResolvePayload(resp.Payload)
+	if err != nil || !found {
+		return "", false
+	}
+	r.dir.set(int64(a), ep, true)
+	return ep, true
+}
+
+// deliverLoop is a node's mailbox goroutine: pop one envelope, take the
+// executor lock, deliver, repeat (the live runtime's pattern, including the
+// re-check that the address was not detached between dequeue and delivery).
+func (r *Runtime) deliverLoop(a runtime.Addr, n *node) {
+	defer r.wg.Done()
+	for {
+		n.qmu.Lock()
+		for len(n.queue) == 0 && !n.closed {
+			n.qcond.Wait()
+		}
+		if n.closed {
+			n.qmu.Unlock()
+			return
+		}
+		env := n.queue[0]
+		n.queue = n.queue[1:]
+		n.qmu.Unlock()
+
+		r.mu.Lock()
+		r.nmu.RLock()
+		cur, ok := r.nodes[a]
+		r.nmu.RUnlock()
+		if ok && cur == n && !r.closed {
+			n.h.Recv(env.from, env.msg)
+		}
+		r.mu.Unlock()
+	}
+}
+
+func (n *node) enqueue(from runtime.Addr, msg any) {
+	n.qmu.Lock()
+	if !n.closed {
+		n.queue = append(n.queue, envelopeLocal{from: from, msg: msg})
+		n.qcond.Signal()
+	}
+	n.qmu.Unlock()
+}
+
+func (n *node) close() {
+	n.qmu.Lock()
+	n.closed = true
+	n.queue = nil
+	n.qcond.Broadcast()
+	n.qmu.Unlock()
+}
+
+// --- Runtime ---------------------------------------------------------------
+
+// Rand returns the runtime's RNG (use only under the execution guarantee).
+func (r *Runtime) Rand() runtime.RNG { return r.rng }
+
+// NewAddr allocates the next cluster-wide peer address: locally on the
+// bootstrap, via a JOIN-ALLOC broker request elsewhere. Allocation is the
+// one runtime operation that cannot degrade gracefully — a node that cannot
+// reach its bootstrap while joining has no place in the cluster — so an
+// unreachable broker panics after retries instead of corrupting the dense
+// address space.
+func (r *Runtime) NewAddr() runtime.Addr {
+	if r.isBoot {
+		r.amu.Lock()
+		a := r.next
+		r.next++
+		r.amu.Unlock()
+		return a
+	}
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		resp, err := r.rpc(ctrlAllocReq, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		a, err := readAddrPayload(resp.Payload)
+		if err != nil || a < 0 {
+			lastErr = fmt.Errorf("bad alloc response (addr %d, %v)", a, err)
+			continue
+		}
+		return runtime.Addr(a)
+	}
+	panic(fmt.Sprintf("net: address allocation via %s failed: %v", r.boot, lastErr))
+}
+
+// ServerAddr returns the bootstrap server's address.
+func (r *Runtime) ServerAddr() runtime.Addr { return serverAddr }
+
+// Placement returns nil: the socket transport has no physical model.
+func (r *Runtime) Placement() runtime.Placement { return nil }
+
+// Do runs fn under the executor lock.
+func (r *Runtime) Do(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn()
+}
+
+// Await polls cond under the executor lock until it reports true, yielding
+// between polls; it fails after the configured wall-clock timeout.
+func (r *Runtime) Await(cond func() bool) error {
+	deadline := time.Now().Add(r.cfg.AwaitTimeout)
+	for {
+		r.mu.Lock()
+		ok := cond()
+		r.mu.Unlock()
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("net: condition not reached within %v", r.cfg.AwaitTimeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Sleep blocks the caller while the runtime keeps executing. It must not be
+// called while holding the executor lock.
+func (r *Runtime) Sleep(d runtime.Time) {
+	time.Sleep(time.Duration(d) * time.Microsecond)
+}
+
+// Close shuts the runtime down: the listener and every connection close (so
+// all readers exit), mailbox goroutines drain out, pending timer firings
+// become no-ops, and outstanding broker requests fail. Close blocks until
+// every goroutine is gone.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+
+	close(r.closedCh)
+	r.ln.Close()
+
+	r.nmu.Lock()
+	for a, n := range r.nodes {
+		n.close()
+		delete(r.nodes, a)
+	}
+	r.nmu.Unlock()
+
+	r.cmu.Lock()
+	r.connsDown = true
+	for ep, c := range r.conns {
+		c.c.Close()
+		delete(r.conns, ep)
+	}
+	for c := range r.inbound {
+		c.c.Close()
+		delete(r.inbound, c)
+	}
+	r.cmu.Unlock()
+
+	r.wg.Wait()
+	r.readers.Wait()
+}
+
+// --- Connections and the broker dialogue -----------------------------------
+
+// dialBackoff is how long a failed endpoint is considered unreachable
+// before another dial is attempted; it keeps heartbeat storms to a dead
+// process from paying a connect timeout per message.
+const dialBackoff = 500 * time.Millisecond
+
+// connTo returns the cached connection to an endpoint, dialing if needed.
+func (r *Runtime) connTo(ep string) (*wconn, error) {
+	r.cmu.Lock()
+	if r.connsDown {
+		r.cmu.Unlock()
+		return nil, errors.New("net: runtime closed")
+	}
+	if c, ok := r.conns[ep]; ok {
+		r.cmu.Unlock()
+		return c, nil
+	}
+	if t, ok := r.dialFailAt[ep]; ok && time.Since(t) < dialBackoff {
+		r.cmu.Unlock()
+		return nil, errors.New("net: endpoint recently unreachable")
+	}
+	r.cmu.Unlock()
+
+	nc, err := nnet.DialTimeout("tcp", ep, r.cfg.DialTimeout)
+	if err != nil {
+		r.cmu.Lock()
+		r.dialFailAt[ep] = time.Now()
+		r.cmu.Unlock()
+		return nil, err
+	}
+	c := newWconn(nc)
+
+	r.cmu.Lock()
+	if r.connsDown {
+		r.cmu.Unlock()
+		nc.Close()
+		return nil, errors.New("net: runtime closed")
+	}
+	if existing, ok := r.conns[ep]; ok {
+		r.cmu.Unlock()
+		nc.Close()
+		return existing, nil
+	}
+	r.conns[ep] = c
+	delete(r.dialFailAt, ep)
+	r.cmu.Unlock()
+
+	r.readers.Add(1)
+	go r.readLoop(c, ep)
+
+	// A fresh connection to the bootstrap re-announces every live local
+	// address: if the previous connection dropped, the broker marked them
+	// dead, and this revives them (one-way frames; nothing to await).
+	if !r.isBoot && ep == r.boot {
+		for _, a := range r.dir.liveAt(r.self) {
+			if err := c.write(envelope{Type: ctrlRegisterReq, From: -1, To: -1, Payload: registerPayload(a, r.self)}, r.cfg.WriteTimeout); err != nil {
+				break
+			}
+		}
+	}
+	return c, nil
+}
+
+// dropConn forgets a connection after a write error so the next send
+// redials.
+func (r *Runtime) dropConn(ep string, c *wconn) {
+	c.c.Close()
+	r.cmu.Lock()
+	if cur, ok := r.conns[ep]; ok && cur == c {
+		delete(r.conns, ep)
+	}
+	r.cmu.Unlock()
+}
+
+// rpc is one broker round trip: stamp a MsgID, park a waiter, write the
+// request on the bootstrap connection, wait for the reader to complete it.
+func (r *Runtime) rpc(typ uint16, payload []byte) (envelope, error) {
+	if r.isBoot {
+		return envelope{}, errors.New("net: the bootstrap answers locally")
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		c, err := r.connTo(r.boot)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		id := r.msgID.Add(1)
+		ch := make(chan envelope, 1)
+		r.imu.Lock()
+		r.inflight[id] = ch
+		r.imu.Unlock()
+
+		env := envelope{Type: typ, From: -1, To: -1, MsgID: id, Payload: payload}
+		if err := c.write(env, r.cfg.WriteTimeout); err != nil {
+			r.unpark(id)
+			r.dropConn(r.boot, c)
+			lastErr = err
+			continue
+		}
+		select {
+		case resp := <-ch:
+			r.unpark(id)
+			return resp, nil
+		case <-time.After(r.cfg.RPCTimeout):
+			r.unpark(id)
+			lastErr = fmt.Errorf("broker request %#x timed out", typ)
+		case <-r.closedCh:
+			r.unpark(id)
+			return envelope{}, errors.New("net: runtime closed")
+		}
+	}
+	return envelope{}, lastErr
+}
+
+func (r *Runtime) unpark(id uint64) {
+	r.imu.Lock()
+	delete(r.inflight, id)
+	r.imu.Unlock()
+}
+
+// acceptLoop owns the listener.
+func (r *Runtime) acceptLoop() {
+	defer r.readers.Done()
+	for {
+		nc, err := r.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := newWconn(nc)
+		r.cmu.Lock()
+		if r.connsDown {
+			r.cmu.Unlock()
+			nc.Close()
+			return
+		}
+		r.inbound[c] = struct{}{}
+		r.cmu.Unlock()
+		r.readers.Add(1)
+		go r.readLoop(c, "")
+	}
+}
+
+// readLoop is a connection's single reader. It never takes the executor
+// lock: every frame either lands in a mailbox, completes an inflight
+// waiter, or touches the directory/allocator. ep is the dialed endpoint
+// ("" for inbound connections).
+func (r *Runtime) readLoop(c *wconn, ep string) {
+	defer r.readers.Done()
+	for {
+		env, err := readEnvelope(c.br)
+		if err != nil {
+			break
+		}
+		r.handleFrame(c, env)
+	}
+	c.c.Close()
+	r.cmu.Lock()
+	if ep != "" {
+		if cur, ok := r.conns[ep]; ok && cur == c {
+			delete(r.conns, ep)
+		}
+	} else {
+		delete(r.inbound, c)
+	}
+	r.cmu.Unlock()
+	// The connection is gone: every address the remote process registered
+	// through it went with the process.
+	if r.isBoot {
+		r.dir.markDeadAll(c.takeReg())
+	}
+}
+
+// handleFrame dispatches one decoded envelope on a reader goroutine.
+func (r *Runtime) handleFrame(c *wconn, env envelope) {
+	switch {
+	case env.Type < ctrlBase:
+		msg, err := r.codec.Decode(env.Type, env.Payload)
+		if err != nil {
+			r.cfg.Logf("frame %d->%d: %v", env.From, env.To, err)
+			return
+		}
+		r.nmu.RLock()
+		n, ok := r.nodes[runtime.Addr(env.To)]
+		r.nmu.RUnlock()
+		if ok {
+			n.enqueue(runtime.Addr(env.From), msg)
+		}
+		// else: not attached here — the host is gone (or never was);
+		// drop, as the unreliable-transport contract promises.
+
+	case env.Type == ctrlAllocReq:
+		a := int64(-1)
+		if r.isBoot {
+			r.amu.Lock()
+			a = int64(r.next)
+			r.next++
+			r.amu.Unlock()
+		}
+		r.reply(c, ctrlAllocResp, env.MsgID, addrPayload(a))
+
+	case env.Type == ctrlRegisterReq:
+		a, endpoint, err := readRegisterPayload(env.Payload)
+		if err != nil {
+			r.cfg.Logf("bad register frame: %v", err)
+			return
+		}
+		r.dir.set(a, endpoint, true)
+		c.addReg(a)
+		if env.MsgID != 0 {
+			r.reply(c, ctrlRegisterResp, env.MsgID, nil)
+		}
+
+	case env.Type == ctrlResolveReq:
+		a, err := readAddrPayload(env.Payload)
+		if err != nil {
+			return
+		}
+		endpoint, found := r.dir.endpoint(a)
+		r.reply(c, ctrlResolveResp, env.MsgID, resolvePayload(found, endpoint))
+
+	case env.Type == ctrlAttachedReq:
+		a, err := readAddrPayload(env.Payload)
+		if err != nil {
+			return
+		}
+		r.reply(c, ctrlAttachedResp, env.MsgID, boolPayload(r.dir.alive(a)))
+
+	case env.Type == ctrlDetach:
+		if a, err := readAddrPayload(env.Payload); err == nil {
+			r.dir.markDead(a)
+		}
+
+	case env.Type == ctrlAllocResp || env.Type == ctrlRegisterResp ||
+		env.Type == ctrlResolveResp || env.Type == ctrlAttachedResp:
+		r.imu.Lock()
+		ch := r.inflight[env.MsgID]
+		r.imu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- env:
+			default:
+			}
+		}
+
+	default:
+		r.cfg.Logf("unknown frame type %#x", env.Type)
+	}
+}
+
+// reply writes a control response on the connection the request arrived on.
+func (r *Runtime) reply(c *wconn, typ uint16, msgID uint64, payload []byte) {
+	env := envelope{Type: typ, From: -1, To: -1, MsgID: msgID, Payload: payload}
+	if err := c.write(env, r.cfg.WriteTimeout); err != nil {
+		c.c.Close() // the reader will notice and clean up
+	}
+}
+
+var _ runtime.Runtime = (*Runtime)(nil)

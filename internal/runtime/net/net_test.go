@@ -1,0 +1,452 @@
+package net
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Test message types standing in for the protocol's wire set.
+type ping struct {
+	Seq  int
+	Note string
+}
+
+type stats struct {
+	ID    uint64
+	Score float64
+	Refs  []ref
+	Live  bool
+}
+
+type ref struct {
+	ID   uint64
+	Addr int
+}
+
+func testMessages() []any {
+	return []any{ping{}, stats{}}
+}
+
+// --- Codec ------------------------------------------------------------------
+
+func TestCodecRoundTrip(t *testing.T) {
+	c, err := NewCodec(testMessages()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []any{
+		ping{Seq: 0, Note: ""},
+		ping{Seq: -42, Note: "negative varints zigzag"},
+		stats{ID: 1<<63 + 17, Score: -2.5, Refs: []ref{{ID: 1, Addr: -1}, {ID: 2, Addr: 900000}}, Live: true},
+		stats{}, // zero value: nil slice must survive
+	}
+	for _, msg := range cases {
+		code, payload, err := c.Encode(msg)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", msg, err)
+		}
+		got, err := c.Decode(code, payload)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", msg, err)
+		}
+		switch want := msg.(type) {
+		case ping:
+			if got != want {
+				t.Fatalf("round trip %#v -> %#v", want, got)
+			}
+		case stats:
+			g := got.(stats)
+			if g.ID != want.ID || g.Score != want.Score || g.Live != want.Live || len(g.Refs) != len(want.Refs) {
+				t.Fatalf("round trip %#v -> %#v", want, g)
+			}
+			for i := range g.Refs {
+				if g.Refs[i] != want.Refs[i] {
+					t.Fatalf("round trip refs %#v -> %#v", want.Refs, g.Refs)
+				}
+			}
+		}
+	}
+}
+
+func TestCodecRejectsBadTypes(t *testing.T) {
+	type hasMap struct{ M map[string]int }
+	if _, err := NewCodec(hasMap{}); err == nil {
+		t.Fatal("map field accepted")
+	}
+	type hasUnexported struct{ x int } //nolint:unused
+	if _, err := NewCodec(hasUnexported{}); err == nil {
+		t.Fatal("unexported field accepted")
+	}
+	if _, err := NewCodec(ping{}, ping{}); err == nil {
+		t.Fatal("duplicate prototype accepted")
+	}
+}
+
+func TestCodecRejectsCorruptPayload(t *testing.T) {
+	c, err := NewCodec(testMessages()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, payload, _ := c.Encode(ping{Seq: 7, Note: "x"})
+	if _, err := c.Decode(code, payload[:len(payload)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := c.Decode(code, append(payload, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := c.Decode(99, payload); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}
+
+// --- Runtime ----------------------------------------------------------------
+
+// rec is a Handler recording deliveries under its own lock.
+type rec struct {
+	mu   sync.Mutex
+	got  []any
+	from []runtime.Addr
+}
+
+func (c *rec) Recv(from runtime.Addr, msg any) {
+	c.mu.Lock()
+	c.got = append(c.got, msg)
+	c.from = append(c.from, from)
+	c.mu.Unlock()
+}
+
+func (c *rec) snapshot() ([]any, []runtime.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]any(nil), c.got...), append([]runtime.Addr(nil), c.from...)
+}
+
+func newBoot(t *testing.T) *Runtime {
+	t.Helper()
+	r, err := New(Config{Listen: "127.0.0.1:0", Messages: testMessages(), AwaitTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func newWorker(t *testing.T, boot *Runtime) *Runtime {
+	t.Helper()
+	r, err := New(Config{Listen: "127.0.0.1:0", Bootstrap: boot.Endpoint(), Messages: testMessages(), AwaitTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	return r
+}
+
+func awaitDelivery(t *testing.T, c *rec, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, _ := c.snapshot()
+		if len(got) >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d messages arrived", len(got), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCrossProcessExchange is the core tentpole scenario: two runtimes (one
+// bootstrap, one worker), a peer on each, messages both ways over real
+// sockets, with From addresses intact.
+func TestCrossProcessExchange(t *testing.T) {
+	boot := newBoot(t)
+	worker := newWorker(t, boot)
+
+	bootRec, workRec := &rec{}, &rec{}
+	var bootAddr, workAddr runtime.Addr
+	boot.Do(func() {
+		bootAddr = boot.NewAddr()
+		boot.Attach(bootAddr, runtime.Endpoint{}, bootRec)
+	})
+	worker.Do(func() {
+		workAddr = worker.NewAddr()
+		worker.Attach(workAddr, runtime.Endpoint{}, workRec)
+	})
+
+	worker.Do(func() { worker.Send(workAddr, bootAddr, 0, ping{Seq: 1, Note: "up"}) })
+	awaitDelivery(t, bootRec, 1)
+	boot.Do(func() { boot.Send(bootAddr, workAddr, 0, ping{Seq: 2, Note: "down"}) })
+	awaitDelivery(t, workRec, 1)
+
+	got, from := bootRec.snapshot()
+	if got[0] != (ping{Seq: 1, Note: "up"}) || from[0] != workAddr {
+		t.Fatalf("bootstrap got %v from %v", got[0], from[0])
+	}
+	got, from = workRec.snapshot()
+	if got[0] != (ping{Seq: 2, Note: "down"}) || from[0] != bootAddr {
+		t.Fatalf("worker got %v from %v", got[0], from[0])
+	}
+}
+
+// TestDenseAllocationAcrossProcesses pins the Addr.Index density contract:
+// interleaved NewAddr calls from several processes draw from one counter.
+func TestDenseAllocationAcrossProcesses(t *testing.T) {
+	boot := newBoot(t)
+	w1 := newWorker(t, boot)
+	w2 := newWorker(t, boot)
+
+	seen := make(map[runtime.Addr]bool)
+	alloc := func(r *Runtime) {
+		r.Do(func() {
+			a := r.NewAddr()
+			if seen[a] {
+				t.Errorf("address %d allocated twice", a)
+			}
+			seen[a] = true
+		})
+	}
+	for i := 0; i < 4; i++ {
+		alloc(boot)
+		alloc(w1)
+		alloc(w2)
+	}
+	if len(seen) != 12 {
+		t.Fatalf("%d distinct addresses, want 12", len(seen))
+	}
+	for a := runtime.Addr(1); a <= 12; a++ {
+		if !seen[a] {
+			t.Fatalf("allocation not dense: %d missing from %v", a, seen)
+		}
+	}
+}
+
+// TestSelfDialLoopback: a message between two local addresses still crosses
+// the socket (the uniform path), and arrives.
+func TestSelfDialLoopback(t *testing.T) {
+	boot := newBoot(t)
+	r1, r2 := &rec{}, &rec{}
+	boot.Do(func() {
+		boot.Attach(1, runtime.Endpoint{}, r1)
+		boot.Attach(2, runtime.Endpoint{}, r2)
+		boot.Send(1, 2, 0, ping{Seq: 9})
+	})
+	awaitDelivery(t, r2, 1)
+	got, from := r2.snapshot()
+	if got[0] != (ping{Seq: 9}) || from[0] != 1 {
+		t.Fatalf("got %v from %v", got[0], from[0])
+	}
+}
+
+// TestAttachedAcrossProcesses: Attached consults the bootstrap's directory,
+// and Detach propagates.
+func TestAttachedAcrossProcesses(t *testing.T) {
+	boot := newBoot(t)
+	worker := newWorker(t, boot)
+
+	var a runtime.Addr
+	worker.Do(func() {
+		a = worker.NewAddr()
+		worker.Attach(a, runtime.Endpoint{}, &rec{})
+	})
+
+	var fromBoot bool
+	boot.Do(func() { fromBoot = boot.Attached(a) })
+	if !fromBoot {
+		t.Fatal("bootstrap does not see the worker's address as attached")
+	}
+
+	worker.Do(func() { worker.Detach(a) })
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		boot.Do(func() { fromBoot = boot.Attached(a) })
+		if !fromBoot {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("detach never propagated to the bootstrap directory")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConnDropMarksDead: killing a worker process (modeled by Close) makes
+// the bootstrap mark every address it registered as detached — TCP as the
+// failure detector of last resort.
+func TestConnDropMarksDead(t *testing.T) {
+	boot := newBoot(t)
+	worker := newWorker(t, boot)
+
+	var a1, a2 runtime.Addr
+	worker.Do(func() {
+		a1, a2 = worker.NewAddr(), worker.NewAddr()
+		worker.Attach(a1, runtime.Endpoint{}, &rec{})
+		worker.Attach(a2, runtime.Endpoint{}, &rec{})
+	})
+
+	var ok bool
+	boot.Do(func() { ok = boot.Attached(a1) && boot.Attached(a2) })
+	if !ok {
+		t.Fatal("worker addresses not visible before the crash")
+	}
+
+	worker.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var any bool
+		boot.Do(func() { any = boot.Attached(a1) || boot.Attached(a2) })
+		if !any {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("conn drop never marked the worker's addresses dead")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDetachDropsInFlight: a frame to a detached address is dropped on
+// arrival; a later re-attach receives new traffic at the same address.
+func TestDetachReattachRouting(t *testing.T) {
+	boot := newBoot(t)
+	worker := newWorker(t, boot)
+
+	first, second := &rec{}, &rec{}
+	var a runtime.Addr
+	worker.Do(func() {
+		a = worker.NewAddr()
+		worker.Attach(a, runtime.Endpoint{}, first)
+	})
+	boot.Do(func() { boot.Attach(0, runtime.Endpoint{}, &rec{}) })
+
+	boot.Do(func() { boot.Send(0, a, 0, ping{Seq: 1}) })
+	awaitDelivery(t, first, 1)
+
+	worker.Do(func() {
+		worker.Detach(a)
+		worker.Attach(a, runtime.Endpoint{}, second)
+	})
+	boot.Do(func() { boot.Send(0, a, 0, ping{Seq: 2}) })
+	awaitDelivery(t, second, 1)
+	got, _ := second.snapshot()
+	if got[0] != (ping{Seq: 2}) {
+		t.Fatalf("re-attached handler got %v", got[0])
+	}
+	got, _ = first.snapshot()
+	if len(got) != 1 {
+		t.Fatalf("first incarnation got %v after detach", got)
+	}
+}
+
+// TestUnknownAddrDropsSilently: sending to a never-registered address is a
+// silent drop, not a panic or a hang.
+func TestUnknownAddrDropsSilently(t *testing.T) {
+	boot := newBoot(t)
+	worker := newWorker(t, boot)
+	worker.Do(func() { worker.Send(1, 999, 0, ping{Seq: 1}) })
+	boot.Do(func() { boot.Send(1, 999, 0, ping{Seq: 1}) })
+	// Nothing to assert beyond "we got here without blocking".
+}
+
+// TestTimersAndAwait exercises the clock path: a timer fires under the
+// executor lock and Await observes its effect.
+func TestTimersAndAwait(t *testing.T) {
+	boot := newBoot(t)
+	fired := false
+	boot.Do(func() {
+		boot.Schedule(runtime.Millisecond, func() { fired = true })
+	})
+	if err := boot.Await(func() bool { return fired }); err != nil {
+		t.Fatal(err)
+	}
+
+	cancelled := false
+	var h runtime.Handle
+	boot.Do(func() {
+		h = boot.Schedule(50*runtime.Millisecond, func() { cancelled = true })
+		if !boot.Scheduled(h) {
+			t.Error("fresh timer not scheduled")
+		}
+		if !boot.Unschedule(h) {
+			t.Error("unschedule failed")
+		}
+	})
+	time.Sleep(80 * time.Millisecond)
+	boot.Do(func() {
+		if cancelled {
+			t.Error("cancelled timer fired")
+		}
+	})
+}
+
+// TestConcurrentCrossTraffic hammers two runtimes with interleaved sends in
+// both directions; the race detector plus per-sender FIFO are the assertions.
+func TestConcurrentCrossTraffic(t *testing.T) {
+	boot := newBoot(t)
+	worker := newWorker(t, boot)
+
+	const perSide = 100
+	bootRec, workRec := &rec{}, &rec{}
+	boot.Do(func() { boot.Attach(0, runtime.Endpoint{}, bootRec) })
+	var wa runtime.Addr
+	worker.Do(func() {
+		wa = worker.NewAddr()
+		worker.Attach(wa, runtime.Endpoint{}, workRec)
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			boot.Do(func() { boot.Send(0, wa, 0, ping{Seq: i}) })
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perSide; i++ {
+			worker.Do(func() { worker.Send(wa, 0, 0, ping{Seq: i}) })
+		}
+	}()
+	wg.Wait()
+
+	awaitDelivery(t, bootRec, perSide)
+	awaitDelivery(t, workRec, perSide)
+
+	check := func(c *rec) {
+		got, _ := c.snapshot()
+		for i, m := range got {
+			if m.(ping).Seq != i {
+				t.Fatalf("FIFO violated: position %d holds seq %d", i, m.(ping).Seq)
+			}
+		}
+	}
+	check(bootRec)
+	check(workRec)
+}
+
+// TestCloseUnblocksEverything: Close while a worker has in-flight broker
+// traffic terminates promptly and leaves no goroutines wedged (the test
+// binary would hang otherwise).
+func TestCloseUnblocksEverything(t *testing.T) {
+	boot := newBoot(t)
+	worker := newWorker(t, boot)
+	worker.Do(func() {
+		a := worker.NewAddr()
+		worker.Attach(a, runtime.Endpoint{}, &rec{})
+	})
+	done := make(chan struct{})
+	go func() {
+		worker.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker Close wedged")
+	}
+}

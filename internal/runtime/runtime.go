@@ -28,9 +28,19 @@ const (
 	Second      Time = 1000 * Millisecond
 )
 
-// String renders the time as seconds with microsecond precision.
+// String renders the time as seconds with microsecond precision. Negative
+// times (deltas, uninitialized sentinels) carry a single leading sign instead
+// of the per-component signs integer division would produce ("-500µs" must
+// render "-0.000500s", not "0.-00500s"). The magnitude is computed in uint64
+// so even math.MinInt64 renders correctly.
 func (t Time) String() string {
-	return fmt.Sprintf("%d.%06ds", t/Second, t%Second)
+	u := uint64(t)
+	sign := ""
+	if t < 0 {
+		sign = "-"
+		u = -u
+	}
+	return fmt.Sprintf("%s%d.%06ds", sign, u/uint64(Second), u%uint64(Second))
 }
 
 // Seconds converts the timestamp to floating-point seconds.

@@ -1,0 +1,45 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTimeString pins the rendering of Time across signs. The negative cases
+// are a regression test: integer division and modulo both carry the sign in
+// Go, so the naive "%d.%06d" rendered -500µs as "0.-00500s".
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0.000000s"},
+		{1, "0.000001s"},
+		{999999, "0.999999s"},
+		{Second, "1.000000s"},
+		{Second + 1, "1.000001s"},
+		{90*Second + 250*Millisecond, "90.250000s"},
+		{-1, "-0.000001s"},
+		{-500, "-0.000500s"},
+		{-500 * Millisecond, "-0.500000s"},
+		{-Second, "-1.000000s"},
+		{-(3*Second + 7), "-3.000007s"},
+		{math.MaxInt64, "9223372036854.775807s"},
+		{math.MinInt64, "-9223372036854.775808s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+// TestTimeSeconds sanity-checks the float conversion both sides of zero.
+func TestTimeSeconds(t *testing.T) {
+	if got := (2 * Second).Seconds(); got != 2.0 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+	if got := (-500 * Millisecond).Seconds(); got != -0.5 {
+		t.Errorf("Seconds() = %v, want -0.5", got)
+	}
+}

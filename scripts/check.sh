@@ -44,9 +44,10 @@ go test ./internal/exp -count=1 \
     -run '^(TestFaultLayerOffIsByteIdentical|TestParallelSweepDeterminism)$'
 
 # Cross-runtime conformance gate: the same join/store/crash/lookup scenario
-# on the DES and the live goroutine runtime, the invariant checker green on
-# both, under the race detector. -count=1 so the live half always executes.
-echo "== cross-runtime conformance gate (DES vs live, -race)"
+# on the DES, the live goroutine runtime and the TCP socket runtime, the
+# structural audit green on all three, under the race detector. -count=1 so
+# the wall-clock halves always execute.
+echo "== cross-runtime conformance gate (DES vs live vs net, -race)"
 go test -race ./internal/conformance -count=1
 
 # Allocation budgets: the event-engine hot path must stay at zero allocs per
@@ -61,6 +62,12 @@ go test ./internal/obs -count=1 -run '^TestHistogramRecordAllocFree$'
 # well-formed Prometheus exposition (see scripts/introspect_smoke.sh).
 echo "== introspection smoke gate (hybridnode -http)"
 sh ./scripts/introspect_smoke.sh
+
+# Multi-process smoke gate: a 3-process hybridnode TCP cluster on loopback —
+# cross-process store/lookup, a SIGKILLed worker, /healthz back to green on
+# the survivors, clean SIGTERM shutdown (see scripts/net_smoke.sh).
+echo "== multi-process socket smoke gate (hybridnode -addr/-bootstrap)"
+sh ./scripts/net_smoke.sh
 
 # Quick scale point: one reduced build-and-drive pass through the Scale
 # experiment (peers/GB, events/sec). Catches OOM-class regressions in the

@@ -1,0 +1,116 @@
+#!/bin/sh
+# run_cluster.sh — launch an N-process hybridnode TCP cluster on loopback.
+#
+#   scripts/run_cluster.sh [NODES] [PEERS_PER_NODE]
+#
+# Node 0 is the bootstrap: it hosts the well-known server, brokers address
+# allocation, and stores the shared key universe. Every other node is a
+# worker that joins the same ring over TCP and looks the keys up. Each node
+# gets its own log and introspection endpoint; a servers.json manifest maps
+# node -> {role, cluster endpoint, http endpoint, pid, log} for tooling.
+#
+# The cluster keeps running (all nodes linger) until this script receives
+# INT/TERM or LINGER expires; on shutdown every node is SIGTERMed and its
+# exit code reported. Environment knobs:
+#
+#   RUN_DIR    where logs and the manifest land (default: mktemp -d)
+#   BASE_PORT  first cluster port; node i listens on BASE_PORT+i and serves
+#              introspection on BASE_PORT+100+i (default 7400)
+#   ITEMS      size of the shared key universe (default 40)
+#   LINGER     how long nodes linger after their phases (default 10m)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+NODES=${1:-3}
+PEERS=${2:-8}
+BASE_PORT=${BASE_PORT:-7400}
+ITEMS=${ITEMS:-40}
+LINGER=${LINGER:-10m}
+RUN_DIR=${RUN_DIR:-$(mktemp -d /tmp/hybridnode-cluster.XXXXXX)}
+mkdir -p "$RUN_DIR"
+
+if [ "$NODES" -lt 2 ]; then
+    echo "run_cluster: need at least 2 nodes (a bootstrap and a worker)" >&2
+    exit 2
+fi
+
+echo "building hybridnode..."
+go build -o "$RUN_DIR/hybridnode" ./cmd/hybridnode
+
+PIDS=""
+shutdown() {
+    trap - INT TERM
+    echo "stopping cluster..."
+    for pid in $PIDS; do
+        kill -TERM "$pid" 2>/dev/null || true
+    done
+    rc=0
+    i=0
+    for pid in $PIDS; do
+        if wait "$pid"; then
+            echo "node $i: exit 0"
+        else
+            echo "node $i: exit $?" >&2
+            rc=1
+        fi
+        i=$((i + 1))
+    done
+    exit $rc
+}
+trap shutdown INT TERM
+
+BOOT_EP="127.0.0.1:$BASE_PORT"
+MANIFEST="$RUN_DIR/servers.json"
+printf '[\n' > "$MANIFEST"
+
+i=0
+while [ $i -lt "$NODES" ]; do
+    EP="127.0.0.1:$((BASE_PORT + i))"
+    HTTP="127.0.0.1:$((BASE_PORT + 100 + i))"
+    LOG="$RUN_DIR/node$i.log"
+    if [ $i -eq 0 ]; then
+        ROLE=bootstrap
+        "$RUN_DIR/hybridnode" -addr "$EP" -http "$HTTP" \
+            -n "$PEERS" -items "$ITEMS" -keys "$ITEMS" -lookups "$ITEMS" \
+            -crash 0 -linger "$LINGER" > "$LOG" 2>&1 &
+    else
+        ROLE=worker
+        "$RUN_DIR/hybridnode" -addr "$EP" -bootstrap "$BOOT_EP" -http "$HTTP" \
+            -n "$PEERS" -items 0 -keys "$ITEMS" -lookups "$ITEMS" \
+            -crash 0 -linger "$LINGER" > "$LOG" 2>&1 &
+    fi
+    PID=$!
+    PIDS="$PIDS $PID"
+    [ $i -gt 0 ] && printf ',\n' >> "$MANIFEST"
+    printf '  {"node": %d, "role": "%s", "addr": "%s", "http": "%s", "pid": %d, "log": "%s"}' \
+        "$i" "$ROLE" "$EP" "$HTTP" "$PID" "$LOG" >> "$MANIFEST"
+    echo "node $i ($ROLE): cluster=$EP http=http://$HTTP/healthz log=$LOG pid=$PID"
+
+    if [ $i -eq 0 ]; then
+        # Wait for the bootstrap to finish every phase (the linger banner)
+        # before starting workers: the shared keys must exist before anyone
+        # looks them up, the bootstrap's own lookup phases must not race
+        # worker join churn, and only a lingering node handles SIGTERM.
+        j=0
+        while ! grep -q '^lingering ' "$LOG" 2>/dev/null; do
+            if ! kill -0 "$PID" 2>/dev/null; then
+                echo "run_cluster: bootstrap exited during startup" >&2
+                cat "$LOG" >&2
+                exit 1
+            fi
+            j=$((j + 1))
+            if [ $j -gt 300 ]; then
+                echo "run_cluster: bootstrap never finished storing" >&2
+                exit 1
+            fi
+            sleep 0.2
+        done
+    fi
+    i=$((i + 1))
+done
+printf '\n]\n' >> "$MANIFEST"
+
+echo "cluster up: $NODES nodes x $PEERS peers; manifest $MANIFEST"
+echo "Ctrl-C to stop."
+wait
