@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke net-smoke cluster bench bench-json bench-guard benchscale
+.PHONY: all build check vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke net-smoke replication-smoke cluster bench bench-json bench-guard benchscale
 
 all: check
 
@@ -21,7 +21,7 @@ staticcheck:
 
 # The verify loop: everything a change must pass before it lands.
 # Set SKIP_BENCH_GUARD=1 to skip the benchmark regression guard.
-check: build vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke net-smoke bench-guard
+check: build vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke net-smoke replication-smoke bench-guard
 
 test:
 	$(GO) test ./...
@@ -65,6 +65,12 @@ introspect-smoke:
 # survivors, clean SIGTERM shutdown.
 net-smoke:
 	sh ./scripts/net_smoke.sh
+
+# Replication smoke gate: 4-process cluster at k=3, 50 keys stored through
+# the /kv HTTP surface, both all-s workers SIGKILLed — every key must still
+# read back and /healthz must return to a zero replica deficit.
+replication-smoke:
+	sh ./scripts/replication_smoke.sh
 
 # Interactive: launch an N-process TCP cluster with per-node logs and a
 # servers.json manifest; Ctrl-C stops it (see scripts/run_cluster.sh).

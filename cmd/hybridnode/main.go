@@ -69,6 +69,8 @@ func run() int {
 		addr       = flag.String("addr", "", "TCP endpoint to listen on (e.g. 127.0.0.1:7000); selects the multi-process socket transport")
 		advertise  = flag.String("advertise", "", "endpoint other cluster processes dial to reach this one (default: the -addr listener)")
 		bootstrap  = flag.String("bootstrap", "", "the cluster bootstrap's endpoint; empty with -addr set makes this process the bootstrap")
+		replK      = flag.Int("k", 1, "replication factor: each item lives on its owning t-peer plus k-1 ring successors (1 disables replication)")
+		roleFlag   = flag.String("role", "", "pin every peer this process joins to one role: \"t\" or \"s\" (default: let the server decide)")
 	)
 	flag.Parse()
 	netMode := *addr != ""
@@ -90,6 +92,19 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "hybridnode: -bootstrap requires -addr")
 		return 2
 	}
+	var forceRole *core.Role
+	switch *roleFlag {
+	case "":
+	case "t":
+		r := core.TPeer
+		forceRole = &r
+	case "s":
+		r := core.SPeer
+		forceRole = &r
+	default:
+		fmt.Fprintf(os.Stderr, "hybridnode: -role %q must be \"t\", \"s\" or empty\n", *roleFlag)
+		return 2
+	}
 
 	// Wall-clock protocol timers, scaled down from the simulation defaults
 	// (HELLO every 2s, 30s operation timeouts) so a demo run finishes in
@@ -105,6 +120,7 @@ func run() int {
 	cfg.LookupTimeout = 3 * runtime.Second
 	cfg.JoinTimeout = 3 * runtime.Second
 	cfg.FingerRefreshEvery = 250 * runtime.Millisecond
+	cfg.ReplicationK = *replK
 
 	var rt runtime.Runtime
 	var closeRT func()
@@ -176,12 +192,12 @@ func run() int {
 			return 1
 		}
 		defer srv.Close()
-		fmt.Printf("introspection: http://%s/{metrics,healthz,ring,trace}\n", srv.Addr())
+		fmt.Printf("introspection: http://%s/{metrics,healthz,ring,trace,kv}\n", srv.Addr())
 	}
 
 	wallStart := time.Now()
 	fmt.Printf("joining %d live peers (ps=%.2f δ=%d)...\n", *n, *ps, *delta)
-	peers, joins, err := sys.BuildPopulation(core.PopulationOpts{N: *n})
+	peers, joins, err := sys.BuildPopulation(core.PopulationOpts{N: *n, ForceRole: forceRole})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hybridnode:", err)
 		return 1

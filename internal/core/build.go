@@ -91,6 +91,13 @@ func (s *System) LookupSync(p *Peer, key string) (OpResult, error) {
 	return s.runOp(func(done func(OpResult)) { p.Lookup(key, done) })
 }
 
+// DeleteSync deletes a key and drives the engine until the operation
+// resolves. A successful result with an empty Value means the key did not
+// exist at its owner.
+func (s *System) DeleteSync(p *Peer, key string) (OpResult, error) {
+	return s.runOp(func(done func(OpResult)) { p.Delete(key, done) })
+}
+
 // runOp drives the engine until the issued operation completes. Every
 // operation carries a timeout, so completion is guaranteed while the engine
 // has events.

@@ -181,6 +181,13 @@ type Config struct {
 
 	// FingerRefreshEvery is the period of the t-network finger refresh.
 	FingerRefreshEvery runtime.Time
+
+	// ReplicationK is the replication factor: every stored item is kept on
+	// its owning t-peer plus up to K−1 live ring successors, so a crash
+	// cannot lose the only copy. 1 (the default) disables replication
+	// entirely — no replica messages, no replica state, behavior identical
+	// to the pre-replication protocol.
+	ReplicationK int
 }
 
 // DefaultConfig returns the parameter set used by the paper-scale
@@ -211,6 +218,7 @@ func DefaultConfig() Config {
 		CacheWindow:        30 * runtime.Second,
 		CacheTTL:           120 * runtime.Second,
 		CacheFanout:        2,
+		ReplicationK:       1,
 	}
 }
 
@@ -233,6 +241,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: MessageBytes must be positive")
 	case c.TopologyAware && c.Landmarks < 1:
 		return fmt.Errorf("core: TopologyAware requires at least one landmark")
+	case c.ReplicationK < 0:
+		return fmt.Errorf("core: ReplicationK %d must be >= 0", c.ReplicationK)
 	}
 	return nil
 }
@@ -296,6 +306,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheFanout == 0 {
 		c.CacheFanout = d.CacheFanout
+	}
+	if c.ReplicationK == 0 {
+		c.ReplicationK = d.ReplicationK
 	}
 	return c
 }

@@ -148,6 +148,10 @@ func (p *Peer) Store(key, value string, done func(OpResult)) {
 	o, qid := p.newOp("store", key, done)
 	if p.inLocalSegment(o.sid) {
 		p.storeLocal(it)
+		if p.sys.Cfg.ReplicationK > 1 && p.Role == TPeer {
+			p.ownedAdd(it)
+			p.eagerReplicate(it)
+		}
 		p.finishOp(qid, OpResult{OK: true, Hops: 0, Holder: p.Ref()})
 		return
 	}
@@ -178,13 +182,7 @@ func (p *Peer) forwardTowardSegment(sid idspace.ID, msg any, from runtime.Addr) 
 		}
 		return
 	}
-	next := NilRef
-	if !p.sys.Cfg.SuccessorRouting {
-		next = p.closestPreceding(sid)
-	}
-	if !next.Valid() || next.Addr == p.Addr {
-		next = p.succ
-	}
+	next := p.nextHopToward(sid)
 	if len(p.suspect) != 0 && p.suspect[next.Addr] &&
 		p.succ2.Valid() && p.succ2.Addr != p.Addr && !p.suspect[p.succ2.Addr] {
 		// The chosen hop is suspected dead and its repair has not landed:
@@ -199,6 +197,20 @@ func (p *Peer) forwardTowardSegment(sid idspace.ID, msg any, from runtime.Addr) 
 	p.send(next.Addr, msg)
 }
 
+// nextHopToward picks the ring hop for a segment-routed request before the
+// suspect detour: closest preceding finger normally, the successor under
+// SuccessorRouting or when fingers have nothing closer.
+func (p *Peer) nextHopToward(sid idspace.ID) Ref {
+	next := NilRef
+	if !p.sys.Cfg.SuccessorRouting {
+		next = p.closestPreceding(sid)
+	}
+	if !next.Valid() || next.Addr == p.Addr {
+		next = p.succ
+	}
+	return next
+}
+
 // rehomeForeignItems re-routes stored items that this peer's s-network no
 // longer owns. A peer ends up holding foreign items when the segment moves
 // under its data: an s-peer re-attached into a different s-network after a
@@ -207,7 +219,7 @@ func (p *Peer) forwardTowardSegment(sid idspace.ID, msg any, from runtime.Addr) 
 // owning segment and flood there, never here — so they are forwarded like
 // fresh insertions. Called whenever the root or segment bounds change.
 func (p *Peer) rehomeForeignItems() {
-	if len(p.data) == 0 {
+	if len(p.data) == 0 && len(p.owned) == 0 && len(p.reps) == 0 {
 		return
 	}
 	var moved []Item
@@ -216,12 +228,22 @@ func (p *Peer) rehomeForeignItems() {
 			moved = append(moved, it)
 		}
 	}
+	for _, it := range moved {
+		delete(p.data, it.DID)
+	}
+	moved = p.sweepReplicas(moved)
 	if len(moved) == 0 {
 		return
 	}
 	sortItemsByDID(moved)
-	for _, it := range moved {
-		delete(p.data, it.DID)
+	for i, it := range moved {
+		if i > 0 && it.DID == moved[i-1].DID {
+			// The same item can surface from both the data scan and the
+			// replica sweep in one tick (owner and detour target suspected
+			// together); a duplicate transfer would double-count rehomes
+			// and double-send the batch downstream.
+			continue
+		}
 		sid := p.segmentID(it.Key)
 		p.sys.stats.ItemsRehomed++
 		p.forwardTowardSegment(sid, storeReq{Item: it, SID: sid, Origin: p.Ref(), Hops: 1}, runtime.None)
@@ -247,7 +269,14 @@ func (p *Peer) handleStoreReq(from runtime.Addr, m storeReq) {
 		p.forwardTowardSegment(m.SID, m, from)
 		return
 	}
-	// We are the owning t-peer: place per the configured scheme.
+	// We are the owning t-peer: record the authoritative copy and replicate
+	// before placement — under spread the bytes may land on an s-peer, but
+	// the replica chain always starts here.
+	if p.sys.Cfg.ReplicationK > 1 {
+		p.ownedAdd(m.Item)
+		p.eagerReplicate(m.Item)
+	}
+	// Place per the configured scheme.
 	switch p.sys.Cfg.Placement {
 	case PlaceAtTPeer:
 		p.storeLocal(m.Item)

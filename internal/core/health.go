@@ -55,6 +55,12 @@ type HealthScore struct {
 	// StuckOps counts in-flight client operations (excluding finger-refresh
 	// probes, which keep a rolling window alive by design).
 	StuckOps int `json:"stuck_ops"`
+	// ReplicaDeficit sums the per-owner replica shortfall (ReplicationK > 1):
+	// how many of the k−1 successor copies each local t-peer's last tracked
+	// push failed to confirm. Nonzero is a normal churn transient — it does
+	// not fail Healthy — and must drain to zero once re-replication
+	// converges. Partial views sum their local t-peers only.
+	ReplicaDeficit int `json:"replica_deficit"`
 }
 
 // Healthy reports the sampler's verdict: no structural violations. Suspected
@@ -130,6 +136,7 @@ func (s *System) HealthScore() HealthScore {
 		}
 
 		if p.Role == TPeer {
+			h.ReplicaDeficit += p.repDeficit
 			if len(p.children) > 2*s.Cfg.Delta {
 				h.DeltaViolations++
 			}
@@ -201,8 +208,13 @@ type healthGauges struct {
 	brokenLinks, treeDepth *obs.Gauge
 	deltaViol, unowned     *obs.Gauge
 	orphans, stuckOps      *obs.Gauge
+	repDeficit             *obs.Gauge
 	healthy                *obs.Gauge
 	samples                *obs.Counter
+	// Cumulative replication-activity counters mirrored from SystemStats so
+	// a /metrics scrape can watch repair traffic without protocol access.
+	repPushed, repServes       *obs.Gauge
+	readRepairs, repPromotions *obs.Gauge
 }
 
 func newHealthGauges(reg *obs.Registry) healthGauges {
@@ -218,8 +230,14 @@ func newHealthGauges(reg *obs.Registry) healthGauges {
 		unowned:     reg.Gauge("health.unowned_items"),
 		orphans:     reg.Gauge("health.orphan_speers"),
 		stuckOps:    reg.Gauge("health.stuck_ops"),
+		repDeficit:  reg.Gauge("health.replica_deficit"),
 		healthy:     reg.Gauge("health.healthy"),
 		samples:     reg.Counter("health.samples"),
+
+		repPushed:     reg.Gauge("core.replicas_pushed"),
+		repServes:     reg.Gauge("core.replica_serves"),
+		readRepairs:   reg.Gauge("core.read_repairs"),
+		repPromotions: reg.Gauge("core.replica_promotions"),
 	}
 }
 
@@ -235,6 +253,7 @@ func (g *healthGauges) publish(h HealthScore) {
 	g.unowned.Set(float64(h.UnownedItems))
 	g.orphans.Set(float64(h.OrphanSPeers))
 	g.stuckOps.Set(float64(h.StuckOps))
+	g.repDeficit.Set(float64(h.ReplicaDeficit))
 	if h.Healthy() {
 		g.healthy.Set(1)
 	} else {
@@ -291,6 +310,10 @@ func (hs *HealthSampler) Sample() HealthScore {
 func (hs *HealthSampler) sample() {
 	h := hs.sys.HealthScore()
 	hs.gauges.publish(h)
+	hs.gauges.repPushed.Set(float64(hs.sys.stats.ReplicasPushed))
+	hs.gauges.repServes.Set(float64(hs.sys.stats.ReplicaServes))
+	hs.gauges.readRepairs.Set(float64(hs.sys.stats.ReadRepairs))
+	hs.gauges.repPromotions.Set(float64(hs.sys.stats.ReplicaPromotions))
 	hs.mu.Lock()
 	hs.last = h
 	hs.seen = true

@@ -38,6 +38,7 @@ func (s *System) CheckInvariants() error {
 		s.CheckWatchdogs(),
 		s.CheckOpsDrained(),
 		s.CheckServerAccounting(),
+		s.CheckReplication(),
 	)
 }
 

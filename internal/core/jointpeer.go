@@ -329,6 +329,7 @@ func (p *Peer) handleLoadTransfer(from runtime.Addr, m loadTransferReq) {
 			delete(p.data, did)
 		}
 	}
+	moved = p.transferOwned(m, moved)
 	if len(moved) > 0 && m.Target.Addr != p.Addr {
 		sortItemsByDID(moved)
 		p.sendData(m.Target.Addr, len(moved), itemsMsg{Items: moved})
@@ -368,6 +369,7 @@ func (p *Peer) handleItems(m itemsMsg) {
 			p.data = make(map[idspace.ID]Item)
 		}
 		p.data[it.DID] = it
+		p.ownedAdd(it)
 		kept = append(kept, it)
 	}
 	if p.sys.Cfg.TrackerMode && len(kept) > 0 {
@@ -416,6 +418,7 @@ func (p *Peer) leaveBySubstitution() {
 	for _, it := range p.data {
 		items = append(items, it)
 	}
+	items = p.appendOwnedExtra(items)
 	sortItemsByDID(items)
 	rest := make([]Ref, 0, len(children)-1)
 	for _, c := range children {
@@ -529,6 +532,7 @@ func (p *Peer) finishEmptyLeave() {
 	for _, it := range p.data {
 		items = append(items, it)
 	}
+	items = p.appendOwnedExtra(items)
 	if len(items) > 0 && p.succ.Valid() && p.succ.Addr != p.Addr {
 		sortItemsByDID(items)
 		p.sendData(p.succ.Addr, len(items), itemsMsg{Items: items})
@@ -557,6 +561,7 @@ func (p *Peer) handlePromote(m promoteMsg) {
 	}
 	for _, it := range m.Items {
 		p.data[it.DID] = it
+		p.ownedAdd(it)
 	}
 	for _, c := range m.Children {
 		p.addChild(c)

@@ -27,6 +27,20 @@ func (p *Peer) LookupWithTTL(key string, ttl int, done func(OpResult)) {
 		p.finishOp(qid, OpResult{OK: true, Value: it.Value, Hops: 0, Holder: p.Ref()})
 		return
 	}
+	if p.sys.Cfg.ReplicationK > 1 && p.Role == TPeer {
+		// The authoritative copy answers spread items whose bytes live on an
+		// s-peer below; a held replica answers when the owner's route is
+		// suspected dead (with read-repair toward the segment's new owner).
+		if it, ok := p.owned[o.did]; ok {
+			p.sys.stats.ReplicaServes++
+			p.finishOp(qid, OpResult{OK: true, Value: it.Value, Hops: 0, Holder: p.Ref()})
+			return
+		}
+		if it, ok := p.replicaFallback(o.did, o.sid); ok {
+			p.finishOp(qid, OpResult{OK: true, Value: it.Value, Hops: 0, Holder: p.Ref()})
+			return
+		}
+	}
 	if p.inLocalSegment(o.sid) {
 		p.lookupLocal(o, qid)
 		return
@@ -113,11 +127,32 @@ func (p *Peer) handleLookupReq(from runtime.Addr, m lookupReq) {
 		return
 	}
 	if !p.inLocalSegment(m.SID) {
+		if it, ok := p.replicaFallback(m.DID, m.SID); ok {
+			// Forwarding would route into a suspected crash: serve the local
+			// replica and let read-repair re-home the item.
+			p.answer(m.Origin, m.QID, it, m.Hops+1)
+			return
+		}
 		m.Hops++
 		p.forwardTowardSegment(m.SID, m, from)
 		return
 	}
 	// The request reached the owning s-network.
+	if p.sys.Cfg.ReplicationK > 1 && p.Role == TPeer {
+		// The owner's authoritative copy covers spread items; a replica not
+		// yet promoted after a takeover still answers (the sweep promotes it
+		// on the next tick).
+		if it, ok := p.owned[m.DID]; ok {
+			p.sys.stats.ReplicaServes++
+			p.answer(m.Origin, m.QID, it, m.Hops+1)
+			return
+		}
+		if e, ok := p.reps[m.DID]; ok {
+			p.sys.stats.ReplicaServes++
+			p.answer(m.Origin, m.QID, e.it, m.Hops+1)
+			return
+		}
+	}
 	if p.sys.Cfg.TrackerMode {
 		if p.Role == TPeer {
 			p.resolveFromIndex(m)

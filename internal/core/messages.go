@@ -367,3 +367,62 @@ type bypassAdd struct {
 	Peer  Ref
 	SegLo idspace.ID
 }
+
+// --- Replication (ReplicationK > 1) ------------------------------------------
+
+// replicaPut pushes replicas of the owner's items down the successor chain.
+// TTL is the number of further hops the batch may travel (k−1 at the owner);
+// each t-peer stores a replica and forwards with TTL−1 until it runs out or
+// the batch wraps back to the owner. Round tags a tracked push so the owner
+// can count distinct ackers; Round 0 is an untracked eager push on store.
+type replicaPut struct {
+	Owner Ref
+	Round uint64
+	TTL   int
+	Items []Item
+}
+
+// replicaAck confirms one hop of a tracked replicaPut chain back to the owner.
+type replicaAck struct {
+	Round uint64
+}
+
+// replicaDrop retires replicas of deleted items along the successor chain.
+type replicaDrop struct {
+	Owner Ref
+	TTL   int
+	DIDs  []idspace.ID
+}
+
+// ownerAnnounce reports the in-segment items an s-peer holds (spread
+// placement) to its owning t-peer, so the owner's authoritative copy covers
+// items physically stored below it in the tree.
+type ownerAnnounce struct {
+	Items []Item
+}
+
+// deleteReq routes a deletion along the t-network toward the owning segment,
+// mirroring storeReq.
+type deleteReq struct {
+	Key    string
+	DID    idspace.ID
+	SID    idspace.ID
+	Origin Ref
+	Tag    uint64
+	Hops   int
+}
+
+// deleteAck confirms a deletion back to the origin. Existed reports whether
+// the owner actually held the item.
+type deleteAck struct {
+	Tag     uint64
+	Existed bool
+	Hops    int
+}
+
+// deleteFlood removes every stored or cached copy of an item from an
+// s-network tree (the owner floods it on delete so spread copies die too).
+type deleteFlood struct {
+	DID idspace.ID
+	TTL int
+}

@@ -13,6 +13,7 @@ type sysMetrics struct {
 	lookupOK    *obs.Counter
 	lookupFail  *obs.Counter
 	storeLatUs  *obs.Histogram // end-to-end store latency, microseconds
+	deleteLatUs *obs.Histogram // end-to-end delete latency, microseconds
 }
 
 // SetMetrics attaches a metrics registry to the system: lookup and store
@@ -31,6 +32,7 @@ func (s *System) SetMetrics(reg *obs.Registry) {
 		lookupOK:    reg.Counter("lookup.ok"),
 		lookupFail:  reg.Counter("lookup.fail"),
 		storeLatUs:  reg.Histogram("store.latency_us"),
+		deleteLatUs: reg.Histogram("delete.latency_us"),
 	}
 }
 
@@ -49,6 +51,10 @@ func (m *sysMetrics) recordOp(kind string, r OpResult) {
 	case "store":
 		if r.OK {
 			m.storeLatUs.Record(int64(r.Latency))
+		}
+	case "delete":
+		if r.OK {
+			m.deleteLatUs.Record(int64(r.Latency))
 		}
 	}
 }

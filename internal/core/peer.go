@@ -86,6 +86,28 @@ type Peer struct {
 	// --- bypass links (§5.4) ---
 	bypass map[runtime.Addr]*bypassLink
 
+	// --- replication (ReplicationK > 1; all state nil/zero at k = 1) ---
+	// owned is the t-peer's authoritative copy of every in-segment item,
+	// including spread items whose bytes live on an s-peer below it.
+	owned map[idspace.ID]Item
+	// reps holds replicas kept on behalf of other owners.
+	reps map[idspace.ID]repEntry
+	// repRound is the in-flight tracked push round (0 = none); repAcks
+	// counts its distinct ackers and repWrapped records that the push came
+	// back around a ring smaller than k.
+	repRound   uint64
+	repAcks    map[runtime.Addr]bool
+	repWrapped bool
+	// repDeficit is the last evaluated replica deficit (0 = fully
+	// replicated); repDirty marks an owned-set change since the last push.
+	repDeficit int
+	repDirty   bool
+	// repSucc is the successor of the last push; repTicks counts hello
+	// ticks since it. The zero value of repSucc is the server address,
+	// never a real successor, so a fresh t-peer's first sync always pushes.
+	repSucc  runtime.Addr
+	repTicks int
+
 	// --- client operations ---
 	pending map[uint64]*op
 	// searches holds in-flight prefix searches (search.go).
@@ -402,6 +424,22 @@ func (p *Peer) recv(from runtime.Addr, msg any) {
 	case fetchReq:
 		p.handleFetch(m)
 
+	// Replication and delete (ReplicationK).
+	case replicaPut:
+		p.handleReplicaPut(from, m)
+	case replicaAck:
+		p.handleReplicaAck(from, m)
+	case replicaDrop:
+		p.handleReplicaDrop(from, m)
+	case ownerAnnounce:
+		p.handleOwnerAnnounce(m)
+	case deleteReq:
+		p.handleDeleteReq(from, m)
+	case deleteAck:
+		p.handleDeleteAck(m)
+	case deleteFlood:
+		p.handleDeleteFlood(from, m)
+
 	default:
 		panic(fmt.Sprintf("core: peer %d received unknown message %T", p.Addr, msg))
 	}
@@ -497,6 +535,15 @@ func (p *Peer) broadcastHello() {
 	// when nothing is foreign.
 	if p.joined && !p.leaving && (p.Role == TPeer || p.cp.Valid()) {
 		p.rehomeForeignItems()
+	}
+	// Replication maintenance rides the hello tick: owners push the owned
+	// set down the successor chain, s-peers report in-segment holdings up.
+	if p.sys.Cfg.ReplicationK > 1 && p.joined && !p.leaving {
+		if p.Role == TPeer {
+			p.syncReplicas()
+		} else if p.cp.Valid() {
+			p.announceOwned()
+		}
 	}
 	// Box the heartbeat into an interface value once per tick, not once per
 	// neighbor: every peer runs this forever, so per-send boxing dominates

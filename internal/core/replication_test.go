@@ -1,0 +1,430 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/idspace"
+	"repro/internal/runtime"
+	"repro/internal/runtime/live"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// replConfig is the hardened DES timer set with replication enabled.
+func replConfig(k int) func(*Config) {
+	return func(c *Config) {
+		c.Ps = 0.7
+		hardenedConfig(c)
+		c.ReplicationK = k
+	}
+}
+
+// keyOwner finds the live t-peer whose segment covers the key (hash
+// placement, the mode every test here runs in). Call under Do.
+func keyOwner(sys *System, key string) *Peer {
+	return ownerOf(sys, idspace.HashKey(key))
+}
+
+// TestReadRepair is the table-driven read-repair suite: with k >= 2 a lookup
+// must keep succeeding after the owner of a key dies, served from a replica
+// and repaired back onto the new owner.
+func TestReadRepair(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		n    int
+	}{
+		{name: "owner-dead-replica-hit-k2", k: 2, n: 40},
+		{name: "owner-dead-replica-hit-k3", k: 3, n: 40},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sys := newTestSystem(t, 77, replConfig(tc.k))
+			peers, _, err := sys.BuildPopulation(PopulationOpts{N: tc.n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Settle(10 * sim.Second)
+
+			keys := make([]string, 24)
+			for i := range keys {
+				keys[i] = keyf("repl-%03d", i)
+				r, err := sys.StoreSync(peers[(i*7)%len(peers)], keys[i], "v")
+				if err != nil || !r.OK {
+					t.Fatalf("store %s: ok=%v err=%v", keys[i], r.OK, err)
+				}
+			}
+			// Let replication rounds push every key to its successors.
+			sys.Settle(4 * sys.Cfg.HelloEvery)
+			if err := sys.CheckInvariants(); err != nil {
+				t.Fatalf("after store: %v", err)
+			}
+
+			// Kill the owner of the first key, wait only until suspicion has
+			// set in, and demand the key is still readable.
+			var owner *Peer
+			sys.Runtime().Do(func() { owner = keyOwner(sys, keys[0]) })
+			if owner == nil {
+				t.Fatal("no owner for key")
+			}
+			sys.Runtime().Do(func() { owner.Crash() })
+			sys.Settle(2 * sys.Cfg.HelloTimeout)
+
+			origin := peers[3]
+			sys.Runtime().Do(func() {
+				if !origin.Alive() {
+					origin = sys.Peers()[0]
+				}
+			})
+			r, err := sys.LookupSync(origin, keys[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.OK {
+				t.Fatalf("lookup of %s failed after owner crash", keys[0])
+			}
+
+			// At quiescence the key must live on the new owner again and the
+			// replica invariant must hold system-wide.
+			sys.Settle(6 * sys.Cfg.HelloTimeout)
+			var repaired bool
+			sys.Runtime().Do(func() {
+				if p := keyOwner(sys, keys[0]); p != nil {
+					repaired = p.HasItem(keys[0])
+				}
+			})
+			if !repaired {
+				t.Fatalf("key %s not re-installed on its new owner", keys[0])
+			}
+			if err := sys.CheckInvariants(); err != nil {
+				t.Fatalf("after repair: %v", err)
+			}
+			st := sys.Stats()
+			if st.ReplicasPushed == 0 {
+				t.Fatal("no replicas were ever pushed at k>1")
+			}
+			if st.ReplicaServes+st.ReadRepairs+st.ReplicaPromotions == 0 {
+				t.Fatal("owner died but no replica ever served, repaired or promoted")
+			}
+		})
+	}
+}
+
+// TestReplicationDegradesBelowK: with fewer live t-peers than k the invariant
+// degrades to "every item on every live t-peer" (want = min(k, live)) via the
+// wrap-around detection, and must not report a perpetual deficit.
+func TestReplicationDegradesBelowK(t *testing.T) {
+	tRole := TPeer
+	sys := newTestSystem(t, 5, func(c *Config) {
+		hardenedConfig(c)
+		c.ReplicationK = 3
+	})
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 2, ForceRole: &tRole})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(10 * sim.Second)
+
+	for i := 0; i < 12; i++ {
+		r, err := sys.StoreSync(peers[i%2], keyf("deg-%02d", i), "v")
+		if err != nil || !r.OK {
+			t.Fatalf("store %d: ok=%v err=%v", i, r.OK, err)
+		}
+	}
+	sys.Settle(4 * sys.Cfg.HelloEvery)
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatalf("two t-peers, k=3: %v", err)
+	}
+	// With the ring shorter than the chain, both peers must hold every item.
+	sys.Runtime().Do(func() {
+		var h HealthScore
+		h = sys.HealthScore()
+		if h.ReplicaDeficit != 0 {
+			t.Errorf("replica deficit %d reported in a fully wrapped ring", h.ReplicaDeficit)
+		}
+	})
+
+	// Down to one: the survivor owns the whole ring and must still answer.
+	sys.Runtime().Do(func() { peers[0].Crash() })
+	sys.Settle(6 * sys.Cfg.HelloTimeout)
+	for i := 0; i < 12; i++ {
+		r, err := sys.LookupSync(peers[1], keyf("deg-%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.OK {
+			t.Fatalf("lone survivor lost deg-%02d", i)
+		}
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatalf("lone survivor: %v", err)
+	}
+}
+
+// TestRehomeSweepDedupes is the regression test for the double-send bug: an
+// item present both in the local database and in the owned index (the normal
+// state for an owner) that becomes foreign must be rehomed exactly once, not
+// once per table.
+func TestRehomeSweepDedupes(t *testing.T) {
+	sys := newTestSystem(t, 11, replConfig(2))
+	if _, _, err := sys.BuildPopulation(PopulationOpts{N: 30}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(10 * sim.Second)
+
+	sys.Runtime().Do(func() {
+		tps := sys.TPeers()
+		if len(tps) < 2 {
+			t.Fatal("need at least two t-peers")
+		}
+		p := tps[0]
+		// Find a key p does not own and plant it in both tables, the state a
+		// segment handoff leaves behind.
+		var it Item
+		for i := 0; ; i++ {
+			key := keyf("foreign-%04d", i)
+			if !p.inLocalSegment(p.segmentID(key)) {
+				it = Item{Key: key, Value: "v", DID: idspace.HashKey(key)}
+				break
+			}
+		}
+		p.storeLocal(it)
+		p.ownedAdd(it)
+
+		before := sys.stats.ItemsRehomed
+		p.rehomeForeignItems()
+		if got := sys.stats.ItemsRehomed - before; got != 1 {
+			t.Fatalf("foreign item rehomed %d times, want exactly 1", got)
+		}
+		if _, ok := p.data[it.DID]; ok {
+			t.Fatal("foreign item still in data after sweep")
+		}
+		if _, ok := p.owned[it.DID]; ok {
+			t.Fatal("foreign item still in owned after sweep")
+		}
+	})
+}
+
+// TestDeleteDropsReplicas: a delete must remove the item from the owner, its
+// replica chain and any s-peer holders, and a second delete of the same key
+// must report that the key no longer existed.
+func TestDeleteDropsReplicas(t *testing.T) {
+	sys := newTestSystem(t, 23, replConfig(3))
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(10 * sim.Second)
+
+	key := "doomed-key"
+	if r, err := sys.StoreSync(peers[2], key, "v"); err != nil || !r.OK {
+		t.Fatalf("store: ok=%v err=%v", r.OK, err)
+	}
+	sys.Settle(4 * sys.Cfg.HelloEvery)
+
+	r, err := sys.DeleteSync(peers[9], key)
+	if err != nil || !r.OK {
+		t.Fatalf("delete: ok=%v err=%v", r.OK, err)
+	}
+	if r.Value != "deleted" {
+		t.Fatalf("first delete reported %q, want \"deleted\"", r.Value)
+	}
+	sys.Settle(4 * sys.Cfg.HelloEvery)
+
+	if lr, err := sys.LookupSync(peers[4], key); err != nil || lr.OK {
+		t.Fatalf("lookup after delete: ok=%v err=%v", lr.OK, err)
+	}
+	sys.Runtime().Do(func() {
+		did := idspace.HashKey(key)
+		for _, p := range sys.Peers() {
+			if _, ok := p.data[did]; ok {
+				t.Errorf("peer %d still stores deleted item", p.Addr)
+			}
+			if _, ok := p.reps[did]; ok {
+				t.Errorf("peer %d still holds a replica of deleted item", p.Addr)
+			}
+		}
+	})
+	if err := sys.CheckInvariants(); err != nil {
+		t.Fatalf("after delete: %v", err)
+	}
+
+	r2, err := sys.DeleteSync(peers[9], key)
+	if err != nil || !r2.OK {
+		t.Fatalf("second delete: ok=%v err=%v", r2.OK, err)
+	}
+	if r2.Value != "" {
+		t.Fatalf("second delete reported %q, want miss", r2.Value)
+	}
+}
+
+// TestReplicationChurnStorm is the replication variant of the churn-storm
+// crash test at N=400: epochs of concurrent joins, leaves and crashes over a
+// lossy network, and after each epoch the full invariant suite — including
+// the replica-coverage check — must hold, for each k in {1, 2, 3}.
+func TestReplicationChurnStorm(t *testing.T) {
+	epochs := 6
+	if testing.Short() {
+		epochs = 2
+	}
+	for _, k := range []int{1, 2, 3} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			sys := newTestSystem(t, 4242, replConfig(k))
+			fc := simnet.FaultConfig{
+				DropRate:  0.01,
+				DupRate:   0.01,
+				JitterMax: 10 * sim.Millisecond,
+				Seed:      9100 + int64(k),
+			}
+			arm := func() { sys.Net().SetFaults(simnet.NewFaults(fc)) }
+			arm()
+			peers, _, err := sys.BuildPopulation(PopulationOpts{N: 400})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.Settle(10 * sim.Second)
+			// Seed the data set over a clean network: a dropped storeReq
+			// times the operation out, and lost stores are not what this
+			// test is about.
+			sys.Net().SetFaults(nil)
+			for i := 0; i < 100; i++ {
+				key := keyf("storm-%03d", i)
+				if r, err := sys.StoreSync(peers[(i*13)%len(peers)], key, "v"); err != nil || !r.OK {
+					t.Fatalf("store %s: ok=%v err=%v", key, r.OK, err)
+				}
+			}
+			sys.Settle(4 * sys.Cfg.HelloEvery)
+			arm()
+			stubs := sys.Topo().StubNodes()
+			for epoch := 0; epoch < epochs; epoch++ {
+				for i := 0; i < 9; i++ {
+					at := sys.Eng().Now() + sim.Time(i)*300*sim.Millisecond
+					switch i % 3 {
+					case 0:
+						host := stubs[sys.Eng().Rand().Intn(len(stubs))]
+						sys.Eng().At(at, func() {
+							sys.Join(JoinOpts{Host: host, Capacity: 1}, nil)
+						})
+					case 1:
+						sys.Eng().At(at, func() {
+							live := sys.Peers()
+							if len(live) <= 5 {
+								return
+							}
+							live[sys.Eng().Rand().Intn(len(live))].Leave()
+						})
+					default:
+						sys.Eng().At(at, func() {
+							live := sys.Peers()
+							if len(live) <= 5 {
+								return
+							}
+							live[sys.Eng().Rand().Intn(len(live))].Crash()
+						})
+					}
+				}
+				sys.Settle(4 * sys.Cfg.HelloTimeout)
+				sys.Net().SetFaults(nil)
+				sys.Settle(6 * sys.Cfg.HelloTimeout)
+				if err := sys.CheckInvariants(); err != nil {
+					t.Fatalf("k=%d epoch %d: %v", k, epoch, err)
+				}
+				arm()
+			}
+		})
+	}
+}
+
+// TestReplicationLiveRuntime runs the k=2 crash/repair path on the live
+// wall-clock runtime, which makes it the -race exercise for the replication
+// and delete message handlers.
+func TestReplicationLiveRuntime(t *testing.T) {
+	rt := live.New(live.Config{Seed: 99, Delay: 200 * time.Microsecond, AwaitTimeout: 60 * time.Second})
+	t.Cleanup(rt.Close)
+	cfg := DefaultConfig()
+	cfg.Ps = 0.6
+	cfg.ReplicationK = 2
+	cfg.HelloEvery = 100 * runtime.Millisecond
+	cfg.HelloTimeout = 400 * runtime.Millisecond
+	cfg.SuppressTimeout = 50 * runtime.Millisecond
+	cfg.LookupTimeout = 2 * runtime.Second
+	cfg.JoinTimeout = 5 * runtime.Second
+	cfg.FingerRefreshEvery = 250 * runtime.Millisecond
+	sys, err := NewSystem(rt, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, _, err := sys.BuildPopulation(PopulationOpts{N: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Settle(5 * cfg.HelloEvery)
+
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = keyf("live-%03d", i)
+		r, err := sys.StoreSync(peers[(i*5)%len(peers)], keys[i], "v")
+		if err != nil || !r.OK {
+			t.Fatalf("store %s: ok=%v err=%v", keys[i], r.OK, err)
+		}
+	}
+	sys.Settle(4 * cfg.HelloEvery)
+
+	// Crash the owner of every fifth key in one wave — but never two
+	// ring-adjacent peers: at k=2 the owner and its successor are the only
+	// holders, so killing an adjacent pair simultaneously is genuine,
+	// unavoidable data loss rather than a repair failure.
+	rt.Do(func() {
+		forbidden := map[runtime.Addr]bool{}
+		for i := 0; i < len(keys); i += 5 {
+			p := keyOwner(sys, keys[i])
+			if p == nil || forbidden[p.Addr] || len(sys.Peers()) <= 6 {
+				continue
+			}
+			forbidden[p.Addr] = true
+			forbidden[p.succ.Addr] = true
+			forbidden[p.pred.Addr] = true
+			p.Crash()
+		}
+	})
+	sys.Settle(3 * cfg.HelloTimeout)
+
+	// Invariants converge under the live runtime rather than holding at the
+	// first poll; bound the wait in wall-clock time.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		var ierr error
+		rt.Do(func() { ierr = sys.CheckInvariants() })
+		if ierr == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("invariants never converged: %v", ierr)
+		}
+		rt.Sleep(100 * runtime.Millisecond)
+	}
+
+	ok := 0
+	for _, key := range keys {
+		origin := peers[7]
+		rt.Do(func() {
+			if !origin.Alive() {
+				origin = sys.Peers()[0]
+			}
+		})
+		r, err := sys.LookupSync(origin, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.OK {
+			ok++
+		}
+	}
+	if ok != len(keys) {
+		t.Fatalf("only %d/%d keys survived the crash wave at k=2", ok, len(keys))
+	}
+}

@@ -91,6 +91,10 @@ type SystemStats struct {
 	WalksSent          uint64
 	SearchesSent       uint64
 	ItemsRehomed       uint64 // foreign items re-routed to their owning segment
+	ReplicasPushed     uint64 // replica copies sent down the successor chain
+	ReplicaServes      uint64 // lookups answered from an owned or replica copy
+	ReadRepairs        uint64 // replica serves that re-installed the item on its owner
+	ReplicaPromotions  uint64 // held replicas promoted to owned after a takeover
 }
 
 // NewSystem creates an empty hybrid system on the given runtime. The server

@@ -81,5 +81,14 @@ func WireMessages() []any {
 		walkReq{},
 		searchReq{},
 		searchHit{},
+
+		// Replication and the client-facing delete (ReplicationK).
+		replicaPut{},
+		replicaAck{},
+		replicaDrop{},
+		ownerAnnounce{},
+		deleteReq{},
+		deleteAck{},
+		deleteFlood{},
 	}
 }

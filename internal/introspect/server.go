@@ -13,14 +13,23 @@
 //	/healthz  JSON health verdict; 200 when healthy, 503 when not
 //	/ring     JSON ring/finger/s-tree summary (core.RingSummary)
 //	/trace    JSONL tail of the bounded tracer (?n=, default 256)
+//	/kv/<key> client-facing KV surface: GET looks the key up, PUT/POST
+//	          stores the request body as its value, DELETE removes it.
+//	          Requests are issued from this process's live peers
+//	          round-robin and ride the full protocol path (ring routing,
+//	          placement, replication), so driving /kv on a multi-process
+//	          cluster benchmarks the system as a real store.
 package introspect
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -44,6 +53,8 @@ type Server struct {
 	cfg Config
 	ln  net.Listener
 	srv *http.Server
+	// kvNext round-robins /kv requests across the process's live peers.
+	kvNext atomic.Uint64
 }
 
 // defaultTraceTail bounds /trace responses when no ?n= is given.
@@ -64,6 +75,7 @@ func Start(cfg Config) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/ring", s.handleRing)
 	mux.HandleFunc("/trace", s.handleTrace)
+	mux.HandleFunc("/kv/", s.handleKV)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return s, nil
@@ -118,6 +130,81 @@ func (s *Server) handleRing(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(view) //nolint:errcheck // best-effort response body
+}
+
+// kvMaxValueBytes bounds a PUT/POST body; the protocol models values as
+// short strings, so a megabyte is already generous.
+const kvMaxValueBytes = 1 << 20
+
+// kvOrigin picks the live peer the next /kv request is issued from,
+// round-robin so a benchmark load spreads across the process's peers.
+func (s *Server) kvOrigin() *core.Peer {
+	var peers []*core.Peer
+	s.cfg.Sys.Runtime().Do(func() { peers = s.cfg.Sys.Peers() })
+	if len(peers) == 0 {
+		return nil
+	}
+	return peers[s.kvNext.Add(1)%uint64(len(peers))]
+}
+
+func (s *Server) handleKV(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/kv/")
+	if key == "" {
+		http.Error(w, "introspect: /kv/<key> requires a key", http.StatusBadRequest)
+		return
+	}
+	origin := s.kvOrigin()
+	if origin == nil {
+		http.Error(w, "introspect: no live peer to issue from", http.StatusServiceUnavailable)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		res, err := s.cfg.Sys.LookupSync(origin, key)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if !res.OK {
+			http.Error(w, "introspect: key not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		io.WriteString(w, res.Value) //nolint:errcheck // best-effort body
+	case http.MethodPut, http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, kvMaxValueBytes+1))
+		if err != nil {
+			http.Error(w, "introspect: reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > kvMaxValueBytes {
+			http.Error(w, "introspect: value too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		res, err := s.cfg.Sys.StoreSync(origin, key, string(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if !res.OK {
+			http.Error(w, "introspect: store did not complete", http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	case http.MethodDelete:
+		res, err := s.cfg.Sys.DeleteSync(origin, key)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if !res.OK {
+			http.Error(w, "introspect: delete did not complete", http.StatusBadGateway)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	default:
+		http.Error(w, "introspect: method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -133,7 +133,11 @@ type Runtime struct {
 	conns      map[string]*wconn
 	inbound    map[*wconn]struct{}
 	dialFailAt map[string]time.Time
-	connsDown  bool // set by Close before sweeping, so no conn leaks past it
+	// dials holds, per endpoint with no live connection, the messages queued
+	// while a background reconnect loop (dialLoop) retries the dial with
+	// exponential backoff. Guarded by cmu.
+	dials     map[string]*dialState
+	connsDown bool // set by Close before sweeping, so no conn leaks past it
 
 	// inflight parks one waiter channel per outstanding broker request,
 	// keyed by MsgID; the bootstrap connection's reader completes them.
@@ -221,6 +225,7 @@ func New(cfg Config) (*Runtime, error) {
 		conns:      make(map[string]*wconn),
 		inbound:    make(map[*wconn]struct{}),
 		dialFailAt: make(map[string]time.Time),
+		dials:      make(map[string]*dialState),
 		inflight:   make(map[uint64]chan envelope),
 		closedCh:   make(chan struct{}),
 	}
@@ -376,10 +381,13 @@ func (r *Runtime) Attached(a runtime.Addr) bool {
 }
 
 // Send encodes the message and writes it to the destination's process. An
-// unknown address, unreachable endpoint or dead connection drops the
-// message silently — the transport contract is unreliable delivery. size
-// only models serialization cost on the simulated transports; here the real
-// bytes are the cost.
+// unknown address or dead connection drops the message silently — the
+// transport contract is unreliable delivery. A transiently unreachable
+// endpoint no longer drops on the spot: the message is queued (bounded) and
+// a background reconnect loop retries the dial with exponential backoff,
+// delivering the backlog once the endpoint comes up. size only models
+// serialization cost on the simulated transports; here the real bytes are
+// the cost.
 func (r *Runtime) Send(from, to runtime.Addr, size int, msg any) {
 	if r.closed {
 		return
@@ -393,14 +401,38 @@ func (r *Runtime) Send(from, to runtime.Addr, size int, msg any) {
 		r.cfg.Logf("send %d->%d: %v", from, to, err)
 		return
 	}
-	c, err := r.connTo(ep)
-	if err != nil {
+	env := envelope{Type: code, From: int64(from), To: int64(to), Payload: payload}
+
+	r.cmu.Lock()
+	if r.connsDown {
+		r.cmu.Unlock()
 		return
 	}
-	env := envelope{Type: code, From: int64(from), To: int64(to), Payload: payload}
-	if err := c.write(env, r.cfg.WriteTimeout); err != nil {
-		r.dropConn(ep, c)
+	if c, ok := r.conns[ep]; ok {
+		r.cmu.Unlock()
+		if err := c.write(env, r.cfg.WriteTimeout); err != nil {
+			r.dropConn(ep, c)
+		}
+		return
 	}
+	// No live connection: queue the frame and make sure one reconnect loop
+	// is working the endpoint. Overflow past the queue bound drops the
+	// message — the contract is unreliable, the queue just covers transient
+	// outages (a peer restarting, a listener coming up late).
+	ds := r.dials[ep]
+	if ds == nil {
+		ds = &dialState{}
+		r.dials[ep] = ds
+	}
+	if len(ds.pending) < dialQueueMax {
+		ds.pending = append(ds.pending, env)
+	}
+	if !ds.active {
+		ds.active = true
+		r.readers.Add(1)
+		go r.dialLoop(ep)
+	}
+	r.cmu.Unlock()
 }
 
 // SendLocal enqueues a self-message directly — it never touches the socket,
@@ -598,11 +630,31 @@ func (r *Runtime) Close() {
 // --- Connections and the broker dialogue -----------------------------------
 
 // dialBackoff is how long a failed endpoint is considered unreachable
-// before another dial is attempted; it keeps heartbeat storms to a dead
-// process from paying a connect timeout per message.
+// before another synchronous dial (connTo: broker RPCs, Attach) is
+// attempted; it keeps callers on the blocking path from paying a connect
+// timeout per request.
 const dialBackoff = 500 * time.Millisecond
 
+// Reconnect-loop tuning: a queued endpoint is retried dialAttempts times
+// with jittered exponential backoff from dialRetryBase up to dialRetryCap
+// (~8 attempts spanning roughly six seconds), holding at most dialQueueMax
+// frames. Past either bound the backlog is dropped — unreliable delivery.
+const (
+	dialQueueMax  = 1024
+	dialAttempts  = 8
+	dialRetryBase = 50 * time.Millisecond
+	dialRetryCap  = 2 * time.Second
+)
+
+// dialState is the per-endpoint reconnect backlog (guarded by cmu).
+type dialState struct {
+	pending []envelope
+	active  bool // a dialLoop goroutine is working this endpoint
+}
+
 // connTo returns the cached connection to an endpoint, dialing if needed.
+// This is the synchronous path (broker RPCs, Attach): it respects the
+// negative dial cache so blocking callers fail fast on a dead endpoint.
 func (r *Runtime) connTo(ep string) (*wconn, error) {
 	r.cmu.Lock()
 	if r.connsDown {
@@ -616,6 +668,24 @@ func (r *Runtime) connTo(ep string) (*wconn, error) {
 	if t, ok := r.dialFailAt[ep]; ok && time.Since(t) < dialBackoff {
 		r.cmu.Unlock()
 		return nil, errors.New("net: endpoint recently unreachable")
+	}
+	r.cmu.Unlock()
+	return r.dialAndInstall(ep)
+}
+
+// dialAndInstall dials an endpoint and installs the connection in the cache
+// (or yields to a connection that won the install race). It bypasses the
+// negative dial cache — the reconnect loop owns its own backoff schedule and
+// must be able to retry faster than dialBackoff.
+func (r *Runtime) dialAndInstall(ep string) (*wconn, error) {
+	r.cmu.Lock()
+	if r.connsDown {
+		r.cmu.Unlock()
+		return nil, errors.New("net: runtime closed")
+	}
+	if c, ok := r.conns[ep]; ok {
+		r.cmu.Unlock()
+		return c, nil
 	}
 	r.cmu.Unlock()
 
@@ -657,6 +727,64 @@ func (r *Runtime) connTo(ep string) (*wconn, error) {
 		}
 	}
 	return c, nil
+}
+
+// dialLoop is the per-endpoint reconnect worker: retry the dial with
+// jittered exponential backoff until it lands, then flush the frames queued
+// while the endpoint was down. Sends racing the flush write directly on the
+// installed connection, so a brief reorder around the reconnect is possible
+// — strictly milder than the old behavior, which dropped every one of these
+// messages on the floor.
+func (r *Runtime) dialLoop(ep string) {
+	defer r.readers.Done()
+	backoff := dialRetryBase
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		c, err := r.dialAndInstall(ep)
+		if err == nil {
+			r.cmu.Lock()
+			var pending []envelope
+			if ds := r.dials[ep]; ds != nil {
+				pending = ds.pending
+				ds.pending = nil
+				ds.active = false
+			}
+			r.cmu.Unlock()
+			for _, env := range pending {
+				if err := c.write(env, r.cfg.WriteTimeout); err != nil {
+					// The fresh connection died mid-flush: the rest of the
+					// backlog is lost (unreliable contract).
+					r.dropConn(ep, c)
+					break
+				}
+			}
+			return
+		}
+		// Jitter half the backoff window. The executor-locked r.rng must not
+		// be touched from here; the global source is thread-safe.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-time.After(d):
+		case <-r.closedCh:
+			r.abandonDial(ep)
+			return
+		}
+		backoff *= 2
+		if backoff > dialRetryCap {
+			backoff = dialRetryCap
+		}
+	}
+	r.abandonDial(ep)
+}
+
+// abandonDial drops an endpoint's backlog after the reconnect loop gives up
+// (or the runtime closes), so a later Send can start a fresh loop.
+func (r *Runtime) abandonDial(ep string) {
+	r.cmu.Lock()
+	if ds := r.dials[ep]; ds != nil {
+		ds.pending = nil
+		ds.active = false
+	}
+	r.cmu.Unlock()
 }
 
 // dropConn forgets a connection after a write error so the next send

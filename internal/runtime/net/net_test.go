@@ -1,6 +1,7 @@
 package net
 
 import (
+	nnet "net"
 	"sync"
 	"testing"
 	"time"
@@ -427,6 +428,55 @@ func TestConcurrentCrossTraffic(t *testing.T) {
 	}
 	check(bootRec)
 	check(workRec)
+}
+
+// TestSendReconnectsToLateListener: a Send to an endpoint whose listener is
+// not up yet must not be dropped on the first refused dial — the reconnect
+// loop queues the frames, retries with backoff, and delivers once the
+// listener appears.
+func TestSendReconnectsToLateListener(t *testing.T) {
+	boot := newBoot(t)
+
+	// Reserve an endpoint, then free it: dials to it are refused until the
+	// late runtime binds the same port.
+	ln, err := nnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := ln.Addr().String()
+	ln.Close()
+
+	// Tell the sender where address 42 lives before anything listens there.
+	const lateAddr runtime.Addr = 42
+	boot.dir.set(int64(lateAddr), ep, true)
+	boot.Do(func() { boot.Attach(1, runtime.Endpoint{}, &rec{}) })
+
+	for i := 1; i <= 3; i++ {
+		seq := i
+		boot.Do(func() { boot.Send(1, lateAddr, 0, ping{Seq: seq}) })
+	}
+
+	// Let several dial attempts fail while the port is still closed.
+	time.Sleep(300 * time.Millisecond)
+
+	late, err := New(Config{
+		Listen: ep, Bootstrap: boot.Endpoint(),
+		Messages: testMessages(), AwaitTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(late.Close)
+	lateRec := &rec{}
+	late.Do(func() { late.Attach(lateAddr, runtime.Endpoint{}, lateRec) })
+
+	awaitDelivery(t, lateRec, 3)
+	got, from := lateRec.snapshot()
+	for i, m := range got {
+		if m.(ping).Seq != i+1 || from[i] != 1 {
+			t.Fatalf("position %d holds %v from %v", i, m, from[i])
+		}
+	}
 }
 
 // TestCloseUnblocksEverything: Close while a worker has in-flight broker

@@ -69,6 +69,13 @@ sh ./scripts/introspect_smoke.sh
 echo "== multi-process socket smoke gate (hybridnode -addr/-bootstrap)"
 sh ./scripts/net_smoke.sh
 
+# Replication smoke gate: a 4-process cluster at k=3 stores 50 keys through
+# the /kv surface, both all-s workers are SIGKILLed, and every key must still
+# be readable with /healthz back at zero replica deficit (see
+# scripts/replication_smoke.sh).
+echo "== replication smoke gate (hybridnode -k 3, /kv, 2-process kill)"
+sh ./scripts/replication_smoke.sh
+
 # Quick scale point: one reduced build-and-drive pass through the Scale
 # experiment (peers/GB, events/sec). Catches OOM-class regressions in the
 # dense peer/finger tables; the full 10k/100k/1M ladder is `make benchscale`

@@ -1,0 +1,185 @@
+#!/bin/sh
+# Replication smoke gate: a 4-process hybridnode cluster at k=3 must survive
+# losing half its processes without losing a single key. The bootstrap runs
+# t-peers only (so replica chains have somewhere to live), worker 1 is mixed,
+# and workers 2 and 3 are forced all-s — under spread placement their s-peers
+# hold real data bytes, so SIGKILLing both is genuine data loss at k=1 and a
+# pure recovery exercise at k=3: every key must still be readable through the
+# owners' authoritative copies and replica chains, and /healthz must settle
+# back to a zero replica deficit. Keys go in and come out through the /kv
+# HTTP surface, so the client-facing store path is exercised end to end.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+KEYS=50
+
+TMP=$(mktemp -d)
+BOOT_PID=""
+W1_PID=""
+W2_PID=""
+W3_PID=""
+cleanup() {
+    for pid in "$BOOT_PID" "$W1_PID" "$W2_PID" "$W3_PID"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "replication smoke: $1" >&2
+    for log in boot w1 w2 w3; do
+        [ -f "$TMP/$log.log" ] && { echo "--- $log ---" >&2; cat "$TMP/$log.log" >&2; }
+    done
+    exit 1
+}
+
+# await_line PID LOG PATTERN TRIES — poll a log for a line, failing if the
+# process dies first.
+await_line() {
+    i=0
+    while ! grep -q "$3" "$2" 2>/dev/null; do
+        kill -0 "$1" 2>/dev/null || fail "process died waiting for '$3' in $2"
+        i=$((i + 1))
+        [ $i -gt "$4" ] && fail "timeout waiting for '$3' in $2"
+        sleep 0.2
+    done
+}
+
+# await_healthz NAME ADDR — poll /healthz until it reports healthy with a
+# zero replica deficit (the replication invariant as seen by the sampler).
+await_healthz() {
+    i=0
+    while :; do
+        if curl -fsS -o "$TMP/$1.healthz" "http://$2/healthz" 2>/dev/null \
+            && grep -q '"healthy": true' "$TMP/$1.healthz" \
+            && grep -q '"replica_deficit": 0' "$TMP/$1.healthz"; then
+            return 0
+        fi
+        i=$((i + 1))
+        [ $i -gt 300 ] && fail "$1 /healthz never reached healthy with zero replica deficit"
+        sleep 0.2
+    done
+}
+
+# http_addr LOG — extract the introspection address from the banner.
+http_addr() {
+    sed -n 's|^introspection: http://\([^/]*\)/.*|\1|p' "$1"
+}
+
+# cluster_ep LOG — extract the node's cluster endpoint from the banner.
+cluster_ep() {
+    sed -n 's|^socket transport: .* node at \(.*\)$|\1|p' "$1"
+}
+
+go build -o "$TMP/hybridnode" ./cmd/hybridnode
+
+COMMON="-n 8 -k 3 -items 0 -lookups 0 -crash 0 -linger 300s"
+
+# 1. Bootstrap: hosts the server; all eight of its peers are t-peers so the
+# ring is deep enough for k=3 replica chains from the start.
+"$TMP/hybridnode" -addr 127.0.0.1:0 -http 127.0.0.1:0 -role t \
+    $COMMON > "$TMP/boot.log" 2>&1 &
+BOOT_PID=$!
+await_line "$BOOT_PID" "$TMP/boot.log" '^lingering' 300
+BOOT_EP=$(cluster_ep "$TMP/boot.log")
+BOOT_HTTP=$(http_addr "$TMP/boot.log")
+[ -n "$BOOT_EP" ] || fail "no cluster endpoint in bootstrap banner"
+[ -n "$BOOT_HTTP" ] || fail "no introspection endpoint in bootstrap banner"
+
+# 2. Worker 1: a mixed-role survivor with its own /kv endpoint, so reads
+# after the kill go through a process that stored nothing itself.
+"$TMP/hybridnode" -addr 127.0.0.1:0 -bootstrap "$BOOT_EP" -http 127.0.0.1:0 \
+    $COMMON > "$TMP/w1.log" 2>&1 &
+W1_PID=$!
+await_line "$W1_PID" "$TMP/w1.log" '^lingering' 300
+W1_HTTP=$(http_addr "$TMP/w1.log")
+[ -n "$W1_HTTP" ] || fail "no introspection endpoint in worker1 banner"
+
+# 3. Workers 2 and 3: forced all-s, the future SIGKILL victims. Their s-peers
+# attach under the surviving processes' t-peers and will hold spread data.
+"$TMP/hybridnode" -addr 127.0.0.1:0 -bootstrap "$BOOT_EP" -role s \
+    $COMMON > "$TMP/w2.log" 2>&1 &
+W2_PID=$!
+await_line "$W2_PID" "$TMP/w2.log" '^lingering' 300
+"$TMP/hybridnode" -addr 127.0.0.1:0 -bootstrap "$BOOT_EP" -role s \
+    $COMMON > "$TMP/w3.log" 2>&1 &
+W3_PID=$!
+await_line "$W3_PID" "$TMP/w3.log" '^lingering' 300
+
+await_healthz boot "$BOOT_HTTP"
+
+# 4. Store the key universe through the bootstrap's /kv surface. A request
+# can hit a transient routing window during settling, so each key retries.
+i=0
+while [ $i -lt $KEYS ]; do
+    ok=0
+    tries=0
+    while [ $tries -lt 10 ]; do
+        if curl -fsS -X PUT --data "value-$i" \
+            "http://$BOOT_HTTP/kv/smoke-$i" >/dev/null 2>&1; then
+            ok=1
+            break
+        fi
+        tries=$((tries + 1))
+        sleep 0.3
+    done
+    [ "$ok" = "1" ] || fail "PUT smoke-$i never succeeded"
+    i=$((i + 1))
+done
+
+# 5. The cluster must report zero replica deficit once the chains settle, and
+# every key must be readable cross-process before the kill.
+await_healthz boot "$BOOT_HTTP"
+await_healthz w1 "$W1_HTTP"
+i=0
+while [ $i -lt $KEYS ]; do
+    GOT=$(curl -fsS "http://$W1_HTTP/kv/smoke-$i" 2>/dev/null) \
+        || fail "pre-kill GET smoke-$i via worker1 failed"
+    [ "$GOT" = "value-$i" ] || fail "pre-kill smoke-$i returned '$GOT'"
+    i=$((i + 1))
+done
+
+# 6. SIGKILL both all-s workers at once: sixteen peers — and whatever data
+# was spread onto them — vanish mid-heartbeat.
+kill -9 "$W2_PID" "$W3_PID"
+wait "$W2_PID" 2>/dev/null || true
+wait "$W3_PID" 2>/dev/null || true
+W2_PID=""
+W3_PID=""
+
+# 7. Survivors must repair the trees and re-converge to zero replica deficit.
+sleep 2
+await_healthz boot "$BOOT_HTTP"
+await_healthz w1 "$W1_HTTP"
+
+# 8. Every key must still be readable through the survivor: served from the
+# owners' authoritative copies and replica chains, with read-repair filling
+# the holes the dead s-peers left. Retries absorb in-flight repair.
+i=0
+while [ $i -lt $KEYS ]; do
+    ok=0
+    tries=0
+    while [ $tries -lt 25 ]; do
+        GOT=$(curl -fsS "http://$W1_HTTP/kv/smoke-$i" 2>/dev/null) || GOT=""
+        if [ "$GOT" = "value-$i" ]; then
+            ok=1
+            break
+        fi
+        tries=$((tries + 1))
+        sleep 0.2
+    done
+    [ "$ok" = "1" ] || fail "key smoke-$i lost after killing both s-workers"
+    i=$((i + 1))
+done
+
+# 9. Clean shutdown: SIGTERM both survivors; the signal handler must close
+# the runtime and exit 0.
+kill -TERM "$BOOT_PID" "$W1_PID"
+wait "$BOOT_PID" || fail "bootstrap exited nonzero after SIGTERM"
+BOOT_PID=""
+wait "$W1_PID" || fail "worker1 exited nonzero after SIGTERM"
+W1_PID=""
+
+echo "replication smoke: OK ($KEYS/$KEYS keys survived losing 2 of 4 processes at k=3)"
