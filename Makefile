@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build check vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke net-smoke replication-smoke cluster bench bench-json bench-guard benchscale
+.PHONY: all build check vet staticcheck test race faultcheck determinism conformance allocguard routinggate introspect-smoke net-smoke replication-smoke cluster bench bench-json bench-guard benchscale kv-bench
 
 all: check
 
@@ -21,7 +21,7 @@ staticcheck:
 
 # The verify loop: everything a change must pass before it lands.
 # Set SKIP_BENCH_GUARD=1 to skip the benchmark regression guard.
-check: build vet staticcheck test race faultcheck determinism conformance allocguard introspect-smoke net-smoke replication-smoke bench-guard
+check: build vet staticcheck test race faultcheck determinism conformance allocguard routinggate introspect-smoke net-smoke replication-smoke bench-guard
 
 test:
 	$(GO) test ./...
@@ -55,6 +55,19 @@ allocguard:
 	$(GO) test . -count=1 -run '^(TestEventEngineAllocFree|TestLookupAllocBudget)$$'
 	$(GO) test ./internal/obs -count=1 -run '^TestHistogramRecordAllocFree$$'
 
+# Routing-seam gate (PR 10): the Kademlia baseline's own unit tests, a
+# four-arm baseline determinism check (two full RunBaselines passes must be
+# byte-identical), the α-parallel + path-cache ablation acceptance test
+# (alpha=3+cache must strictly beat alpha=1 on failure ratio or latency at
+# the same fault schedule), and the path-cache invalidation suite under
+# churn (-count=1 defeats the test cache so the gates always execute).
+routinggate:
+	$(GO) test ./internal/kad -count=1
+	$(GO) test ./internal/exp -count=1 \
+		-run '^(TestBaselinesDeterminism|TestAblationRoutingGate)$$'
+	$(GO) test ./internal/core -count=1 \
+		-run '^(TestPathCache|TestAlphaProbes)'
+
 # Introspection smoke gate: boot a live hybridnode with -http, poll /healthz
 # until healthy, and assert /metrics serves well-formed Prometheus exposition.
 introspect-smoke:
@@ -71,6 +84,12 @@ net-smoke:
 # read back and /healthz must return to a zero replica deficit.
 replication-smoke:
 	sh ./scripts/replication_smoke.sh
+
+# Latency k-sweep of the /kv HTTP surface on live 2-process clusters:
+# put/get p50/p99 for k in 1..3, written to kv_bench.json (see
+# scripts/kv_bench.sh for the OUT/NOPS/BASE_PORT/PEERS knobs).
+kv-bench:
+	sh ./scripts/kv_bench.sh
 
 # Interactive: launch an N-process TCP cluster with per-node logs and a
 # servers.json manifest; Ctrl-C stops it (see scripts/run_cluster.sh).

@@ -71,6 +71,9 @@ func run() int {
 		bootstrap  = flag.String("bootstrap", "", "the cluster bootstrap's endpoint; empty with -addr set makes this process the bootstrap")
 		replK      = flag.Int("k", 1, "replication factor: each item lives on its owning t-peer plus k-1 ring successors (1 disables replication)")
 		roleFlag   = flag.String("role", "", "pin every peer this process joins to one role: \"t\" or \"s\" (default: let the server decide)")
+		alpha      = flag.Int("alpha", 1, "parallel lookup probes on the t-network (1 = single walk)")
+		pathcache  = flag.Bool("pathcache", false, "enable lookup-path caching (route hints from successful lookups)")
+		routeFlag  = flag.String("route", "finger", "t-network routing strategy: finger | succ")
 	)
 	flag.Parse()
 	netMode := *addr != ""
@@ -121,6 +124,14 @@ func run() int {
 	cfg.JoinTimeout = 3 * runtime.Second
 	cfg.FingerRefreshEvery = 250 * runtime.Millisecond
 	cfg.ReplicationK = *replK
+	cfg.LookupAlpha = *alpha
+	cfg.PathCache = *pathcache
+	strat, stratErr := core.StrategyByName(*routeFlag)
+	if stratErr != nil {
+		fmt.Fprintln(os.Stderr, "hybridnode:", stratErr)
+		return 2
+	}
+	cfg.Route = strat
 
 	var rt runtime.Runtime
 	var closeRT func()

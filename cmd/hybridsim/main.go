@@ -64,6 +64,9 @@ type simParams struct {
 	caching        bool
 	linear         bool
 	hist           bool
+	alpha          int
+	pathcache      bool
+	route          string
 
 	// Fault injection (see internal/simnet.FaultConfig).
 	dropRate, dupRate  float64
@@ -103,6 +106,9 @@ func run() int {
 		caching   = flag.Bool("caching", false, "enable the future-work hot-data caching scheme")
 		linear    = flag.Bool("linear", false, "successor-only ring routing (the paper's simulated behavior)")
 		hist      = flag.Bool("hist", false, "record lookup/store histograms and print latency/hop percentiles")
+		alpha     = flag.Int("alpha", 1, "parallel lookup probes on the t-network (1 = the paper's single walk)")
+		pathcache = flag.Bool("pathcache", false, "enable lookup-path caching (successful lookups deposit route hints)")
+		route     = flag.String("route", "finger", "t-network routing strategy: finger | succ")
 
 		dropRate  = flag.Float64("droprate", 0, "fault injection: per-message drop probability (0..1)")
 		dupRate   = flag.Float64("duprate", 0, "fault injection: per-message duplication probability (0..1)")
@@ -165,6 +171,7 @@ func run() int {
 			bypass: *bypass, tracker: *tracker, interests: *interests,
 			crash: *crash, zipf: *zipf, walk: *walk, caching: *caching,
 			linear: *linear, hist: *hist,
+			alpha: *alpha, pathcache: *pathcache, route: *route,
 			dropRate: *dropRate, dupRate: *dupRate, jitter: sim.Time(jitter.Microseconds()),
 			partStart: partStart, partEnd: partEnd, hasPartition: hasPartition,
 			faultSeed: *faultSeed,
@@ -206,6 +213,7 @@ func run() int {
 			"bypass": *bypass, "tracker": *tracker, "interests": *interests,
 			"crash": *crash, "zipf": *zipf, "walk": *walk, "caching": *caching,
 			"linear": *linear, "hist": *hist,
+			"alpha": *alpha, "pathcache": *pathcache, "route": *route,
 			"droprate": *dropRate, "duprate": *dupRate, "jitter": jitter.String(),
 			"partition": *partition, "faultseed": *faultSeed,
 		})
@@ -299,6 +307,13 @@ func runSim(w io.Writer, topo *topology.Graph, p simParams, tr *obs.Tracer, rec 
 	cfg.RandomWalk = p.walk
 	cfg.Caching = p.caching
 	cfg.SuccessorRouting = p.linear
+	cfg.LookupAlpha = p.alpha
+	cfg.PathCache = p.pathcache
+	strat, err := core.StrategyByName(p.route)
+	if err != nil {
+		return err
+	}
+	cfg.Route = strat
 	cfg.LookupTimeout = 5 * sim.Second
 	if p.linear {
 		cfg.LookupTimeout = 180 * sim.Second

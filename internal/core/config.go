@@ -188,6 +188,29 @@ type Config struct {
 	// entirely — no replica messages, no replica state, behavior identical
 	// to the pre-replication protocol.
 	ReplicationK int
+
+	// LookupAlpha is the number of parallel ring probes a remote lookup fans
+	// out, Kademlia-style: the origin (or, for s-peer origins, the first
+	// t-peer on the climb) forwards the request toward the owning segment
+	// along up to α distinct next hops; the first success wins and late
+	// replies only decrement the outstanding-probe count. 1 (the default) is
+	// the paper's single sequential probe, byte-identical to the pre-seam
+	// protocol. Bounded by MaxLookupAlpha.
+	LookupAlpha int
+
+	// PathCache enables lookup-path caching: a successful remote lookup
+	// deposits a (DID -> holder) hint at the origin and its ring entry
+	// point, and later lookups shortcut straight at the holder. Hints expire
+	// after PathCacheTTL of idleness (the surrogate-cache pattern), are
+	// dropped when the suspect machinery marks the holder dead, and a holder
+	// that no longer has the item bounces the hint off in one extra hop. See
+	// pathcache.go.
+	PathCache    bool
+	PathCacheTTL runtime.Time
+
+	// Route overrides the ring routing strategy; nil selects FingerWalk,
+	// the paper's closest-preceding-finger walk. See RouteStrategy.
+	Route RouteStrategy
 }
 
 // DefaultConfig returns the parameter set used by the paper-scale
@@ -219,6 +242,8 @@ func DefaultConfig() Config {
 		CacheTTL:           120 * runtime.Second,
 		CacheFanout:        2,
 		ReplicationK:       1,
+		LookupAlpha:        1,
+		PathCacheTTL:       120 * runtime.Second,
 	}
 }
 
@@ -243,6 +268,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: TopologyAware requires at least one landmark")
 	case c.ReplicationK < 0:
 		return fmt.Errorf("core: ReplicationK %d must be >= 0", c.ReplicationK)
+	case c.LookupAlpha < 1 || c.LookupAlpha > MaxLookupAlpha:
+		return fmt.Errorf("core: LookupAlpha %d outside [1, %d]", c.LookupAlpha, MaxLookupAlpha)
+	case c.PathCacheTTL <= 0:
+		return fmt.Errorf("core: PathCacheTTL must be positive")
 	}
 	return nil
 }
@@ -309,6 +338,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReplicationK == 0 {
 		c.ReplicationK = d.ReplicationK
+	}
+	if c.LookupAlpha == 0 {
+		c.LookupAlpha = d.LookupAlpha
+	}
+	if c.PathCacheTTL == 0 {
+		c.PathCacheTTL = d.PathCacheTTL
+	}
+	if c.Route == nil {
+		c.Route = FingerWalk{}
 	}
 	return c
 }

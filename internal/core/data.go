@@ -136,6 +136,12 @@ func (p *Peer) opTimeout(qid uint64) {
 		p.floodOut(qid, o.did, o.ttl, p.Ref())
 		return
 	}
+	if o.hinted {
+		// The hinted holder never answered (crashed before the suspect
+		// machinery noticed, or unreachable): invalidate the hint so the next
+		// lookup for this item rides the ring instead of the same dead end.
+		p.dropHint(o.did)
+	}
 	p.finishOp(qid, OpResult{OK: false})
 }
 
@@ -172,7 +178,8 @@ func (p *Peer) storeLocal(it Item) {
 }
 
 // forwardTowardSegment moves a segment-routed request one step: s-peers
-// climb to their connect point, t-peers route along the ring with fingers.
+// climb to their connect point, t-peers route along the ring via the
+// configured RouteStrategy (finger walk + suspect detour by default).
 // Returns without sending when this peer already owns the segment (callers
 // check ownership first).
 func (p *Peer) forwardTowardSegment(sid idspace.ID, msg any, from runtime.Addr) {
@@ -182,14 +189,7 @@ func (p *Peer) forwardTowardSegment(sid idspace.ID, msg any, from runtime.Addr) 
 		}
 		return
 	}
-	next := p.nextHopToward(sid)
-	if len(p.suspect) != 0 && p.suspect[next.Addr] &&
-		p.succ2.Valid() && p.succ2.Addr != p.Addr && !p.suspect[p.succ2.Addr] {
-		// The chosen hop is suspected dead and its repair has not landed:
-		// detour via the successor's successor learned from stabilization
-		// instead of forwarding into the crash.
-		next = p.succ2
-	}
+	next := p.sys.route.NextHop(p, sid)
 	if !next.Valid() || next.Addr == p.Addr {
 		return // lone t-peer: nowhere to forward
 	}

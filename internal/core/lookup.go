@@ -91,12 +91,44 @@ func (p *Peer) lookupRemote(o *op, qid uint64) {
 	m := lookupReq{QID: qid, DID: o.did, SID: o.sid, Origin: p.Ref(), TTL: o.ttl, Hops: 1}
 	if p.sys.Cfg.Bypass {
 		if link := p.bypassFor(o.sid); link != nil {
+			o.probes = 1
 			p.sys.stats.BypassUses++
 			p.sys.trace(obs.EvLookupForward, qid, p.Addr, link.peer.Addr, 1, "bypass")
 			p.send(link.peer.Addr, m)
 			return
 		}
 	}
+	alpha := p.sys.Cfg.LookupAlpha
+	if p.sys.Cfg.PathCache {
+		if holder, ok := p.pathHint(o.did); ok {
+			// Probe the hinted holder directly. Under α>1 the remaining
+			// probes still ride the ring, so a stale hint costs nothing:
+			// either path may answer first.
+			o.hinted = true
+			o.probes = 1
+			p.sys.stats.PathHintUses++
+			if p.sys.met != nil {
+				p.sys.met.hintUses.Inc()
+			}
+			p.sys.trace(obs.EvLookupForward, qid, p.Addr, holder.Addr, 1, "hint")
+			hm := m
+			hm.Hinted = true
+			p.send(holder.Addr, hm)
+			if alpha > 1 {
+				o.probes += p.sendRingProbes(o.sid, m, alpha-1)
+			}
+			return
+		}
+	}
+	if alpha > 1 {
+		if n := p.sendRingProbes(o.sid, m, alpha); n > 0 {
+			o.probes = n
+			return
+		}
+		// Nowhere to fan out (lone t-peer, detached s-peer): fall through to
+		// the single-probe path so behavior matches α=1 exactly.
+	}
+	o.probes = 1
 	p.sys.trace(obs.EvLookupForward, qid, p.Addr, runtime.None, 1, "ring")
 	p.forwardTowardSegment(o.sid, m, runtime.None)
 }
@@ -126,6 +158,14 @@ func (p *Peer) handleLookupReq(from runtime.Addr, m lookupReq) {
 		p.answer(m.Origin, m.QID, it, m.Hops+1)
 		return
 	}
+	wasHinted := m.Hinted
+	if wasHinted {
+		// This peer was probed straight off a path-cache hint but no longer
+		// has the item: bounce the stale hint back to whoever used it, then
+		// continue as a normal routed lookup — one extra hop, not a failure.
+		m.Hinted = false
+		p.send(from, hintDrop{DID: m.DID})
+	}
 	if !p.inLocalSegment(m.SID) {
 		if it, ok := p.replicaFallback(m.DID, m.SID); ok {
 			// Forwarding would route into a suspected crash: serve the local
@@ -133,7 +173,30 @@ func (p *Peer) handleLookupReq(from runtime.Addr, m lookupReq) {
 			p.answer(m.Origin, m.QID, it, m.Hops+1)
 			return
 		}
+		if p.sys.Cfg.PathCache && p.Role == TPeer && !wasHinted {
+			// Mid-route shortcut: a hint deposited here by an earlier reply
+			// sends the request straight at the holder. wasHinted guards the
+			// two-peer ping-pong where each end hints at the other.
+			if holder, ok := p.pathHint(m.DID); ok && holder.Addr != from && holder.Addr != m.Origin.Addr {
+				p.sys.stats.PathHintUses++
+				if p.sys.met != nil {
+					p.sys.met.hintUses.Inc()
+				}
+				m.Hinted = true
+				m.Probe = 0
+				m.Hops++
+				p.sys.trace(obs.EvLookupForward, m.QID, p.Addr, holder.Addr, m.Hops, "hint")
+				p.send(holder.Addr, m)
+				return
+			}
+		}
 		m.Hops++
+		if m.Probe > 0 && p.Role == TPeer {
+			// α-divergence point: the first t-peer under an s-peer origin
+			// spreads the indexed probes across distinct candidate hops.
+			p.forwardProbe(m, from)
+			return
+		}
 		p.forwardTowardSegment(m.SID, m, from)
 		return
 	}
@@ -231,17 +294,35 @@ func (p *Peer) handleFound(m foundMsg) {
 	if p.sys.Cfg.Caching && m.Holder.Addr != p.Addr {
 		p.handleCacheAdd(cacheAdd{Item: m.Item})
 	}
+	if p.sys.Cfg.PathCache && m.Holder.Addr != p.Addr {
+		if o, ok := p.pending[m.QID]; ok && !p.inLocalSegment(o.sid) {
+			// Deposit the route here and at the ring entry point, so both
+			// this peer's next lookup and the whole s-network's shortcut.
+			p.addHint(m.Item.DID, m.Holder)
+			if p.Role == SPeer && p.tpeer.Valid() && p.tpeer.Addr != m.Holder.Addr {
+				p.send(p.tpeer.Addr, routeHint{DID: m.Item.DID, Holder: m.Holder})
+			}
+		}
+	}
 	p.finishOp(m.QID, OpResult{OK: true, Value: m.Item.Value, Hops: m.Hops, Holder: m.Holder})
 }
 
-// handleNotFound fails a lookup fast on a definitive miss — unless the
-// lookup also flooded the local s-network in parallel (§3.1). The ring's
-// miss says nothing about spread or cached copies nearby, so in that case
-// the miss is recorded and the op concludes through foundMsg or its timer.
+// handleNotFound fails a lookup fast on a definitive miss — unless probes
+// are still outstanding (α>1: first success wins, so one probe's miss only
+// decrements the count) or the lookup also flooded the local s-network in
+// parallel (§3.1). The ring's miss says nothing about spread or cached
+// copies nearby, so in that case the miss is recorded and the op concludes
+// through foundMsg or its timer.
 func (p *Peer) handleNotFound(m notFoundMsg) {
-	if o, ok := p.pending[m.QID]; ok && o.localFlood {
-		o.ringMiss = true
-		return
+	if o, ok := p.pending[m.QID]; ok {
+		if o.probes > 1 {
+			o.probes--
+			return
+		}
+		if o.localFlood {
+			o.ringMiss = true
+			return
+		}
 	}
 	p.finishOp(m.QID, OpResult{OK: false, Hops: m.Hops})
 }

@@ -312,6 +312,15 @@ type lookupReq struct {
 	Origin Ref
 	TTL    int
 	Hops   int
+	// Probe is the α-parallel probe index (LookupAlpha > 1): the first
+	// t-peer that ring-routes the request picks the Probe-th best candidate
+	// hop and clears it, so probes from an s-peer origin diverge at the ring
+	// entry point. 0 on the plain single-probe path.
+	Probe uint8
+	// Hinted marks a request sent straight at a path-cache hint (PathCache):
+	// the receiver must not re-apply its own hints, and if it no longer has
+	// the item it bounces the stale hint back with hintDrop.
+	Hinted bool
 }
 
 // floodReq searches an s-network tree. It travels every tree edge away from
@@ -425,4 +434,16 @@ type deleteAck struct {
 type deleteFlood struct {
 	DID idspace.ID
 	TTL int
+}
+
+// deleteRing walks a deletion around the t-network ring when the surrogate
+// caching scheme is on: requester-side cache copies (handleFound) live in
+// arbitrary s-networks that the owner's own tree flood cannot reach, so each
+// t-peer on the walk purges its cache and re-floods the purge down its own
+// tree. Without Caching no copy can exist outside the owner's segment and
+// the walk is never sent.
+type deleteRing struct {
+	DID    idspace.ID
+	Origin Ref
+	TTL    int
 }

@@ -14,6 +14,9 @@ type sysMetrics struct {
 	lookupFail  *obs.Counter
 	storeLatUs  *obs.Histogram // end-to-end store latency, microseconds
 	deleteLatUs *obs.Histogram // end-to-end delete latency, microseconds
+	probesSent  *obs.Counter   // α-parallel ring probes fanned out
+	hintUses    *obs.Counter   // lookups forwarded straight at a path-cache hint
+	hintDrops   *obs.Counter   // stale path-cache hints bounced off
 }
 
 // SetMetrics attaches a metrics registry to the system: lookup and store
@@ -33,6 +36,9 @@ func (s *System) SetMetrics(reg *obs.Registry) {
 		lookupFail:  reg.Counter("lookup.fail"),
 		storeLatUs:  reg.Histogram("store.latency_us"),
 		deleteLatUs: reg.Histogram("delete.latency_us"),
+		probesSent:  reg.Counter("lookup.probes_sent"),
+		hintUses:    reg.Counter("lookup.hint_uses"),
+		hintDrops:   reg.Counter("lookup.hint_drops"),
 	}
 }
 

@@ -86,6 +86,12 @@ type Peer struct {
 	// --- bypass links (§5.4) ---
 	bypass map[runtime.Addr]*bypassLink
 
+	// --- lookup-path cache (Config.PathCache; nil when off) ---
+	// hints maps a data id to the holder a successful remote lookup
+	// reported; ring routing consults it to shortcut straight at the
+	// holder. Expiry and invalidation live in pathcache.go.
+	hints map[idspace.ID]*hintEntry
+
 	// --- replication (ReplicationK > 1; all state nil/zero at k = 1) ---
 	// owned is the t-peer's authoritative copy of every in-segment item,
 	// including spread items whose bytes live on an s-peer below it.
@@ -188,8 +194,14 @@ type op struct {
 	// fires), so a spread or cached copy can still win the race.
 	localFlood bool
 	ringMiss   bool
-	done       func(OpResult)
-	timer      runtime.Handle
+	// probes counts outstanding ring probes (LookupAlpha > 1): a definitive
+	// ring miss only counts once every probe has reported. hinted records
+	// that one probe went straight at a path-cache hint, so a timeout can
+	// invalidate the hint before failing.
+	probes int
+	hinted bool
+	done   func(OpResult)
+	timer  runtime.Handle
 }
 
 // OpResult reports the outcome of a store or lookup.
@@ -440,6 +452,14 @@ func (p *Peer) recv(from runtime.Addr, msg any) {
 	case deleteFlood:
 		p.handleDeleteFlood(from, m)
 
+	// Lookup-path caching (PathCache).
+	case routeHint:
+		p.handleRouteHint(m)
+	case hintDrop:
+		p.handleHintDrop(from, m)
+	case deleteRing:
+		p.handleDeleteRing(m)
+
 	default:
 		panic(fmt.Sprintf("core: peer %d received unknown message %T", p.Addr, msg))
 	}
@@ -678,11 +698,14 @@ func (p *Peer) refreshWatchdog(from runtime.Addr) {
 }
 
 // markSuspect flags a neighbor as suspected dead for routing purposes.
+// Path-cache hints naming the suspect are invalidated with it: a hint is a
+// routing shortcut, and shortcuts into a crash are worse than none.
 func (p *Peer) markSuspect(nb runtime.Addr) {
 	if p.suspect == nil {
 		p.suspect = make(map[runtime.Addr]bool)
 	}
 	p.suspect[nb] = true
+	p.dropHintsTo(nb)
 }
 
 // maybeAck responds to a data query with an acknowledgment unless the
@@ -736,6 +759,7 @@ func (p *Peer) stop() {
 	for _, e := range p.cache {
 		e.timer.Stop()
 	}
+	p.stopHints()
 	// Close search windows for the same reason: report what was collected
 	// so far rather than leaving a SearchSync caller hanging.
 	searches := make([]uint64, 0, len(p.searches))

@@ -453,11 +453,19 @@ func (p *Peer) ownerDelete(did idspace.ID) bool {
 		e.timer.Stop()
 		delete(p.cache, did)
 	}
+	p.dropHint(did)
 	if len(p.children) > 0 {
 		var flood any = deleteFlood{DID: did, TTL: 1 << 20}
 		for i := range p.children {
 			p.send(p.children[i].Ref.Addr, flood)
 		}
+	}
+	// Requester-side surrogate copies (handleFound with Caching on) live in
+	// other s-networks that this tree flood cannot reach; walk the ring so
+	// every t-peer purges and re-floods its own tree. Never sent with
+	// Caching off — no copy can exist outside the owner's segment then.
+	if p.sys.Cfg.Caching && p.succ.Valid() && p.succ.Addr != p.Addr {
+		p.send(p.succ.Addr, deleteRing{DID: did, Origin: p.Ref(), TTL: 1 << 20})
 	}
 	if p.replicationOn() {
 		if succ := p.replicaSucc(); succ.Valid() {
@@ -497,6 +505,8 @@ func (p *Peer) handleDeleteAck(m deleteAck) {
 }
 
 // handleDeleteFlood removes stored and cached copies down an s-network tree.
+// Path-cache hints for the item die with it: the route they name leads to a
+// holder that no longer has anything to serve.
 func (p *Peer) handleDeleteFlood(from runtime.Addr, m deleteFlood) {
 	if _, ok := p.data[m.DID]; ok {
 		delete(p.data, m.DID)
@@ -508,6 +518,7 @@ func (p *Peer) handleDeleteFlood(from runtime.Addr, m deleteFlood) {
 		e.timer.Stop()
 		delete(p.cache, m.DID)
 	}
+	p.dropHint(m.DID)
 	if m.TTL <= 1 {
 		return
 	}
@@ -516,6 +527,30 @@ func (p *Peer) handleDeleteFlood(from runtime.Addr, m deleteFlood) {
 		if a := p.children[i].Ref.Addr; a != from {
 			p.send(a, flood)
 		}
+	}
+}
+
+// handleDeleteRing purges one t-peer's surrogate cache on the ring-wide
+// delete walk and floods the purge down its own s-network tree, then passes
+// the walk to its successor until it closes back at the origin.
+func (p *Peer) handleDeleteRing(m deleteRing) {
+	if p.Addr == m.Origin.Addr || m.TTL <= 1 {
+		return
+	}
+	if e, ok := p.cache[m.DID]; ok {
+		e.timer.Stop()
+		delete(p.cache, m.DID)
+	}
+	p.dropHint(m.DID)
+	if len(p.children) > 0 {
+		var flood any = deleteFlood{DID: m.DID, TTL: 1 << 20}
+		for i := range p.children {
+			p.send(p.children[i].Ref.Addr, flood)
+		}
+	}
+	if p.Role == TPeer && p.succ.Valid() && p.succ.Addr != p.Addr && p.succ.Addr != m.Origin.Addr {
+		m.TTL--
+		p.send(p.succ.Addr, m)
 	}
 }
 

@@ -18,6 +18,10 @@ type System struct {
 
 	rt         runtime.Runtime
 	serverAddr runtime.Addr
+	// route is Cfg.Route resolved once at construction (nil -> FingerWalk)
+	// so the routing hot path loads one interface word instead of
+	// re-checking the config every hop.
+	route RouteStrategy
 
 	server *Server
 	// partial marks a system that hosts only a slice of the deployment's
@@ -95,6 +99,9 @@ type SystemStats struct {
 	ReplicaServes      uint64 // lookups answered from an owned or replica copy
 	ReadRepairs        uint64 // replica serves that re-installed the item on its owner
 	ReplicaPromotions  uint64 // held replicas promoted to owned after a takeover
+	ProbesSent         uint64 // α-parallel ring probes fanned out (LookupAlpha > 1)
+	PathHintUses       uint64 // lookups forwarded straight at a path-cache hint
+	PathHintDrops      uint64 // stale path-cache hints invalidated by a bounce
 }
 
 // NewSystem creates an empty hybrid system on the given runtime. The server
@@ -108,6 +115,7 @@ func NewSystem(rt runtime.Runtime, cfg Config, serverHost int) (*System, error) 
 		Cfg:        cfg,
 		rt:         rt,
 		serverAddr: rt.ServerAddr(),
+		route:      cfg.Route,
 		contacts:   make(map[uint64]int),
 	}
 	s.server = newServer(s, serverHost)
@@ -130,6 +138,7 @@ func NewPeerSystem(rt runtime.Runtime, cfg Config) (*System, error) {
 		Cfg:        cfg,
 		rt:         rt,
 		serverAddr: rt.ServerAddr(),
+		route:      cfg.Route,
 		contacts:   make(map[uint64]int),
 		partial:    true,
 	}, nil

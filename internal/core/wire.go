@@ -90,5 +90,10 @@ func WireMessages() []any {
 		deleteReq{},
 		deleteAck{},
 		deleteFlood{},
+
+		// Lookup-path caching and cache-wide delete invalidation (PR 10).
+		routeHint{},
+		hintDrop{},
+		deleteRing{},
 	}
 }

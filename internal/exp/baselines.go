@@ -1,21 +1,26 @@
 package exp
 
 import (
+	"encoding/binary"
+
 	"repro/internal/chord"
 	"repro/internal/gnutella"
 	"repro/internal/idspace"
+	"repro/internal/kad"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
 
-// RunBaselines compares the standalone Chord and Gnutella implementations
-// against the hybrid system at several p_s values on the same topology and
-// workload: mean lookup hops, latency and failure ratio. This is the
-// "compared to structured / unstructured peer-to-peer networks" framing of
-// the paper's conclusions, with the pure systems implemented outright rather
-// than taken as the hybrid's degenerate ends. Each system is an independent
-// simulation, so the four arms run as worker-pool tasks.
+// RunBaselines compares the standalone Chord, Gnutella and Kademlia
+// implementations against the hybrid system at several p_s values on the
+// same topology and workload: mean lookup hops, latency and failure ratio.
+// This is the "compared to structured / unstructured peer-to-peer networks"
+// framing of the paper's conclusions, with the pure systems implemented
+// outright rather than taken as the hybrid's degenerate ends — Kademlia
+// (XOR metric, k-buckets, α-parallel iterative lookup) being the
+// industry-standard comparator. Each system is an independent simulation,
+// so the five arms run as worker-pool tasks.
 func RunBaselines(o Options) (*Result, error) {
 	o = o.normalize()
 	res := newResult("Baselines")
@@ -28,7 +33,7 @@ func RunBaselines(o Options) (*Result, error) {
 		hops, latency, failure float64
 		noLatencyValue         bool
 	}
-	arms, err := sweep(o, 4, func(i int) (row, error) {
+	arms, err := sweep(o, 5, func(i int) (row, error) {
 		switch i {
 		case 0: // Chord
 			topo, err := expTopology(o, o.topoSeed())
@@ -123,10 +128,66 @@ func RunBaselines(o Options) (*Result, error) {
 				noLatencyValue: true,
 			}, nil
 
+		case 2: // Kademlia
+			topo, err := expTopology(o, o.topoSeed())
+			if err != nil {
+				return row{}, err
+			}
+			eng := sim.New(o.Seed + 830)
+			net := simnet.New(eng, topo, simnet.DefaultConfig())
+			kcfg := kad.DefaultConfig()
+			kcfg.K = 8 // replica sets sized for paper-scale swarms, not the open internet
+			knet := kad.NewNetwork(simnet.NewRuntime(eng, net), kcfg)
+			stubs := topo.StubNodes()
+			var nodes []*kad.Node
+			boot := kad.NilContact
+			for i := 0; i < o.N; i++ {
+				var b [8]byte
+				binary.BigEndian.PutUint64(b[:], eng.Rand().Uint64())
+				n := knet.CreateNode(kad.HashBytes(b[:]), stubs[eng.Rand().Intn(len(stubs))], 1, boot)
+				if !boot.Valid() {
+					boot = kad.Contact{ID: n.ID, Addr: n.Addr}
+				}
+				// Give each join's self-lookup a slice of time to settle.
+				eng.RunUntil(eng.Now() + 200*sim.Millisecond)
+				nodes = append(nodes, n)
+			}
+			eng.RunUntil(eng.Now() + 30*sim.Second)
+
+			for i, key := range keys {
+				var done bool
+				nodes[(i*11)%len(nodes)].Store(key, "v", func(kad.Result) { done = true })
+				for !done && eng.Step() {
+				}
+			}
+			var hops, lat metrics.Summary
+			fails := 0
+			for i := 0; i < queries; i++ {
+				var done bool
+				var r kad.Result
+				nodes[(i*17)%len(nodes)].Lookup(keys[i%len(keys)], func(res kad.Result) {
+					done = true
+					r = res
+				})
+				for !done && eng.Step() {
+				}
+				if r.OK {
+					hops.Add(float64(r.Hops))
+					lat.Add(float64(r.Latency) / float64(sim.Millisecond))
+				} else {
+					fails++
+				}
+			}
+			return row{
+				name: "kademlia (α=3, k=8 iterative)", tag: "kad",
+				hops: hops.Mean(), latency: lat.Mean(),
+				failure: float64(fails) / float64(queries),
+			}, nil
+
 		default: // Hybrid at p_s = 0.3 and 0.7
 			ps := 0.3
 			name, tag := "hybrid p_s=0.3", "hybrid_ps0.3"
-			if i == 3 {
+			if i == 4 {
 				ps, name, tag = 0.7, "hybrid p_s=0.7", "hybrid_ps0.7"
 			}
 			cfg := expConfig(ps)

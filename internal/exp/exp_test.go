@@ -15,7 +15,7 @@ func testOptions() Options {
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
 	want := []string{"Fig3a", "Fig3b", "Fig4", "Fig5a", "Fig5b", "Fig6a", "Fig6b", "Table2",
-		"AblationTree", "AblationBypass", "Baselines",
+		"AblationTree", "AblationBypass", "AblationRouting", "Baselines",
 		"ExtCaching", "ExtWalk", "LinkStress", "Churn", "ChurnStorm", "Scale"}
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -209,6 +209,51 @@ func TestBaselinesShape(t *testing.T) {
 	}
 	if res.Values["hybrid_ps0.7_failure"] > 0.1 {
 		t.Errorf("hybrid failure %v too high at TTL 4", res.Values["hybrid_ps0.7_failure"])
+	}
+	if res.Values["kad_failure"] > 0.05 {
+		t.Errorf("kademlia failure ratio %v; iterative lookups should be ~exact", res.Values["kad_failure"])
+	}
+	if res.Values["kad_hops"] <= 0 || res.Values["kad_latency_ms"] <= 0 {
+		t.Error("missing kademlia measurements")
+	}
+}
+
+// TestBaselinesDeterminism is the baseline determinism gate: all arms —
+// hybrid, Chord, Gnutella, Kademlia — must render byte-identically across
+// repeated runs at the same seed.
+func TestBaselinesDeterminism(t *testing.T) {
+	r1, err := RunBaselines(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunBaselines(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() != r2.String() {
+		t.Fatalf("baselines are not deterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", r1, r2)
+	}
+}
+
+// TestAblationRoutingGate is the PR-10 acceptance gate: under the same
+// fault schedule, the α=3 + path-cache arm must strictly beat the α=1
+// baseline on failure ratio or latency (it loses strictly on neither).
+func TestAblationRoutingGate(t *testing.T) {
+	res, err := RunAblationRouting(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, fc := res.Values["alpha1_failure"], res.Values["alpha3cache_failure"]
+	l1, lc := res.Values["alpha1_latency_ms"], res.Values["alpha3cache_latency_ms"]
+	if !(fc < f1 || lc < l1) {
+		t.Fatalf("α=3+cache does not beat α=1 under faults: failure %v vs %v, latency %v vs %v",
+			fc, f1, lc, l1)
+	}
+	if res.Values["alpha3_probes"] <= 0 {
+		t.Error("α=3 arm sent no extra probes")
+	}
+	if res.Values["alpha3cache_hint_uses"] <= 0 {
+		t.Error("path-cache arm recorded no hint uses")
 	}
 }
 

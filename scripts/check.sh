@@ -57,6 +57,17 @@ echo "== allocation budget gate (event engine, lookup path, histogram record)"
 go test . -count=1 -run '^(TestEventEngineAllocFree|TestLookupAllocBudget)$'
 go test ./internal/obs -count=1 -run '^TestHistogramRecordAllocFree$'
 
+# Routing-seam gate: Kademlia baseline unit tests, four-arm baseline
+# determinism (two full RunBaselines passes byte-identical), the α-parallel
+# + path-cache ablation acceptance test, and the path-cache invalidation
+# suite under churn. -count=1 defeats the cache so the gates always execute.
+echo "== routing-seam gate (kad, baseline determinism, alpha/path-cache ablation)"
+go test ./internal/kad -count=1
+go test ./internal/exp -count=1 \
+    -run '^(TestBaselinesDeterminism|TestAblationRoutingGate)$'
+go test ./internal/core -count=1 \
+    -run '^(TestPathCache|TestAlphaProbes)'
+
 # Introspection smoke gate: boot a live hybridnode with -http, poll /healthz
 # until the ring-health sampler reports healthy, and assert /metrics serves
 # well-formed Prometheus exposition (see scripts/introspect_smoke.sh).

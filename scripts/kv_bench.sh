@@ -1,0 +1,145 @@
+#!/bin/sh
+# kv_bench.sh — automated k-sweep of the /kv HTTP surface on a live cluster.
+#
+# For each replication factor k in 1, 2, 3 the script boots a fresh
+# 2-process hybridnode TCP cluster on loopback, drives NOPS PUTs and NOPS
+# GETs through the bootstrap's /kv endpoint, and records the p50/p99
+# wall-clock latency of each phase. Results land in one JSON document so a
+# plotting pipeline (or the CI log) can compare the cost of replication on
+# the client-facing path.
+#
+# Environment knobs:
+#
+#   OUT        output JSON path (default: kv_bench.json in the repo root)
+#   NOPS       operations per phase per k (default 40)
+#   BASE_PORT  first cluster port; sweep point i uses BASE_PORT+10*i
+#              (default 7600)
+#   PEERS      peers per process (default 8)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${OUT:-kv_bench.json}
+NOPS=${NOPS:-40}
+BASE_PORT=${BASE_PORT:-7600}
+PEERS=${PEERS:-8}
+
+TMP=$(mktemp -d /tmp/kv-bench.XXXXXX)
+BOOT_PID=""
+WORK_PID=""
+
+stop_cluster() {
+    for pid in "$BOOT_PID" "$WORK_PID"; do
+        [ -n "$pid" ] && kill -TERM "$pid" 2>/dev/null || true
+    done
+    for pid in "$BOOT_PID" "$WORK_PID"; do
+        [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    done
+    BOOT_PID=""
+    WORK_PID=""
+}
+
+cleanup() {
+    for pid in "$BOOT_PID" "$WORK_PID"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "kv_bench: $1" >&2
+    for log in boot worker; do
+        [ -f "$TMP/$log.log" ] && { echo "--- $log ---" >&2; cat "$TMP/$log.log" >&2; }
+    done
+    exit 1
+}
+
+# await_line PID LOG PATTERN TRIES — poll a log for a line, failing if the
+# process dies first.
+await_line() {
+    i=0
+    while ! grep -q "$3" "$2" 2>/dev/null; do
+        kill -0 "$1" 2>/dev/null || fail "process died waiting for '$3' in $2"
+        i=$((i + 1))
+        [ "$i" -gt "$4" ] && fail "timeout waiting for '$3' in $2"
+        sleep 0.2
+    done
+}
+
+# pctl FILE P — the P-th percentile (nearest-rank) of the sorted
+# one-number-per-line FILE, converted from seconds to milliseconds.
+pctl() {
+    sort -g "$1" | awk -v p="$2" '
+        { v[NR] = $1 }
+        END {
+            if (NR == 0) { print "0"; exit }
+            r = int((p / 100) * NR + 0.999999)
+            if (r < 1) r = 1
+            if (r > NR) r = NR
+            printf "%.3f", v[r] * 1000
+        }'
+}
+
+echo "building hybridnode..."
+go build -o "$TMP/hybridnode" ./cmd/hybridnode
+
+command -v curl >/dev/null 2>&1 || { echo "kv_bench: curl not found" >&2; exit 1; }
+
+printf '{\n  "bench": "kv",\n  "ops_per_phase": %d,\n  "peers_per_process": %d,\n  "results": [\n' \
+    "$NOPS" "$PEERS" > "$OUT.tmp"
+
+POINT=0
+for K in 1 2 3; do
+    PORT=$((BASE_PORT + 10 * POINT))
+    HTTP="127.0.0.1:$((PORT + 100))"
+    echo "== k=$K: cluster on 127.0.0.1:$PORT (http $HTTP) =="
+
+    # The bootstrap runs t-peers only so k-1 ring successors always exist for
+    # replica chains; the worker adds a mixed population.
+    "$TMP/hybridnode" -addr "127.0.0.1:$PORT" -http "$HTTP" -role t \
+        -n "$PEERS" -items 4 -keys 4 -lookups 4 -crash 0 -k "$K" \
+        -linger 10m > "$TMP/boot.log" 2>&1 &
+    BOOT_PID=$!
+    await_line "$BOOT_PID" "$TMP/boot.log" '^lingering ' 300
+
+    "$TMP/hybridnode" -addr "127.0.0.1:$((PORT + 1))" -bootstrap "127.0.0.1:$PORT" \
+        -n "$PEERS" -items 0 -keys 4 -lookups 4 -crash 0 -k "$K" \
+        -linger 10m > "$TMP/worker.log" 2>&1 &
+    WORK_PID=$!
+    await_line "$WORK_PID" "$TMP/worker.log" '^lingering ' 300
+
+    : > "$TMP/put.times"
+    : > "$TMP/get.times"
+    i=0
+    while [ $i -lt "$NOPS" ]; do
+        curl -fsS -o /dev/null -w '%{time_total}\n' -X PUT \
+            --data "value-$K-$i" "http://$HTTP/kv/bench-$K-$i" \
+            >> "$TMP/put.times" || fail "PUT bench-$K-$i failed"
+        i=$((i + 1))
+    done
+    i=0
+    while [ $i -lt "$NOPS" ]; do
+        curl -fsS -o /dev/null -w '%{time_total}\n' \
+            "http://$HTTP/kv/bench-$K-$i" \
+            >> "$TMP/get.times" || fail "GET bench-$K-$i failed"
+        i=$((i + 1))
+    done
+
+    PUT50=$(pctl "$TMP/put.times" 50)
+    PUT99=$(pctl "$TMP/put.times" 99)
+    GET50=$(pctl "$TMP/get.times" 50)
+    GET99=$(pctl "$TMP/get.times" 99)
+    echo "   put p50=${PUT50}ms p99=${PUT99}ms   get p50=${GET50}ms p99=${GET99}ms"
+
+    [ $POINT -gt 0 ] && printf ',\n' >> "$OUT.tmp"
+    printf '    {"k": %d, "put_p50_ms": %s, "put_p99_ms": %s, "get_p50_ms": %s, "get_p99_ms": %s}' \
+        "$K" "$PUT50" "$PUT99" "$GET50" "$GET99" >> "$OUT.tmp"
+
+    stop_cluster
+    POINT=$((POINT + 1))
+done
+
+printf '\n  ]\n}\n' >> "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+echo "kv_bench: wrote $OUT"
